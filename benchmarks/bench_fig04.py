@@ -1,0 +1,19 @@
+"""Fig. 4 bench — parallelism vs processing ability sweep.
+
+Regenerates the paper's motivating measurement: both PA curves and the
+bottleneck thresholds (paper: filter = 14, window = 10).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_processing_ability as fig4
+
+
+def test_fig4_processing_ability(benchmark):
+    result = benchmark(fig4.run)
+    assert result.filter_threshold == 14
+    assert result.window_threshold == 10
+    assert all(b > a for a, b in zip(result.filter_pa, result.filter_pa[1:]))
+    assert all(b > a for a, b in zip(result.window_pa, result.window_pa[1:]))
+    print()
+    fig4.main()

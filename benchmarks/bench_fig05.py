@@ -1,0 +1,21 @@
+"""Fig. 5 bench — node-count distribution of the pre-training DAGs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5_history_distribution as fig5
+
+
+def test_fig5_distribution(benchmark, scale):
+    result = benchmark(fig5.run, scale)
+    # The constructed corpus reproduces the published ratios exactly.
+    for n, paper_pct in fig5.PAPER_DISTRIBUTION.items():
+        assert result.corpus_percentages[n] == pytest.approx(paper_pct, abs=0.01)
+    # The generated history tracks the corpus distribution.
+    for n in fig5.PAPER_DISTRIBUTION:
+        assert result.history_percentages[n] == pytest.approx(
+            result.corpus_percentages[n], abs=5.0
+        )
+    print()
+    fig5.main()

@@ -1,0 +1,23 @@
+"""Fig. 6 bench — final parallelism recommendations at 10 x Wu (Flink).
+
+Shape assertions follow the paper: StreamTune never needs more resources
+than DS2 (within noise), and ZeroTune dwarfs everyone on PQP.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_final_parallelism as fig6
+
+
+def test_fig6_final_parallelism(benchmark, flink_campaign_grid):
+    scale = flink_campaign_grid
+    rows = benchmark(fig6.run, scale)
+    by_key = {(row.group, row.method): row.measured_total for row in rows}
+
+    for group in fig6.FLINK_GROUPS:
+        assert by_key[(group, "StreamTune")] <= by_key[(group, "DS2")] * 1.35, group
+    for group in fig6.PQP_GROUPS:
+        assert by_key[(group, "ZeroTune")] > 1.3 * by_key[(group, "StreamTune")], group
+
+    print()
+    fig6.main()

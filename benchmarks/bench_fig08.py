@@ -1,0 +1,39 @@
+"""Fig. 8 bench — Timely Dataflow generality evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig8_timely as fig8
+
+
+def test_fig8a_final_parallelism(benchmark, timely_campaign_grid):
+    scale = timely_campaign_grid
+    rows = benchmark(fig8.run_fig8a, scale)
+    by_key = {(r.group, r.method): r.measured_total for r in rows}
+
+    # Paper: StreamTune needs fewer resources on Timely, with the largest
+    # gap on Q8 (up to -83.3% vs DS2).  At small scales Q3/Q5 can tie, so
+    # the per-group check allows a margin while Q8's gap must be real.
+    for group in fig8.GROUPS:
+        ceiling = 1.4 * max(by_key[(group, "DS2")], by_key[(group, "ContTune")])
+        assert by_key[(group, "StreamTune")] <= ceiling, group
+    assert by_key[("q8", "StreamTune")] <= 0.7 * by_key[("q8", "DS2")]
+
+    print()
+
+
+def test_fig8_latency_cdfs(benchmark, timely_campaign_grid):
+    scale = timely_campaign_grid
+    rows = benchmark.pedantic(
+        fig8.run_latency_cdfs, args=(scale,), rounds=1, iterations=1
+    )
+    medians = {(r.group, r.method): r.percentiles[50] for r in rows}
+    # Despite lower parallelism, StreamTune stays usable: far from the
+    # 200 s saturation cap (the paper's CDFs overlap; our dead-band
+    # occupancy makes the gap wider but bounded).
+    for group in fig8.GROUPS:
+        assert medians[(group, "StreamTune")] < 60.0, group
+
+    print()
+    fig8.main()

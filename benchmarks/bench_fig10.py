@@ -1,0 +1,20 @@
+"""Fig. 10 bench — CPU utilisation dynamics during tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig10_cpu_utilisation as fig10
+
+
+def test_fig10_cpu_utilisation(benchmark, flink_campaign_grid):
+    scale = flink_campaign_grid
+    series = benchmark(fig10.run, scale)
+    for item in series:
+        trace = np.asarray(item.utilisation)
+        assert len(trace) >= scale.n_rate_changes   # >= one step per change
+        assert np.all((trace >= 0.0) & (trace <= 1.0))
+        # The trace genuinely moves as rates change and tuning explores.
+        assert np.ptp(trace) > 0.1, item.group
+        assert len(item.rate_change_marks) == scale.n_rate_changes
+    print()

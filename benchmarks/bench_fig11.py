@@ -1,0 +1,53 @@
+"""Fig. 11 bench — prediction-layer ablation and GED acceleration.
+
+11b is the headline micro-benchmark: AStar+-LSa similarity search versus
+directly computing exact GED for every pair (paper: -99.65% at 400 DAGs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.center import similarity_center
+from repro.experiments import fig11_ablation as fig11
+
+
+def test_fig11a_model_ablation(benchmark, scale, flink_pretrained):
+    rows = benchmark.pedantic(fig11.run_fig11a, args=(scale,), rounds=1, iterations=1)
+    by_key = {(r.group, r.method): r.measured_avg_reconfigurations for r in rows}
+    nn_avg = np.mean([by_key[(g, "StreamTune-nn")] for g in fig11.ABLATION_GROUPS])
+    svm_avg = np.mean([by_key[(g, "StreamTune-svm")] for g in fig11.ABLATION_GROUPS])
+    xgb_avg = np.mean([by_key[(g, "StreamTune-xgboost")] for g in fig11.ABLATION_GROUPS])
+    # Paper: the monotone layers beat the unconstrained NN.  The short
+    # smoke campaigns resolve this against the *best* monotone layer only
+    # (the two monotone layers are statistically tied with each other);
+    # larger scales must reproduce the full ordering.
+    assert nn_avg >= min(svm_avg, xgb_avg)
+    if scale.name != "smoke":
+        assert nn_avg >= svm_avg
+        assert nn_avg >= xgb_avg
+    print(f"\navg reconfigs: NN={nn_avg:.2f} SVM={svm_avg:.2f} XGB={xgb_avg:.2f}")
+
+
+@pytest.mark.parametrize("n_graphs", [40, 80])
+def test_fig11b_center_direct_vs_lsa(benchmark, n_graphs):
+    graphs = fig11._center_dataset(n_graphs, seed=123)
+
+    lsa = benchmark(similarity_center, graphs, fig11.TAU, None, None, True)
+    direct = similarity_center(graphs, tau=fig11.TAU, use_lsa=False)
+    assert lsa == direct
+
+
+def test_fig11b_speedup_table(benchmark, scale):
+    rows = benchmark.pedantic(fig11.run_fig11b, args=(scale,), rounds=1, iterations=1)
+    for row in rows:
+        # LSa must be dramatically faster than direct exact GED.
+        assert row.lsa_seconds < row.direct_seconds
+        assert row.reduction_percent > 50.0
+    print()
+    for row in rows:
+        print(
+            f"  {row.n_graphs} DAGs: direct {row.direct_seconds:.2f}s, "
+            f"LSa {row.lsa_seconds:.2f}s ({row.reduction_percent:.1f}% faster)"
+        )

@@ -1,0 +1,56 @@
+"""Benchmark fixtures: scale selection and shared expensive artifacts.
+
+Benchmarks default to the ``smoke`` scale so the whole suite finishes in
+minutes; set ``REPRO_SCALE=default`` (or ``paper``) for the scales that
+EXPERIMENTS.md reports.  Campaign grids and pre-trained models are session
+fixtures: the pytest-benchmark timings then measure the per-figure
+computation, not artifact warm-up.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import context
+from repro.experiments.scale import resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return resolve_scale(os.environ.get("REPRO_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session")
+def flink_pretrained(scale):
+    return context.pretrained_model("flink", scale)
+
+
+@pytest.fixture(scope="session")
+def timely_pretrained(scale):
+    return context.pretrained_model("timely", scale)
+
+
+@pytest.fixture(scope="session")
+def flink_campaign_grid(scale, flink_pretrained):
+    """Materialise every Flink campaign the figure benches read."""
+    from repro.experiments.campaigns import campaign
+
+    groups = ("q1", "q2", "q3", "q5", "q8", "linear", "2-way-join", "3-way-join")
+    for group in groups:
+        for method in ("DS2", "ContTune", "StreamTune"):
+            campaign("flink", method, group, scale)
+    for group in ("linear", "2-way-join", "3-way-join"):
+        campaign("flink", "ZeroTune", group, scale)
+    return scale
+
+
+@pytest.fixture(scope="session")
+def timely_campaign_grid(scale, timely_pretrained):
+    from repro.experiments.campaigns import campaign
+
+    for group in ("q3", "q5", "q8"):
+        for method in ("DS2", "ContTune", "StreamTune"):
+            campaign("timely", method, group, scale)
+    return scale

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: tune one streaming job with StreamTune in ~a minute.
+
+Walks the full pipeline on a small scale:
+
+1. build a streaming query (Nexmark Q2 on the simulated Flink cluster),
+2. generate an execution history and pre-train StreamTune,
+3. react to a source-rate spike with Algorithm 2 online tuning,
+4. compare the recommendation against the ground-truth oracle.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FlinkCluster,
+    HistoryGenerator,
+    OracleTuner,
+    StreamTuneTuner,
+    nexmark_queries,
+    pqp_query_set,
+    pretrain,
+)
+from repro.workloads import nexmark_query
+
+
+def main() -> None:
+    # -- 1. the engine and the target job ------------------------------
+    engine = FlinkCluster(seed=42)
+    query = nexmark_query("q2", "flink")
+    print(f"target job: {query.name} ({len(query.flow)} operators)")
+
+    # -- 2. histories + pre-training -----------------------------------
+    corpus = nexmark_queries("flink") + [
+        q for qs in pqp_query_set().values() for q in qs
+    ]
+    print("generating execution history (1500 runs) ...")
+    records = HistoryGenerator(engine, seed=7).generate(corpus, 1500)
+    print(f"  {sum(r.n_bottlenecks for r in records)} bottleneck labels collected")
+
+    print("pre-training per-cluster GNN encoders ...")
+    pretrained = pretrain(
+        records, max_parallelism=engine.max_parallelism,
+        n_clusters=3, epochs=20, seed=7,
+    )
+    for i, report in enumerate(pretrained.reports):
+        print(f"  cluster {i}: accuracy {report.final_accuracy:.3f}")
+
+    # -- 3. online tuning through a rate spike -------------------------
+    tuner = StreamTuneTuner(engine, pretrained, model_kind="svm", seed=17)
+    tuner.prepare(query)
+    deployment = engine.deploy(
+        query.flow,
+        dict.fromkeys(query.flow.operator_names, 1),
+        query.rates_at(3),
+    )
+    for multiplier in (3, 10, 5):
+        result = tuner.tune(deployment, query.rates_at(multiplier))
+        final = engine.measure(deployment)
+        print(
+            f"rate {multiplier:>2} x Wu: parallelisms={result.final_parallelisms} "
+            f"reconfigs={result.n_reconfigurations} "
+            f"backpressure={'yes' if final.has_backpressure else 'no'}"
+        )
+
+    # -- 4. sanity: how close to the hidden optimum? -------------------
+    oracle = OracleTuner(engine).optimal_parallelisms(deployment, query.rates_at(5))
+    print(f"oracle optimum at 5 x Wu: {oracle}")
+    engine.stop(deployment)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Unseen operators: semantic embeddings vs one-hot features (paper §VII).
+
+The paper notes that one-hot operator-type features "requir[e] retraining
+when entirely new operators are introduced" and proposes embedding-based
+representations as future work.  This example runs that study:
+
+1. generate a Flink execution history and *remove every dataflow that
+   contains an incremental join* — the held-out operator kind (rare in
+   the corpus, so pre-training stays representative);
+2. pre-train two global encoders on the censored history, one with the
+   paper's one-hot features, one with the semantic property-vector
+   features of :mod:`repro.dataflow.embeddings`;
+3. score both encoders on the held-out kind's operators and compare
+   bottleneck-prediction quality;
+4. show how a genuinely new operator kind would be registered without any
+   retraining.
+
+Run:  python examples/unseen_operators.py
+"""
+
+from repro import FlinkCluster, HistoryGenerator, nexmark_queries, pqp_query_set, pretrain
+from repro.dataflow.embeddings import (
+    OperatorTaxonomy,
+    SemanticFeatureEncoder,
+    embedding_generalisation_gap,
+    interpolate_properties,
+)
+from repro.dataflow.features import FeatureEncoder
+from repro.experiments.ablations import (
+    HELDOUT_TYPE,
+    _contains_heldout,
+    _heldout_scores,
+    heldout_evaluation_records,
+    ranking_auc,
+)
+from repro.experiments.scale import SMOKE
+
+
+def main() -> None:
+    # -- 1. history with the held-out kind censored ----------------------
+    engine = FlinkCluster(seed=23)
+    corpus = nexmark_queries("flink") + [
+        q for qs in pqp_query_set().values() for q in qs
+    ]
+    records = HistoryGenerator(engine, seed=11).generate(corpus, 1200)
+    train = [r for r in records if not _contains_heldout(r)]
+    # Evaluation: a stress sweep over the held-out kind's degree, so both
+    # label classes appear (random runs almost never bottleneck a join).
+    heldout = heldout_evaluation_records(SMOKE)
+    print(
+        f"history: {len(records)} runs -> {len(train)} training "
+        f"(no {HELDOUT_TYPE.value}); {len(heldout)} stress-sweep runs held out"
+    )
+
+    # -- 2. pre-train one encoder per feature scheme --------------------
+    models = {}
+    for name, feature_encoder in (
+        ("one-hot", FeatureEncoder()),
+        ("semantic", SemanticFeatureEncoder()),
+    ):
+        print(f"pre-training with {name} features ...")
+        models[name] = pretrain(
+            train,
+            max_parallelism=engine.max_parallelism,
+            n_clusters=1,
+            epochs=15,
+            seed=29,
+            feature_encoder=feature_encoder,
+        )
+
+    # -- 3. score the held-out operator kind ----------------------------
+    scores = {}
+    for name, model in models.items():
+        probabilities, labels = _heldout_scores(model, heldout)
+        scores[name] = probabilities
+    report = embedding_generalisation_gap(scores["one-hot"], scores["semantic"], labels)
+    print(
+        f"\nheld-out {HELDOUT_TYPE.value} operators: {int(report['n_heldout'])}\n"
+        f"  one-hot  BCE: {report['one_hot_bce']:.3f}  "
+        f"AUC: {ranking_auc(scores['one-hot'], labels):.3f}\n"
+        f"  semantic BCE: {report['semantic_bce']:.3f}  "
+        f"AUC: {ranking_auc(scores['semantic'], labels):.3f}\n"
+        f"  BCE gap (positive = semantic better): {report['gap']:+.3f}\n"
+        "interpretation: in this simulator Table I's shared features\n"
+        "(window config, tuple widths, rates) already transfer across\n"
+        "kinds, so both encoders rank the unseen kind usefully; the\n"
+        "semantic taxonomy's value is the registration path below."
+    )
+
+    # -- 4. registering a brand-new operator kind, no retraining --------
+    taxonomy = OperatorTaxonomy()
+    dedupe = interpolate_properties(taxonomy, {"filter": 0.6, "aggregate": 0.4})
+    taxonomy.register("dedupe", dedupe)
+    print(
+        f"\nregistered new kind 'dedupe' "
+        f"(nearest known behaviour: {taxonomy.nearest_known('dedupe')}); "
+        "existing encoders consume it through its property vector."
+    )
+
+
+if __name__ == "__main__":
+    main()

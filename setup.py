@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The offline evaluation environment has setuptools but not `wheel`, so
+modern PEP 517 editable installs fail with `invalid command 'bdist_wheel'`.
+Keeping a setup.py (and no [build-system] table in pyproject.toml) lets
+`pip install -e .` fall back to the legacy `setup.py develop` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""StreamTune reproduction — adaptive parallelism tuning for stream
+processing systems (ICDE 2025).
+
+Public API quick map:
+
+* build dataflows / queries    — :mod:`repro.dataflow`, :mod:`repro.workloads`
+* simulated engines            — :class:`repro.engines.FlinkCluster`,
+                                 :class:`repro.engines.TimelyCluster`
+* histories + pre-training     — :class:`repro.core.HistoryGenerator`,
+                                 :func:`repro.core.pretrain`
+* online tuning                — :class:`repro.core.StreamTuneTuner` and the
+                                 baselines in :mod:`repro.baselines`
+* paper experiments            — :mod:`repro.experiments`
+
+See ``examples/quickstart.py`` for the 60-second tour.
+"""
+
+from repro.dataflow import LogicalDataflow, OperatorSpec, OperatorType
+from repro.dataflow.embeddings import OperatorTaxonomy, SemanticFeatureEncoder
+from repro.engines import (
+    ClusterTopology,
+    FlinkCluster,
+    SchedulingAwareTimely,
+    TimelyCluster,
+)
+from repro.core import (
+    ExecutionRecord,
+    HistoryGenerator,
+    PretrainedStreamTune,
+    StreamTuneTuner,
+    pretrain,
+)
+from repro.baselines import ContTuneTuner, DS2Tuner, OracleTuner, ZeroTuneTuner
+from repro.workloads import nexmark_queries, pqp_query_set
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterTopology",
+    "ContTuneTuner",
+    "DS2Tuner",
+    "ExecutionRecord",
+    "FlinkCluster",
+    "HistoryGenerator",
+    "LogicalDataflow",
+    "OperatorSpec",
+    "OperatorTaxonomy",
+    "OperatorType",
+    "OracleTuner",
+    "PretrainedStreamTune",
+    "SchedulingAwareTimely",
+    "SemanticFeatureEncoder",
+    "StreamTuneTuner",
+    "TimelyCluster",
+    "ZeroTuneTuner",
+    "__version__",
+    "nexmark_queries",
+    "pqp_query_set",
+    "pretrain",
+]

@@ -1,0 +1,28 @@
+"""Competitor parallelism tuners (paper §V-A "Competitors").
+
+* :class:`~repro.baselines.ds2.DS2Tuner` — OSDI'18 DS2: useful-time rate
+  estimation under a linearity assumption.
+* :class:`~repro.baselines.conttune.ContTuneTuner` — VLDB'23 ContTune:
+  per-operator conservative Bayesian optimisation with the Big-Small
+  algorithm.
+* :class:`~repro.baselines.zerotune.ZeroTuneTuner` — ICDE'24 ZeroTune:
+  zero-shot GNN job-level cost model + configuration sampling.
+* :class:`~repro.baselines.oracle.OracleTuner` — ground-truth reference
+  (not in the paper; used by tests to sanity-check the simulator).
+"""
+
+from repro.baselines.api import ParallelismTuner, TuningResult, TuningStep
+from repro.baselines.ds2 import DS2Tuner
+from repro.baselines.conttune import ContTuneTuner
+from repro.baselines.zerotune import ZeroTuneTuner
+from repro.baselines.oracle import OracleTuner
+
+__all__ = [
+    "ContTuneTuner",
+    "DS2Tuner",
+    "OracleTuner",
+    "ParallelismTuner",
+    "TuningResult",
+    "TuningStep",
+    "ZeroTuneTuner",
+]

@@ -1,0 +1,35 @@
+"""Shared demand propagation for rate-based tuners (DS2, ContTune).
+
+Both baselines need the *target* input rate of every operator: the target
+source rates pushed through the DAG using selectivities observed in the
+latest measurement.  Kept in one place so the two tuners cannot drift.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import Deployment
+from repro.engines.metrics import JobTelemetry
+
+
+def propagate_target_demand(
+    deployment: Deployment,
+    telemetry: JobTelemetry,
+    target_rates: dict[str, float],
+) -> dict[str, float]:
+    """Target input rate per operator under observed selectivities."""
+    flow = deployment.flow
+    demand_in: dict[str, float] = {}
+    demand_out: dict[str, float] = {}
+    for name in flow.topological_order():
+        metrics = telemetry[name]
+        upstream = flow.upstream(name)
+        if not upstream:
+            demand_in[name] = target_rates.get(name, 0.0)
+        else:
+            demand_in[name] = sum(demand_out[u] for u in upstream)
+        if metrics.input_rate > 0:
+            selectivity = metrics.output_rate / metrics.input_rate
+        else:
+            selectivity = 1.0
+        demand_out[name] = selectivity * demand_in[name]
+    return demand_in

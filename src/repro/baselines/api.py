@@ -1,0 +1,151 @@
+"""Common tuner interface and result records.
+
+A *tuning process* (paper terminology) is one invocation of
+:meth:`ParallelismTuner.tune` in response to a source-rate change; it may
+perform several *reconfigurations* (stop-and-restart redeployments).  The
+records here carry everything the experiment harness aggregates: per-step
+parallelism maps, recommendation wall time, backpressure observations after
+each reconfiguration, and simulated stabilisation time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.engines.base import Deployment, EngineCluster
+from repro.workloads.query import StreamingQuery
+
+
+@dataclass(frozen=True)
+class TuningStep:
+    """One iteration of a tuning process."""
+
+    parallelisms: dict[str, int]
+    reconfigured: bool                 # did this step stop-and-restart the job
+    backpressure_after: bool           # observed after (re)deployment
+    recommendation_seconds: float      # wall time spent deciding
+    mean_cpu_utilisation: float        # capacity-weighted busy share
+
+    @property
+    def total_parallelism(self) -> int:
+        return sum(self.parallelisms.values())
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning process (one source-rate change)."""
+
+    query_name: str
+    tuner_name: str
+    steps: list[TuningStep] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def n_reconfigurations(self) -> int:
+        return sum(1 for step in self.steps if step.reconfigured)
+
+    @property
+    def n_backpressure_events(self) -> int:
+        """Backpressure observed after one of *this tuner's* redeployments."""
+        return sum(
+            1 for step in self.steps if step.reconfigured and step.backpressure_after
+        )
+
+    @property
+    def final_parallelisms(self) -> dict[str, int]:
+        if not self.steps:
+            raise ValueError("tuning result has no steps")
+        return dict(self.steps[-1].parallelisms)
+
+    @property
+    def final_total_parallelism(self) -> int:
+        return self.steps[-1].total_parallelism
+
+    @property
+    def recommendation_seconds(self) -> float:
+        return sum(step.recommendation_seconds for step in self.steps)
+
+    def tuning_minutes(self, stabilization_minutes: float) -> float:
+        """Paper Fig. 7b accounting: inference time + stabilisation waits."""
+        return (
+            self.recommendation_seconds / 60.0
+            + self.n_reconfigurations * stabilization_minutes
+        )
+
+    def cpu_trace(self) -> list[float]:
+        return [step.mean_cpu_utilisation for step in self.steps]
+
+
+class ParallelismTuner(abc.ABC):
+    """Base class of all tuning methods."""
+
+    #: Display name used in experiment tables.
+    name: str = "abstract"
+
+    def __init__(self, engine: EngineCluster) -> None:
+        self.engine = engine
+
+    def prepare(self, query: StreamingQuery) -> None:
+        """One-time per-query setup (model retrieval, history reset, ...)."""
+
+    @abc.abstractmethod
+    def tune(self, deployment: Deployment, target_rates: dict[str, float]) -> TuningResult:
+        """Adapt ``deployment`` to ``target_rates``; returns the process log."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def observe_cpu(self, telemetry) -> float:
+        """Capacity-weighted mean busy share across operators (Fig. 10)."""
+        total_cores = 0
+        busy_cores = 0.0
+        for metrics in telemetry.operators.values():
+            total_cores += metrics.parallelism
+            busy_cores += metrics.parallelism * metrics.busy_ms_per_second / 1000.0
+        if total_cores == 0:
+            return 0.0
+        return busy_cores / total_cores
+
+    def apply(self, deployment: Deployment, parallelisms: dict[str, int]) -> bool:
+        """Reconfigure if the map changed; returns True when it did."""
+        if parallelisms == deployment.parallelisms:
+            return False
+        self.engine.reconfigure(deployment, parallelisms)
+        return True
+
+    def clamp(self, parallelism: float) -> int:
+        """Round a raw recommendation into the engine's valid range."""
+        import math
+
+        return int(min(self.engine.max_parallelism, max(1, math.ceil(parallelism))))
+
+    def stabilize(
+        self,
+        recommendation: dict[str, int],
+        current: dict[str, int],
+        has_backpressure: bool,
+        deadband_fraction: float = 0.08,
+    ) -> dict[str, int]:
+        """Suppress noise-driven churn in rate-based recommendations.
+
+        Measurement noise perturbs useful-time estimates by a few percent,
+        which flips ``ceil`` recommendations by +-1 forever.  Real
+        deployments of DS2-style controllers damp this with a significance
+        test: without backpressure, a change within ``max(1, fraction * p)``
+        of the current degree is not worth a restart.  Under backpressure
+        every raise is applied (and guaranteed to make progress).
+        """
+        stable: dict[str, int] = {}
+        for name, proposed in recommendation.items():
+            existing = current[name]
+            if has_backpressure:
+                stable[name] = proposed if proposed != existing else existing
+                continue
+            deadband = max(1, int(round(deadband_fraction * existing)))
+            if abs(proposed - existing) <= deadband:
+                stable[name] = existing
+            else:
+                stable[name] = proposed
+        return stable

@@ -1,0 +1,57 @@
+"""Oracle tuner: reads the simulator's ground truth.
+
+Not a paper baseline — a testing instrument.  It computes the provably
+minimal backpressure-free parallelism from the hidden performance model in
+one shot, giving tests and experiments a reference point: no real tuner
+should beat it, and a good tuner should approach it.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.api import ParallelismTuner, TuningResult, TuningStep
+from repro.engines.base import Deployment
+from repro.engines.flow import solve_flow
+from repro.utils.timer import Timer
+
+
+class OracleTuner(ParallelismTuner):
+    """One-shot optimal recommendation from ground truth."""
+
+    name = "Oracle"
+
+    def tune(self, deployment: Deployment, target_rates: dict[str, float]) -> TuningResult:
+        self.engine.set_source_rates(deployment, target_rates)
+        result = TuningResult(query_name=deployment.flow.name, tuner_name=self.name)
+        with Timer() as timer:
+            recommendation = self.optimal_parallelisms(deployment, target_rates)
+        changed = self.apply(deployment, recommendation)
+        telemetry = self.engine.measure(deployment)
+        result.steps.append(
+            TuningStep(
+                parallelisms=dict(deployment.parallelisms),
+                reconfigured=changed,
+                backpressure_after=telemetry.has_backpressure,
+                recommendation_seconds=timer.elapsed,
+                mean_cpu_utilisation=self.observe_cpu(telemetry),
+            )
+        )
+        result.converged = not telemetry.has_backpressure
+        return result
+
+    def optimal_parallelisms(
+        self, deployment: Deployment, target_rates: dict[str, float]
+    ) -> dict[str, int]:
+        """Minimum per-operator degrees sustaining ``target_rates``."""
+        flow = deployment.flow
+        perf = self.engine.perf
+        # True demand: solve at maximal parallelism (no saturation anywhere).
+        generous = dict.fromkeys(flow.operator_names, self.engine.max_parallelism)
+        truth = solve_flow(flow, generous, target_rates, perf)
+        recommendation = {}
+        for name in flow.operator_names:
+            spec = flow.operator(name)
+            demand = truth[name].demand_in
+            recommendation[name] = perf.min_parallelism_for(
+                spec, demand, self.engine.max_parallelism
+            )
+        return recommendation

@@ -1,0 +1,188 @@
+"""Command-line interface for the StreamTune reproduction.
+
+Subcommands mirror the library's lifecycle::
+
+    python -m repro.cli history   --engine flink --records 3000 --output history.jsonl
+    python -m repro.cli pretrain  --history history.jsonl --output model_dir
+    python -m repro.cli tune      --model model_dir --query q5 --rates 3,10,5
+    python -m repro.cli experiments --scale smoke
+
+``history`` and ``pretrain`` persist their outputs, so a tuned model can be
+built once and reused across tuning sessions (the paper's offline/online
+split).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.history import HistoryGenerator
+from repro.core.persistence import (
+    load_history,
+    load_pretrained,
+    save_history,
+    save_pretrained,
+)
+from repro.core.pretrain import pretrain
+from repro.core.tuner import StreamTuneTuner
+from repro.experiments.context import corpus, make_engine
+from repro.experiments.scale import resolve_scale
+from repro.utils.tables import format_table
+from repro.workloads import nexmark_query, pqp_query_set
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    scale = resolve_scale(args.scale)
+    engine = make_engine(args.engine, scale)
+    generator = HistoryGenerator(engine, seed=args.seed)
+    records = generator.generate(corpus(args.engine), args.records)
+    save_history(records, args.output)
+    n_labelled = sum(r.n_labelled for r in records)
+    n_bottlenecks = sum(r.n_bottlenecks for r in records)
+    print(
+        f"wrote {len(records)} records to {args.output} "
+        f"({n_labelled} labelled operators, {n_bottlenecks} bottlenecks)"
+    )
+    return 0
+
+
+def _cmd_pretrain(args: argparse.Namespace) -> int:
+    records = load_history(args.history)
+    scale = resolve_scale(args.scale)
+    engine = make_engine(args.engine, scale)
+    artifact = pretrain(
+        records,
+        max_parallelism=engine.max_parallelism,
+        n_clusters=args.clusters,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    save_pretrained(artifact, args.output)
+    accuracies = ", ".join(f"{r.final_accuracy:.3f}" for r in artifact.reports)
+    print(
+        f"pre-trained {artifact.n_clusters} cluster encoder(s) "
+        f"(accuracies: {accuracies}) -> {args.output}"
+    )
+    return 0
+
+
+def _resolve_query(name: str, engine_name: str):
+    if name.startswith("q"):
+        return nexmark_query(name, engine_name)
+    template, _, index = name.rpartition("/")
+    queries = pqp_query_set()[template]
+    return queries[int(index)]
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    scale = resolve_scale(args.scale)
+    artifact = load_pretrained(args.model)
+    engine = make_engine(args.engine, scale)
+    query = _resolve_query(args.query, args.engine)
+    tuner = StreamTuneTuner(engine, artifact, model_kind=args.layer, seed=args.seed)
+    tuner.prepare(query)
+    deployment = engine.deploy(
+        query.flow,
+        dict.fromkeys(query.flow.operator_names, 1),
+        query.rates_at(float(args.rates.split(",")[0])),
+    )
+    rows = []
+    for multiplier in (float(m) for m in args.rates.split(",")):
+        result = tuner.tune(deployment, query.rates_at(multiplier))
+        rows.append(
+            (
+                f"{multiplier:g}",
+                result.final_total_parallelism,
+                result.n_reconfigurations,
+                result.n_backpressure_events,
+                "yes" if result.converged else "no",
+            )
+        )
+    engine.stop(deployment)
+    print(
+        format_table(
+            ["rate (xWu)", "total parallelism", "reconfigs", "bp events", "converged"],
+            rows,
+            title=f"StreamTune tuning {query.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import os
+
+    os.environ["REPRO_SCALE"] = args.scale or "default"
+    from repro.experiments.__main__ import main as run_all
+
+    return run_all()
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    ablations.main(resolve_scale(args.scale))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="StreamTune reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    history = sub.add_parser("history", help="generate an execution history")
+    history.add_argument("--engine", choices=("flink", "timely"), default="flink")
+    history.add_argument("--records", type=int, default=3000)
+    history.add_argument("--output", required=True)
+    history.add_argument("--seed", type=int, default=7)
+    history.add_argument("--scale", default=None)
+    history.set_defaults(func=_cmd_history)
+
+    pre = sub.add_parser("pretrain", help="cluster + pre-train encoders")
+    pre.add_argument("--history", required=True)
+    pre.add_argument("--output", required=True)
+    pre.add_argument("--engine", choices=("flink", "timely"), default="flink")
+    pre.add_argument("--clusters", type=int, default=None)
+    pre.add_argument("--epochs", type=int, default=40)
+    pre.add_argument("--seed", type=int, default=7)
+    pre.add_argument("--scale", default=None)
+    pre.set_defaults(func=_cmd_pretrain)
+
+    tune = sub.add_parser("tune", help="tune a query through rate changes")
+    tune.add_argument("--model", required=True, help="directory from `pretrain`")
+    tune.add_argument(
+        "--query",
+        required=True,
+        help="nexmark name (q1..q8) or PQP '<template>/<index>'",
+    )
+    tune.add_argument("--rates", default="3,10,5", help="comma-separated xWu multipliers")
+    tune.add_argument("--engine", choices=("flink", "timely"), default="flink")
+    tune.add_argument(
+        "--layer", choices=("svm", "xgboost", "isotonic", "nn"), default="svm"
+    )
+    tune.add_argument("--seed", type=int, default=17)
+    tune.add_argument("--scale", default=None)
+    tune.set_defaults(func=_cmd_tune)
+
+    experiments = sub.add_parser("experiments", help="run every paper experiment")
+    experiments.add_argument("--scale", default="default")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    ablate = sub.add_parser(
+        "ablations", help="run the extended ablations (DESIGN.md §6, paper §VII)"
+    )
+    ablate.add_argument("--scale", default="smoke")
+    ablate.set_defaults(func=_cmd_ablations)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

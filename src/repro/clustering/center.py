@@ -1,0 +1,69 @@
+"""Similarity center of a DAG cluster (paper Definition 2).
+
+The true median graph minimises total GED to the cluster but needs all
+pairwise exact distances.  The paper's approximation: run a graph
+similarity search (Definition 1) from every member and pick the graph that
+appears most often in the result sets,
+
+    C_g = sum_{g'} I(g in Sim_{g', tau}),      G_sc = argmax_g C_g.
+
+With symmetric costs ``g in Sim_{g', tau}`` iff ``ged(g, g') <= tau``, so
+the appearance count is the number of cluster members within ``tau`` of
+``g`` — computable with cheap threshold verifications instead of exact
+distances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ged.search import GEDCache, similarity_search
+
+#: Paper §V-A: "the distance threshold tau is set to 5".
+DEFAULT_TAU = 5.0
+
+
+def appearance_counts(
+    graphs: Sequence,
+    tau: float = DEFAULT_TAU,
+    weights: Sequence[float] | None = None,
+    cache: GEDCache | None = None,
+    use_lsa: bool = True,
+) -> list[float]:
+    """Definition 2 appearance count C_g for every graph of the cluster.
+
+    ``weights`` lets callers collapse duplicate structures (weight = the
+    multiplicity of a deduplicated graph); the count of graph g then sums
+    the weights of the members whose similarity search returns g.
+    """
+    if weights is None:
+        weights = [1.0] * len(graphs)
+    if len(weights) != len(graphs):
+        raise ValueError("weights must align with graphs")
+    counts = [0.0] * len(graphs)
+    for query_index, query in enumerate(graphs):
+        matches = similarity_search(query, graphs, tau, cache=cache, use_lsa=use_lsa)
+        for match in matches:
+            counts[match] += weights[query_index]
+    return counts
+
+
+def similarity_center(
+    graphs: Sequence,
+    tau: float = DEFAULT_TAU,
+    weights: Sequence[float] | None = None,
+    cache: GEDCache | None = None,
+    use_lsa: bool = True,
+) -> int:
+    """Index of the cluster's similarity center (argmax appearance count).
+
+    Ties break toward the lower index for determinism.
+    """
+    if not graphs:
+        raise ValueError("cannot compute the center of an empty cluster")
+    counts = appearance_counts(graphs, tau, weights=weights, cache=cache, use_lsa=use_lsa)
+    best_index = 0
+    for index, count in enumerate(counts):
+        if count > counts[best_index]:
+            best_index = index
+    return best_index

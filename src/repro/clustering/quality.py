@@ -1,0 +1,132 @@
+"""Cluster-quality diagnostics over GED space (extension).
+
+The paper selects k with the elbow method over within-cluster distance;
+these diagnostics complete the toolbox a practitioner needs to trust a
+clustering before pre-training one encoder per cluster:
+
+* :func:`silhouette_scores` / :func:`mean_silhouette` — the classic
+  cohesion-versus-separation score, computed directly on GED (a proper
+  metric here, so the silhouette's assumptions hold).
+* :func:`within_cluster_dispersion` — mean member-to-center distance per
+  cluster, the quantity the elbow method tracks.
+* :func:`cluster_summary` — one row per cluster (size, dispersion,
+  silhouette) for reports and the CLI.
+
+All functions accept a :class:`~repro.ged.search.GEDCache` so repeated
+structures (ubiquitous in execution histories) are measured once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ged.search import GEDCache
+
+
+def _pairwise(cache: GEDCache, graphs, i: int, j: int) -> float:
+    return cache.distance(graphs[i], graphs[j])
+
+
+def silhouette_scores(
+    graphs,
+    assignments: list[int],
+    cache: GEDCache | None = None,
+) -> np.ndarray:
+    """Per-graph silhouette values in [-1, 1].
+
+    ``s(i) = (b(i) - a(i)) / max(a(i), b(i))`` with ``a`` the mean GED to
+    the graph's own cluster and ``b`` the smallest mean GED to any other
+    cluster.  Singleton clusters score 0 by convention.
+    """
+    if len(graphs) != len(assignments):
+        raise ValueError("graphs and assignments must align")
+    if len(graphs) == 0:
+        raise ValueError("cannot score an empty clustering")
+    cache = cache or GEDCache()
+    labels = sorted(set(assignments))
+    if len(labels) < 2:
+        return np.zeros(len(graphs))
+    members: dict[int, list[int]] = {label: [] for label in labels}
+    for index, label in enumerate(assignments):
+        members[label].append(index)
+
+    scores = np.zeros(len(graphs))
+    for i, own_label in enumerate(assignments):
+        own = [j for j in members[own_label] if j != i]
+        if not own:
+            scores[i] = 0.0
+            continue
+        a = float(np.mean([_pairwise(cache, graphs, i, j) for j in own]))
+        b = min(
+            float(np.mean([_pairwise(cache, graphs, i, j) for j in members[label]]))
+            for label in labels
+            if label != own_label and members[label]
+        )
+        denominator = max(a, b)
+        scores[i] = 0.0 if denominator == 0 else (b - a) / denominator
+    return scores
+
+
+def mean_silhouette(
+    graphs, assignments: list[int], cache: GEDCache | None = None
+) -> float:
+    """Mean silhouette across all graphs (higher = crisper clustering)."""
+    return float(silhouette_scores(graphs, assignments, cache).mean())
+
+
+def within_cluster_dispersion(
+    graphs,
+    assignments: list[int],
+    centers,
+    cache: GEDCache | None = None,
+) -> dict[int, float]:
+    """Mean member-to-center GED per cluster (the elbow's y-axis)."""
+    if len(graphs) != len(assignments):
+        raise ValueError("graphs and assignments must align")
+    cache = cache or GEDCache()
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for graph, label in zip(graphs, assignments):
+        if not 0 <= label < len(centers):
+            raise ValueError(f"assignment {label} has no center")
+        sums[label] = sums.get(label, 0.0) + cache.distance(graph, centers[label])
+        counts[label] = counts.get(label, 0) + 1
+    return {label: sums[label] / counts[label] for label in sorted(sums)}
+
+
+@dataclass(frozen=True)
+class ClusterSummaryRow:
+    """Quality report line for one cluster."""
+
+    cluster: int
+    size: int
+    dispersion: float
+    silhouette: float
+
+
+def cluster_summary(
+    graphs,
+    assignments: list[int],
+    centers,
+    cache: GEDCache | None = None,
+) -> list[ClusterSummaryRow]:
+    """Size, dispersion and mean silhouette per cluster."""
+    cache = cache or GEDCache()
+    dispersion = within_cluster_dispersion(graphs, assignments, centers, cache)
+    scores = silhouette_scores(graphs, assignments, cache)
+    rows = []
+    for label in sorted(dispersion):
+        member_scores = [
+            scores[i] for i, assigned in enumerate(assignments) if assigned == label
+        ]
+        rows.append(
+            ClusterSummaryRow(
+                cluster=label,
+                size=len(member_scores),
+                dispersion=dispersion[label],
+                silhouette=float(np.mean(member_scores)),
+            )
+        )
+    return rows

@@ -1,0 +1,160 @@
+"""Warm-up dataset construction for the fine-tuned prediction layer.
+
+Algorithm 2, line 3: before online tuning begins, a warm-up training set T
+is assembled by sampling dataflows from the target job's cluster, encoding
+their operators with the frozen cluster encoder (**parallelism-agnostic**
+path — parallelism enters M_f as an explicit feature, not through FUSE),
+and pairing each labelled operator's ``[h_v, p_v]`` with its Algorithm 1
+label.  Online feedback (ΔT) extends the same dataset between iterations.
+
+Beyond the recorded labels, T is densified by **distilling the pre-trained
+GNN**: for sampled cluster dataflows the parallelism-aware GNN is probed
+over a grid of candidate degrees and its predictions become soft training
+rows for M_f.  This is the mechanism that actually transfers the encoder's
+"coarse correlation between parallelism degree and operator-level
+performance" (paper §I, S1) into the lightweight monotone layer — raw
+histories alone contain only the operating points that happened to be
+deployed, far too sparse along the parallelism axis for a threshold model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.history import ExecutionRecord
+from repro.core.pretrain import PretrainedStreamTune
+from repro.utils.rng import seeded_rng
+
+
+@dataclass
+class PredictionDataset:
+    """Training rows for M_f: features ``[h_v, p_norm]`` and 0/1 labels."""
+
+    features: list[np.ndarray] = field(default_factory=list)
+    labels: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def append(self, feature_row: np.ndarray, label: int) -> None:
+        if label not in (0, 1):
+            raise ValueError("M_f rows must carry definite 0/1 labels")
+        self.features.append(np.asarray(feature_row, dtype=np.float64))
+        self.labels.append(label)
+
+    def extend(self, other: "PredictionDataset") -> None:
+        self.features.extend(other.features)
+        self.labels.extend(other.labels)
+
+    def matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self.labels:
+            raise ValueError("dataset is empty")
+        return np.stack(self.features), np.asarray(self.labels, dtype=np.int64)
+
+    @property
+    def n_positive(self) -> int:
+        return int(sum(self.labels))
+
+    def has_both_classes(self) -> bool:
+        return 0 < self.n_positive < len(self.labels)
+
+
+#: Geometric grid of parallelism degrees probed during distillation.
+DISTILLATION_GRID = (1, 2, 3, 4, 6, 8, 11, 16, 22, 32, 45, 60)
+
+
+def distill_rows(
+    pretrained: PretrainedStreamTune,
+    encoder,
+    flow,
+    source_rates: dict[str, float],
+    grid: tuple[int, ...] = DISTILLATION_GRID,
+) -> PredictionDataset:
+    """Probe the GNN across a parallelism grid and emit soft-label rows.
+
+    With FUSE applied after encoding (the default architecture), a node's
+    parallelism-aware prediction depends only on its *own* degree, so one
+    forward pass with a uniform degree ``p`` yields every operator's
+    prediction at ``p``.
+    """
+    from repro.gnn.data import build_sample  # local import to avoid a cycle
+
+    placeholder = dict.fromkeys(flow.operator_names, 1)
+    sample = build_sample(
+        flow,
+        source_rates,
+        placeholder,
+        labels={},
+        encoder=pretrained.feature_encoder,
+        max_parallelism=pretrained.max_parallelism,
+    )
+    embeddings = encoder.encode(sample, parallelism_aware=False)
+    rows = PredictionDataset()
+    for degree in grid:
+        if degree > pretrained.max_parallelism:
+            continue
+        p_norm = pretrained.feature_encoder.normalize_parallelism(
+            degree, pretrained.max_parallelism
+        )
+        sample.parallelism = np.full(sample.n_nodes, p_norm)
+        probabilities = encoder.predict_probabilities(sample, parallelism_aware=True)
+        for index in range(sample.n_nodes):
+            rows.append(
+                np.concatenate([embeddings[index], [p_norm]]),
+                int(probabilities[index] > 0.5),
+            )
+    return rows
+
+
+def rows_from_record(
+    pretrained: PretrainedStreamTune,
+    encoder,
+    record: ExecutionRecord,
+) -> PredictionDataset:
+    """Encode one record into M_f training rows (labelled operators only)."""
+    sample = pretrained.sample_for(record)
+    embeddings = encoder.encode(sample, parallelism_aware=False)
+    rows = PredictionDataset()
+    for index, name in enumerate(sample.node_names):
+        label = record.labels.get(name, -1)
+        if label < 0:
+            continue
+        p_norm = pretrained.feature_encoder.normalize_parallelism(
+            record.parallelisms[name], pretrained.max_parallelism
+        )
+        rows.append(np.concatenate([embeddings[index], [p_norm]]), label)
+    return rows
+
+
+def build_warmup_dataset(
+    pretrained: PretrainedStreamTune,
+    cluster: int,
+    max_rows: int = 600,
+    n_distill_records: int = 8,
+    seed: int | None = None,
+) -> PredictionDataset:
+    """Algorithm 2, line 3: sample the cluster's history into T.
+
+    Recorded rows (real Algorithm 1 labels) come first; GNN-distilled rows
+    over the parallelism grid of up to ``n_distill_records`` sampled
+    dataflows densify the parallelism axis.
+    """
+    if not 0 <= cluster < pretrained.n_clusters:
+        raise ValueError(f"cluster {cluster} out of range")
+    rng = seeded_rng(seed)
+    encoder = pretrained.encoders[cluster]
+    members = list(pretrained.records_by_cluster[cluster])
+    order = rng.permutation(len(members))
+    dataset = PredictionDataset()
+    for index in order:
+        dataset.extend(rows_from_record(pretrained, encoder, members[index]))
+        if len(dataset) >= max_rows:
+            break
+    for index in order[:n_distill_records]:
+        record = members[index]
+        dataset.extend(
+            distill_rows(pretrained, encoder, record.flow, record.source_rates)
+        )
+    return dataset

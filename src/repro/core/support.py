@@ -1,0 +1,169 @@
+"""Pre-training support diagnostics (operational tooling).
+
+EXPERIMENTS.md's known-deviation #2 observes that StreamTune's rare
+residual backpressure events are *first visits to rates at the edge of
+the pre-training support*: the encoder extrapolates there, and the first
+recommendation can land one notch low before Algorithm 2's feedback
+floor corrects it.
+
+This module makes that boundary observable before deploying a
+recommendation.  :class:`SupportProfile` summarises, per cluster, the
+operating region the encoder actually saw — source-rate range per
+first-level operator position and parallelism range — and
+:meth:`SupportProfile.check` classifies a target operating point as
+inside, near-boundary, or extrapolating, with the margin per dimension.
+
+Operators of StreamTune deployments use it as a pre-flight check: an
+``extrapolating`` verdict says "trust the first recommendation less —
+expect one corrective iteration", which is exactly the observed system
+behaviour.  The tuner itself is intentionally left unchanged (its
+feedback loop already recovers); this is monitoring, not control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.history import ExecutionRecord
+from repro.core.pretrain import PretrainedStreamTune
+
+#: Fraction of the observed range treated as "near boundary".
+BOUNDARY_BAND = 0.1
+
+#: Verdict labels, ordered by increasing risk.
+VERDICTS = ("inside", "near-boundary", "extrapolating")
+
+
+@dataclass(frozen=True)
+class DimensionSupport:
+    """Observed range of one operating dimension in a cluster's history."""
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"{self.name}: high must be >= low")
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def verdict(self, value: float) -> str:
+        """Classify ``value`` against this dimension's support."""
+        if value < self.low or value > self.high:
+            return "extrapolating"
+        band = BOUNDARY_BAND * self.width
+        if band == 0.0:
+            # Degenerate support (a single observed value): anything that
+            # matched exactly is "inside" but fragile — flag the boundary.
+            return "near-boundary"
+        if value < self.low + band or value > self.high - band:
+            return "near-boundary"
+        return "inside"
+
+    def margin(self, value: float) -> float:
+        """Distance to the nearest boundary, negative when outside."""
+        return min(value - self.low, self.high - value)
+
+
+@dataclass(frozen=True)
+class SupportVerdict:
+    """Outcome of checking one operating point against a profile."""
+
+    verdict: str                         # worst dimension's classification
+    per_dimension: dict[str, str]
+    margins: dict[str, float]
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict == "inside"
+
+
+class SupportProfile:
+    """Per-cluster operating region extracted from pre-training records."""
+
+    def __init__(self, rate_support: DimensionSupport, parallelism_support: DimensionSupport) -> None:
+        self.rate_support = rate_support
+        self.parallelism_support = parallelism_support
+
+    @classmethod
+    def from_records(cls, records: list[ExecutionRecord]) -> "SupportProfile":
+        """Profile the total-source-rate and parallelism ranges seen."""
+        if not records:
+            raise ValueError("cannot profile an empty record set")
+        total_rates = [sum(record.source_rates.values()) for record in records]
+        degrees = [
+            degree
+            for record in records
+            for degree in record.parallelisms.values()
+        ]
+        return cls(
+            rate_support=DimensionSupport(
+                "total_source_rate", min(total_rates), max(total_rates)
+            ),
+            parallelism_support=DimensionSupport(
+                "parallelism", float(min(degrees)), float(max(degrees))
+            ),
+        )
+
+    def check(
+        self,
+        source_rates: dict[str, float],
+        parallelisms: dict[str, int] | None = None,
+    ) -> SupportVerdict:
+        """Classify a target operating point against this profile.
+
+        ``parallelisms`` is optional: before the first recommendation only
+        the rates are known.
+        """
+        per_dimension: dict[str, str] = {}
+        margins: dict[str, float] = {}
+
+        total_rate = sum(source_rates.values())
+        per_dimension["total_source_rate"] = self.rate_support.verdict(total_rate)
+        margins["total_source_rate"] = self.rate_support.margin(total_rate)
+
+        if parallelisms:
+            worst_degree_verdict = "inside"
+            worst_margin = float("inf")
+            for degree in parallelisms.values():
+                verdict = self.parallelism_support.verdict(float(degree))
+                if VERDICTS.index(verdict) > VERDICTS.index(worst_degree_verdict):
+                    worst_degree_verdict = verdict
+                worst_margin = min(
+                    worst_margin, self.parallelism_support.margin(float(degree))
+                )
+            per_dimension["parallelism"] = worst_degree_verdict
+            margins["parallelism"] = worst_margin
+
+        overall = max(per_dimension.values(), key=VERDICTS.index)
+        return SupportVerdict(
+            verdict=overall, per_dimension=per_dimension, margins=margins
+        )
+
+
+def cluster_support_profiles(
+    pretrained: PretrainedStreamTune,
+) -> list[SupportProfile]:
+    """One :class:`SupportProfile` per pre-trained cluster."""
+    return [
+        SupportProfile.from_records(records)
+        for records in pretrained.records_by_cluster
+    ]
+
+
+def preflight_check(
+    pretrained: PretrainedStreamTune,
+    flow,
+    source_rates: dict[str, float],
+) -> SupportVerdict:
+    """Pre-flight support check for a target job's operating point.
+
+    Assigns the job to its cluster (Algorithm 2, line 1) and checks the
+    requested rates against that cluster's observed support.
+    """
+    cluster = pretrained.assign_cluster(flow)
+    profiles = cluster_support_profiles(pretrained)
+    return profiles[cluster].check(source_rates)

@@ -1,0 +1,31 @@
+"""Logical dataflow model: operators, DAGs, and feature encoding.
+
+This subpackage implements the paper's §II-A abstractions: the *logical*
+dataflow DAG whose nodes are streaming operators and whose edges are data
+dependencies.  Parallelism tuning (the paper's problem statement, §II-B)
+always refers to operators of this logical graph.
+"""
+
+from repro.dataflow.operators import (
+    AggregateFunction,
+    DataType,
+    KeyClass,
+    OperatorSpec,
+    OperatorType,
+    WindowPolicy,
+    WindowType,
+)
+from repro.dataflow.graph import LogicalDataflow
+from repro.dataflow.features import FeatureEncoder
+
+__all__ = [
+    "AggregateFunction",
+    "DataType",
+    "FeatureEncoder",
+    "KeyClass",
+    "LogicalDataflow",
+    "OperatorSpec",
+    "OperatorType",
+    "WindowPolicy",
+    "WindowType",
+]

@@ -1,0 +1,320 @@
+"""Scheduling-aware tuning substrate (paper §VII, future work).
+
+The paper's §VII notes that StreamTune "can be extended to incorporate
+scheduling-aware tuning, particularly for those DSPSs lacking built-in
+load balancing and robust resource management like Timely Dataflow".
+This module supplies the missing substrate:
+
+* a :class:`ClusterTopology` of machines with finite core counts,
+* deterministic :func:`place_instances` placement under two strategies —
+  ``spread`` (round-robin across machines, Flink-slot-like) and
+  ``compact`` (fill one machine before the next, bin-packing-like),
+* a CPU *contention* model: a machine running more operator instances
+  than cores time-slices them, slowing every hosted instance down, and
+* :class:`SchedulingAwareTimely`, a Timely cluster whose effective
+  processing ability degrades with placement contention via the
+  :meth:`~repro.engines.base.EngineCluster.perf_for` hook.
+
+Tuners need no modification: contention simply shows up as reduced
+processing ability in the feedback loop, and a scheduling-aware operator
+of the cluster can compare strategies with :func:`choose_strategy` before
+committing — the quantitative story told by
+``examples/scheduling_aware.py`` (spread placements need visibly less
+parallelism to clear the same backpressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataflow.graph import LogicalDataflow
+from repro.dataflow.operators import OperatorSpec
+from repro.engines.base import Deployment, EngineError
+from repro.engines.perf import PerformanceModel
+from repro.engines.timely import TimelyCluster
+
+#: Supported placement strategies.
+STRATEGIES = ("spread", "compact")
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A physical worker machine with a fixed core count."""
+
+    name: str
+    cores: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("machine name must be non-empty")
+        if self.cores < 1:
+            raise ValueError(f"{self.name}: cores must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """The machines available for task placement."""
+
+    machines: tuple[Machine, ...]
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise ValueError("topology needs at least one machine")
+        names = [machine.name for machine in self.machines]
+        if len(set(names)) != len(names):
+            raise ValueError("machine names must be unique")
+
+    @classmethod
+    def uniform(cls, n_machines: int, cores_each: int) -> "ClusterTopology":
+        """A homogeneous topology — the common evaluation setup."""
+        return cls(
+            machines=tuple(
+                Machine(name=f"machine-{i}", cores=cores_each)
+                for i in range(n_machines)
+            )
+        )
+
+    @property
+    def total_cores(self) -> int:
+        return sum(machine.cores for machine in self.machines)
+
+    def machine(self, name: str) -> Machine:
+        for candidate in self.machines:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"unknown machine {name!r}")
+
+
+@dataclass
+class PlacementPlan:
+    """Assignment of operator instances to machines.
+
+    ``instances[machine_name][operator_name]`` counts how many instances
+    of the operator the machine hosts.
+    """
+
+    topology: ClusterTopology
+    strategy: str
+    instances: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def threads_on(self, machine_name: str) -> int:
+        return sum(self.instances.get(machine_name, {}).values())
+
+    def machines_hosting(self, operator_name: str) -> list[str]:
+        return [
+            machine_name
+            for machine_name, hosted in self.instances.items()
+            if hosted.get(operator_name, 0) > 0
+        ]
+
+    def instance_count(self, operator_name: str) -> int:
+        return sum(
+            hosted.get(operator_name, 0) for hosted in self.instances.values()
+        )
+
+    def machine_slowdowns(self) -> dict[str, float]:
+        """Per-machine time-slicing factor: max(1, threads / cores).
+
+        A machine never speeds tasks up below one thread per core; above
+        it, the OS scheduler shares cores fairly, so every hosted thread
+        runs at ``cores / threads`` of its solo speed.
+        """
+        factors: dict[str, float] = {}
+        for machine in self.topology.machines:
+            threads = self.threads_on(machine.name)
+            factors[machine.name] = max(1.0, threads / machine.cores)
+        return factors
+
+    def operator_slowdowns(self) -> dict[str, float]:
+        """Effective per-operator slowdown under this placement.
+
+        Each instance runs at ``1 / slowdown(machine)`` of solo speed; the
+        operator's aggregate ability scales with the mean instance speed,
+        so its effective slowdown is the harmonic-style mean below.  An
+        operator entirely on idle machines reports exactly 1.0.
+        """
+        machine_factors = self.machine_slowdowns()
+        result: dict[str, float] = {}
+        for operator_name in self._operator_names():
+            speeds: list[float] = []
+            for machine_name, hosted in self.instances.items():
+                count = hosted.get(operator_name, 0)
+                if count:
+                    speeds.extend([1.0 / machine_factors[machine_name]] * count)
+            if not speeds:
+                result[operator_name] = 1.0
+            else:
+                mean_speed = sum(speeds) / len(speeds)
+                result[operator_name] = 1.0 / mean_speed
+        return result
+
+    def imbalance(self) -> float:
+        """Max-over-mean per-core load: 1.0 is perfectly balanced."""
+        loads = [
+            self.threads_on(machine.name) / machine.cores
+            for machine in self.topology.machines
+        ]
+        mean_load = sum(loads) / len(loads)
+        if mean_load == 0:
+            return 1.0
+        return max(loads) / mean_load
+
+    def _operator_names(self) -> list[str]:
+        names: set[str] = set()
+        for hosted in self.instances.values():
+            names.update(hosted)
+        return sorted(names)
+
+
+def place_instances(
+    flow: LogicalDataflow,
+    parallelisms: dict[str, int],
+    topology: ClusterTopology,
+    strategy: str = "spread",
+) -> PlacementPlan:
+    """Deterministically place every operator instance on a machine.
+
+    ``spread`` walks machines round-robin (weighted by core count via
+    repetition), the behaviour of slot-based schedulers; ``compact``
+    fills each machine to its core count before opening the next, the
+    behaviour of bin-packing schedulers that minimise machine count.
+    Instance order follows the topological operator order, so placement
+    is reproducible for identical inputs.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    plan = PlacementPlan(topology=topology, strategy=strategy)
+    plan.instances = {machine.name: {} for machine in topology.machines}
+
+    tasks: list[str] = []
+    for operator_name in flow.topological_order():
+        count = parallelisms.get(operator_name)
+        if count is None:
+            raise EngineError(f"no parallelism given for operator {operator_name!r}")
+        if count < 1:
+            raise EngineError(f"{operator_name}: parallelism must be >= 1")
+        tasks.extend([operator_name] * count)
+
+    if strategy == "spread":
+        # Core-weighted interleaving: one slot per machine per lap, with
+        # larger machines appearing in more laps, so consecutive tasks land
+        # on different machines (slot-scheduler behaviour).
+        slots: list[str] = []
+        max_cores = max(machine.cores for machine in topology.machines)
+        while len(slots) < len(tasks):
+            for core_index in range(max_cores):
+                for machine in topology.machines:
+                    if core_index < machine.cores:
+                        slots.append(machine.name)
+        for task, machine_name in zip(tasks, slots):
+            hosted = plan.instances[machine_name]
+            hosted[task] = hosted.get(task, 0) + 1
+    else:
+        machine_index = 0
+        used = 0
+        for task in tasks:
+            machine = topology.machines[machine_index]
+            if used >= machine.cores and machine_index + 1 < len(topology.machines):
+                machine_index += 1
+                used = 0
+                machine = topology.machines[machine_index]
+            hosted = plan.instances[machine.name]
+            hosted[task] = hosted.get(task, 0) + 1
+            used += 1
+    return plan
+
+
+class ContendedPerformanceModel:
+    """A performance model degraded by placement contention.
+
+    Duck-types :class:`~repro.engines.perf.PerformanceModel`: every rate
+    is divided by the hosting operator's placement slowdown.  Monotonicity
+    in parallelism is preserved as long as slowdowns are fixed for the
+    evaluation, which they are (one placement per deployment state).
+    """
+
+    def __init__(
+        self, base: PerformanceModel, operator_slowdowns: dict[str, float]
+    ) -> None:
+        for operator_name, factor in operator_slowdowns.items():
+            if factor < 1.0:
+                raise ValueError(
+                    f"{operator_name}: contention slowdown must be >= 1, got {factor}"
+                )
+        self.base = base
+        self.operator_slowdowns = dict(operator_slowdowns)
+
+    def _slowdown(self, spec: OperatorSpec) -> float:
+        return self.operator_slowdowns.get(spec.name, 1.0)
+
+    def per_instance_rate(self, spec: OperatorSpec) -> float:
+        return self.base.per_instance_rate(spec) / self._slowdown(spec)
+
+    def scaling_alpha(self, spec: OperatorSpec) -> float:
+        return self.base.scaling_alpha(spec)
+
+    def processing_ability(self, spec: OperatorSpec, parallelism: int) -> float:
+        return self.base.processing_ability(spec, parallelism) / self._slowdown(spec)
+
+    def min_parallelism_for(self, spec: OperatorSpec, demand: float, p_max: int) -> int:
+        return self.base.min_parallelism_for(
+            spec, demand * self._slowdown(spec), p_max
+        )
+
+
+class SchedulingAwareTimely(TimelyCluster):
+    """Timely cluster whose processing ability reflects task placement.
+
+    The paper singles out Timely as the engine "lacking built-in load
+    balancing and robust resource management"; this adapter adds the
+    missing placement dimension.  Each measurement recomputes the
+    placement of the deployment's current parallelism map and solves the
+    flow under the contended performance model, so over-parallelising on
+    a small topology *hurts* — the behaviour scheduling-aware tuning must
+    navigate.
+    """
+
+    name = "timely-scheduled"
+
+    def __init__(
+        self,
+        topology: ClusterTopology | None = None,
+        strategy: str = "spread",
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.topology = topology or ClusterTopology.uniform(n_machines=2, cores_each=64)
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+        self.strategy = strategy
+
+    def placement_for(self, deployment: Deployment) -> PlacementPlan:
+        return place_instances(
+            deployment.flow, deployment.parallelisms, self.topology, self.strategy
+        )
+
+    def perf_for(self, deployment: Deployment) -> ContendedPerformanceModel:
+        plan = self.placement_for(deployment)
+        return ContendedPerformanceModel(self.perf, plan.operator_slowdowns())
+
+
+def choose_strategy(
+    flow: LogicalDataflow,
+    parallelisms: dict[str, int],
+    topology: ClusterTopology,
+) -> str:
+    """Pick the placement strategy with the least worst-case contention.
+
+    Compares the maximum operator slowdown across strategies, breaking
+    ties towards ``spread`` (better balanced, per :meth:`imbalance`).
+    This is the "scheduling-aware" decision an extended tuner makes before
+    deploying a recommendation.
+    """
+    scored: list[tuple[float, float, int, str]] = []
+    for rank, strategy in enumerate(STRATEGIES):   # "spread" first: preferred on ties
+        plan = place_instances(flow, parallelisms, topology, strategy)
+        slowdowns = plan.operator_slowdowns()
+        worst = max(slowdowns.values(), default=1.0)
+        scored.append((worst, plan.imbalance(), rank, strategy))
+    scored.sort()
+    return scored[0][3]

@@ -1,0 +1,141 @@
+"""Tuning campaigns: the §V-A evaluation protocol.
+
+A campaign drives one (query, method) pair through the periodic source-rate
+pattern — each rate change triggers one tuning process.  Campaign results
+feed Fig. 6 (final parallelism), Fig. 7a (reconfigurations), Table III
+(backpressure occurrences), Fig. 9a (recommendation time) and Fig. 10 (CPU
+utilisation), so the grid is computed once per (engine, scale) and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.api import TuningResult
+from repro.experiments import context
+from repro.experiments.scale import ExperimentScale
+from repro.workloads.query import StreamingQuery
+from repro.workloads.rates import periodic_multipliers
+
+
+@dataclass
+class CampaignResult:
+    """All tuning processes of one (query, method) campaign."""
+
+    query_name: str
+    method: str
+    multipliers: list[int] = field(default_factory=list)
+    processes: list[TuningResult] = field(default_factory=list)
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.processes)
+
+    @property
+    def average_reconfigurations(self) -> float:
+        if not self.processes:
+            return 0.0
+        return float(
+            np.mean([process.n_reconfigurations for process in self.processes])
+        )
+
+    @property
+    def total_backpressure_events(self) -> int:
+        return sum(process.n_backpressure_events for process in self.processes)
+
+    @property
+    def average_recommendation_seconds(self) -> float:
+        if not self.processes:
+            return 0.0
+        return float(
+            np.mean([process.recommendation_seconds for process in self.processes])
+        )
+
+    def final_parallelism_at(self, multiplier: int) -> float:
+        """Mean final total parallelism over processes targeting ``multiplier``."""
+        totals = [
+            process.final_total_parallelism
+            for m, process in zip(self.multipliers, self.processes)
+            if m == multiplier
+        ]
+        if not totals:
+            raise ValueError(f"campaign never visited multiplier {multiplier}")
+        return float(np.mean(totals))
+
+    def final_parallelisms_at(self, multiplier: int) -> dict[str, int]:
+        """Final per-operator map of the *last* process at ``multiplier``."""
+        for m, process in zip(reversed(self.multipliers), reversed(self.processes)):
+            if m == multiplier:
+                return process.final_parallelisms
+        raise ValueError(f"campaign never visited multiplier {multiplier}")
+
+    def cpu_trace(self) -> list[float]:
+        """Concatenated CPU utilisation across every reconfiguration step."""
+        trace: list[float] = []
+        for process in self.processes:
+            trace.extend(process.cpu_trace())
+        return trace
+
+    def process_boundaries(self) -> list[int]:
+        """Iteration indices where a new rate change begins (Fig. 10 marks)."""
+        boundaries = []
+        position = 0
+        for process in self.processes:
+            boundaries.append(position)
+            position += len(process.steps)
+        return boundaries
+
+
+def run_campaign(
+    engine,
+    tuner,
+    query: StreamingQuery,
+    multipliers: list[int],
+) -> CampaignResult:
+    """Drive ``query`` through ``multipliers``, tuning after each change."""
+    result = CampaignResult(query_name=query.name, method=tuner.name)
+    tuner.prepare(query)
+    initial = dict.fromkeys(query.flow.operator_names, 1)
+    deployment = engine.deploy(query.flow, initial, query.rates_at(multipliers[0]))
+    for multiplier in multipliers:
+        process = tuner.tune(deployment, query.rates_at(multiplier))
+        result.multipliers.append(multiplier)
+        result.processes.append(process)
+    engine.stop(deployment)
+    return result
+
+
+def campaign(
+    engine_name: str,
+    method: str,
+    group: str,
+    scale: ExperimentScale,
+) -> list[CampaignResult]:
+    """Cached campaigns for one evaluation group (e.g. 'q5', '2-way-join').
+
+    Returns one :class:`CampaignResult` per query in the group (PQP groups
+    evaluate ``scale.queries_per_template`` queries; Nexmark groups one).
+    """
+    key = ("campaign", engine_name, method, group, scale.name)
+    if key in context._CACHE:
+        return context._CACHE[key]
+
+    queries = context.evaluation_queries(engine_name, scale)[group]
+    multipliers = periodic_multipliers(
+        n_permutations=scale.n_permutations, seed=scale.seed
+    )[: scale.n_rate_changes]
+    results = []
+    for query in queries:
+        engine = context.make_engine(engine_name, scale)
+        tuner = context.make_tuner(method, engine, scale)
+        results.append(run_campaign(engine, tuner, query, multipliers))
+    context._CACHE[key] = results
+    return results
+
+
+def averaged(results: list[CampaignResult], attribute: str) -> float:
+    """Mean of a CampaignResult property across a query group."""
+    values = [getattr(result, attribute) for result in results]
+    return float(np.mean(values))

@@ -1,0 +1,143 @@
+"""Shared experiment artifacts with in-process caching.
+
+Histories, pre-trained StreamTune models, and tuning campaigns are
+expensive; several figures consume the same ones (Fig. 6, Fig. 7a,
+Table III and Fig. 10 are all views over one campaign grid).  This module
+builds each artifact once per (scale, engine) and caches it for the
+lifetime of the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import ContTuneTuner, DS2Tuner, OracleTuner, ZeroTuneTuner
+from repro.core import HistoryGenerator, PretrainedStreamTune, StreamTuneTuner, pretrain
+from repro.core.history import ExecutionRecord
+from repro.engines import EngineCluster, FlinkCluster, TimelyCluster
+from repro.experiments.scale import ExperimentScale
+from repro.workloads import StreamingQuery, nexmark_queries, pqp_query_set
+
+#: Methods available to campaign-based experiments.
+METHOD_NAMES = ("DS2", "ContTune", "StreamTune", "ZeroTune", "Oracle")
+
+_CACHE: dict = {}
+
+
+def _cached(key, builder):
+    if key not in _CACHE:
+        _CACHE[key] = builder()
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop every cached artifact (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# engines and query corpora
+# ----------------------------------------------------------------------
+
+def make_engine(engine_name: str, scale: ExperimentScale) -> EngineCluster:
+    """A fresh engine cluster (not cached: engines carry deployment state)."""
+    if engine_name == "flink":
+        return FlinkCluster(seed=scale.seed)
+    if engine_name == "timely":
+        return TimelyCluster(seed=scale.seed)
+    raise KeyError(f"unknown engine {engine_name!r}")
+
+
+def corpus(engine_name: str) -> list[StreamingQuery]:
+    """The full training corpus for an engine (Fig. 5 distribution)."""
+    if engine_name == "flink":
+        return nexmark_queries("flink") + [
+            query for queries in pqp_query_set().values() for query in queries
+        ]
+    if engine_name == "timely":
+        return nexmark_queries("timely")
+    raise KeyError(f"unknown engine {engine_name!r}")
+
+
+def evaluation_queries(
+    engine_name: str, scale: ExperimentScale
+) -> dict[str, list[StreamingQuery]]:
+    """Queries per evaluation group, as reported in the paper's tables.
+
+    Flink: the five Nexmark queries plus ``queries_per_template`` samples
+    of each PQP template.  Timely: Nexmark Q3/Q5/Q8 (§V-F: the other
+    queries run fine at parallelism 1).
+    """
+    if engine_name == "timely":
+        timely = {q.name.split("_")[1]: q for q in nexmark_queries("timely")}
+        return {key: [timely[key]] for key in ("q3", "q5", "q8")}
+    groups: dict[str, list[StreamingQuery]] = {}
+    for query in nexmark_queries("flink"):
+        groups[query.name.split("_")[1]] = [query]
+    for template, queries in pqp_query_set().items():
+        groups[template] = queries[: scale.queries_per_template]
+    return groups
+
+
+# ----------------------------------------------------------------------
+# histories and pre-training
+# ----------------------------------------------------------------------
+
+def history(engine_name: str, scale: ExperimentScale) -> list[ExecutionRecord]:
+    """Synthetic execution history for pre-training (cached)."""
+
+    def build() -> list[ExecutionRecord]:
+        engine = make_engine(engine_name, scale)
+        generator = HistoryGenerator(engine, seed=scale.seed + 1)
+        return generator.generate(corpus(engine_name), scale.n_history_records)
+
+    return _cached(("history", engine_name, scale.name), build)
+
+
+def pretrained_model(engine_name: str, scale: ExperimentScale) -> PretrainedStreamTune:
+    """Clustered, pre-trained StreamTune artifact (cached)."""
+
+    def build() -> PretrainedStreamTune:
+        engine = make_engine(engine_name, scale)
+        return pretrain(
+            history(engine_name, scale),
+            max_parallelism=engine.max_parallelism,
+            n_clusters=scale.n_clusters,
+            epochs=scale.gnn_epochs,
+            seed=scale.seed + 2,
+        )
+
+    return _cached(("pretrained", engine_name, scale.name), build)
+
+
+# ----------------------------------------------------------------------
+# tuner factory
+# ----------------------------------------------------------------------
+
+def make_tuner(method: str, engine: EngineCluster, scale: ExperimentScale):
+    """Instantiate a tuning method bound to ``engine``.
+
+    ``method`` is one of :data:`METHOD_NAMES`, or ``StreamTune-<model>``
+    for the Fig. 11a prediction-layer ablation (svm/xgboost/nn).
+    """
+    key = method.lower()
+    if key == "ds2":
+        return DS2Tuner(engine)
+    if key == "conttune":
+        return ContTuneTuner(engine)
+    if key == "oracle":
+        return OracleTuner(engine)
+    if key == "zerotune":
+        records = history(engine.name, scale)[: scale.zerotune_history]
+        return ZeroTuneTuner(
+            engine, records, epochs=scale.zerotune_epochs, seed=scale.seed + 3
+        )
+    if key.startswith("streamtune"):
+        _, _, model_kind = key.partition("-")
+        return StreamTuneTuner(
+            engine,
+            pretrained_model(engine.name, scale),
+            model_kind=model_kind or "svm",
+            seed=scale.seed + 4,
+        )
+    raise KeyError(f"unknown tuning method {method!r}")

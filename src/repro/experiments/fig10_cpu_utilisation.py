@@ -1,0 +1,63 @@
+"""Fig. 10 — CPU utilisation trends during the tuning process.
+
+The paper plots capacity-weighted CPU utilisation of the job across
+StreamTune's reconfiguration iterations for Nexmark Q2, PQP Linear and PQP
+2-way-join; vertical marks show where the periodic source rate changes.
+Utilisation swings as the tuner explores degrees and settles mid-range once
+tuned (neither starved nor saturated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.campaigns import campaign
+from repro.experiments.scale import ExperimentScale, resolve_scale
+from repro.utils.tables import format_table
+
+GROUPS = ("q2", "linear", "2-way-join")
+
+
+@dataclass(frozen=True)
+class Fig10Series:
+    group: str
+    utilisation: tuple[float, ...]      # one value per reconfiguration step
+    rate_change_marks: tuple[int, ...]  # step indices of source-rate changes
+
+
+def run(scale: ExperimentScale | None = None) -> list[Fig10Series]:
+    scale = scale or resolve_scale()
+    series = []
+    for group in GROUPS:
+        result = campaign("flink", "StreamTune", group, scale)[0]
+        series.append(
+            Fig10Series(
+                group=group,
+                utilisation=tuple(result.cpu_trace()),
+                rate_change_marks=tuple(result.process_boundaries()),
+            )
+        )
+    return series
+
+
+def main() -> list[Fig10Series]:
+    series = run()
+    for item in series:
+        marks = set(item.rate_change_marks)
+        rows = [
+            (i, f"{value * 100:.1f}%", "<- rate change" if i in marks else "")
+            for i, value in enumerate(item.utilisation)
+        ]
+        print(
+            format_table(
+                ["iteration", "CPU utilisation", ""],
+                rows[:40],
+                title=f"Fig. 10 - CPU Utilisation During Tuning ({item.group})",
+            )
+        )
+        print()
+    return series
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Fig. 11 — ablation studies.
+
+(a) Prediction-layer choice: SVM and XGBoost (both monotone) against a
+plain neural network.  The NN violates the monotonic constraint, breaking
+Algorithm 2's binary search; it needs clearly more reconfigurations on
+Nexmark Q3/Q5/Q8 (paper: 2.49/3.13/4.59 vs ~1.3-1.6).
+
+(b) Similarity-center computation: direct exact GED for every pair versus
+the AStar+-LSa threshold search (paper: -99.65% at 400 DAGs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.center import similarity_center
+from repro.experiments.campaigns import averaged, campaign
+from repro.experiments.scale import ExperimentScale, resolve_scale
+from repro.utils.rng import seeded_rng
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+from repro.workloads.pqp import pqp_queries
+
+ABLATION_GROUPS = ("q3", "q5", "q8")
+ABLATION_METHODS = ("StreamTune-nn", "StreamTune-svm", "StreamTune-xgboost")
+
+#: Fig. 11a reference values.
+PAPER_FIG11A = {
+    ("q3", "StreamTune-nn"): 2.49, ("q5", "StreamTune-nn"): 3.13,
+    ("q8", "StreamTune-nn"): 4.59,
+    ("q3", "StreamTune-svm"): 1.30, ("q5", "StreamTune-svm"): 1.25,
+    ("q8", "StreamTune-svm"): 1.53,
+    ("q3", "StreamTune-xgboost"): 1.46, ("q5", "StreamTune-xgboost"): 1.39,
+    ("q8", "StreamTune-xgboost"): 1.58,
+}
+
+#: Dataset sizes for the similarity-center timing curve, per scale preset.
+CENTER_SIZES = {"smoke": (20, 40), "default": (50, 100, 150, 200), "paper": (100, 200, 300, 400)}
+
+#: Similarity-search threshold (paper §V-A: tau = 5).
+TAU = 5.0
+
+
+@dataclass(frozen=True)
+class Fig11aRow:
+    group: str
+    method: str
+    measured_avg_reconfigurations: float
+    paper_value: float | None
+
+
+@dataclass(frozen=True)
+class Fig11bRow:
+    n_graphs: int
+    direct_seconds: float
+    lsa_seconds: float
+
+    @property
+    def reduction_percent(self) -> float:
+        if self.direct_seconds <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.lsa_seconds / self.direct_seconds)
+
+
+def run_fig11a(scale: ExperimentScale | None = None) -> list[Fig11aRow]:
+    scale = scale or resolve_scale()
+    rows = []
+    for group in ABLATION_GROUPS:
+        for method in ABLATION_METHODS:
+            results = campaign("flink", method, group, scale)
+            rows.append(
+                Fig11aRow(
+                    group=group,
+                    method=method,
+                    measured_avg_reconfigurations=averaged(
+                        results, "average_reconfigurations"
+                    ),
+                    paper_value=PAPER_FIG11A.get((group, method)),
+                )
+            )
+    return rows
+
+
+def _center_dataset(n_graphs: int, seed: int) -> list:
+    """``n_graphs`` structurally diverse DAGs (regenerated PQP variants)."""
+    rng = seeded_rng(seed)
+    graphs = []
+    variant = 0
+    while len(graphs) < n_graphs:
+        template = ["linear", "2-way-join", "3-way-join"][variant % 3]
+        queries = pqp_queries(template, seed=seed + 17 * variant)
+        for query in queries:
+            graphs.append(query.flow)
+            if len(graphs) == n_graphs:
+                break
+        variant += 1
+    order = rng.permutation(len(graphs))
+    return [graphs[i] for i in order]
+
+
+def run_fig11b(scale: ExperimentScale | None = None) -> list[Fig11bRow]:
+    scale = scale or resolve_scale()
+    rows = []
+    for n_graphs in CENTER_SIZES[scale.name]:
+        graphs = _center_dataset(n_graphs, seed=scale.seed + 11)
+        with Timer() as direct_timer:
+            direct_center = similarity_center(graphs, tau=TAU, use_lsa=False)
+        with Timer() as lsa_timer:
+            lsa_center = similarity_center(graphs, tau=TAU, use_lsa=True)
+        assert direct_center == lsa_center, "methods must agree on the center"
+        rows.append(
+            Fig11bRow(
+                n_graphs=n_graphs,
+                direct_seconds=direct_timer.elapsed,
+                lsa_seconds=lsa_timer.elapsed,
+            )
+        )
+    return rows
+
+
+def main() -> tuple[list[Fig11aRow], list[Fig11bRow]]:
+    rows_a = run_fig11a()
+    print(
+        format_table(
+            ["query", "prediction layer", "avg reconfigs (measured)", "paper"],
+            [
+                (
+                    r.group,
+                    r.method.split("-")[1].upper(),
+                    f"{r.measured_avg_reconfigurations:.2f}",
+                    f"{r.paper_value:.2f}" if r.paper_value is not None else "-",
+                )
+                for r in rows_a
+            ],
+            title="Fig. 11a - Effect of Classification Models",
+        )
+    )
+    rows_b = run_fig11b()
+    print()
+    print(
+        format_table(
+            ["# DAGs", "direct GED (s)", "AStar+-LSa (s)", "reduction"],
+            [
+                (
+                    r.n_graphs,
+                    f"{r.direct_seconds:.2f}",
+                    f"{r.lsa_seconds:.2f}",
+                    f"{r.reduction_percent:.1f}%",
+                )
+                for r in rows_b
+            ],
+            title="Fig. 11b - Similarity Center Computation Time",
+        )
+    )
+    return rows_a, rows_b
+
+
+if __name__ == "__main__":
+    main()

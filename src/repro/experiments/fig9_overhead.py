@@ -1,0 +1,105 @@
+"""Fig. 9 — computational cost of StreamTune.
+
+(a) Average online recommendation time per tuning process across the PQP
+templates: DS2 is near-instant (closed form), StreamTune is stable as
+query complexity grows, ContTune's per-operator Gaussian processes climb
+steeply with operator count and accumulated observations.
+
+(b) Offline pre-training wall time versus history size: super-linear
+growth, dominated by per-cluster GNN training plus GED clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import pretrain
+from repro.experiments import context
+from repro.experiments.campaigns import averaged, campaign
+from repro.experiments.scale import ExperimentScale, resolve_scale
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+
+PQP_GROUPS = ("linear", "2-way-join", "3-way-join")
+METHODS = ("StreamTune", "DS2", "ContTune")
+
+#: History sizes for the pre-training cost curve, scaled per preset.
+CURVE_FRACTIONS = (0.15, 0.3, 0.6, 1.0)
+
+
+@dataclass(frozen=True)
+class Fig9aRow:
+    group: str
+    method: str
+    avg_recommendation_seconds: float
+
+
+@dataclass(frozen=True)
+class Fig9bRow:
+    n_records: int
+    training_seconds: float
+
+
+def run_fig9a(scale: ExperimentScale | None = None) -> list[Fig9aRow]:
+    scale = scale or resolve_scale()
+    rows = []
+    for group in PQP_GROUPS:
+        for method in METHODS:
+            results = campaign("flink", method, group, scale)
+            rows.append(
+                Fig9aRow(
+                    group=group,
+                    method=method,
+                    avg_recommendation_seconds=averaged(
+                        results, "average_recommendation_seconds"
+                    ),
+                )
+            )
+    return rows
+
+
+def run_fig9b(scale: ExperimentScale | None = None) -> list[Fig9bRow]:
+    scale = scale or resolve_scale()
+    records = context.history("flink", scale)
+    engine = context.make_engine("flink", scale)
+    rows = []
+    for fraction in CURVE_FRACTIONS:
+        subset = records[: max(20, int(len(records) * fraction))]
+        with Timer() as timer:
+            pretrain(
+                subset,
+                max_parallelism=engine.max_parallelism,
+                n_clusters=scale.n_clusters,
+                epochs=scale.gnn_epochs,
+                seed=scale.seed + 2,
+            )
+        rows.append(Fig9bRow(n_records=len(subset), training_seconds=timer.elapsed))
+    return rows
+
+
+def main() -> tuple[list[Fig9aRow], list[Fig9bRow]]:
+    rows_a = run_fig9a()
+    print(
+        format_table(
+            ["query", "method", "avg recommendation time (s)"],
+            [
+                (r.group, r.method, f"{r.avg_recommendation_seconds:.3f}")
+                for r in rows_a
+            ],
+            title="Fig. 9a - Online Recommendation Time",
+        )
+    )
+    rows_b = run_fig9b()
+    print()
+    print(
+        format_table(
+            ["# history records", "pre-training time (s)"],
+            [(r.n_records, f"{r.training_seconds:.1f}") for r in rows_b],
+            title="Fig. 9b - Offline Pre-training Cost",
+        )
+    )
+    return rows_a, rows_b
+
+
+if __name__ == "__main__":
+    main()

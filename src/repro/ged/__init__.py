@@ -1,0 +1,38 @@
+"""Graph Edit Distance and graph similarity search (paper §IV-C).
+
+GED between dataflow DAGs with the paper's extended edit-operation set
+(node insert/delete, edge insert/delete, *operator type modification*,
+*edge direction modification*), an exact A* solver used as the "directly
+computing GED" baseline of Fig. 11b, and an AStar+-LSa-style best-first
+search with label-set lower bounds and threshold pruning for fast
+similarity search (Definition 1).
+"""
+
+from repro.ged.costs import EditCosts
+from repro.ged.view import GraphView
+from repro.ged.exact import exact_ged
+from repro.ged.astar_lsa import astar_lsa_ged, verify_within_threshold
+from repro.ged.beam import beam_ged, beam_within
+from repro.ged.bounds import (
+    combined_bound,
+    degree_sequence_bound,
+    label_multiset_bound,
+    prefilter_indices,
+)
+from repro.ged.search import GEDCache, similarity_search
+
+__all__ = [
+    "EditCosts",
+    "GEDCache",
+    "GraphView",
+    "astar_lsa_ged",
+    "beam_ged",
+    "beam_within",
+    "combined_bound",
+    "degree_sequence_bound",
+    "exact_ged",
+    "label_multiset_bound",
+    "prefilter_indices",
+    "similarity_search",
+    "verify_within_threshold",
+]

@@ -1,0 +1,113 @@
+"""Graph similarity search over DAG collections (paper Definition 1).
+
+``Sim(q, tau) = { g in G | ged(q, g) <= tau }`` — implemented with
+AStar+-LSa threshold verification, plus a signature-keyed distance cache so
+repeated structures (ubiquitous in execution histories, where the same
+query runs many times) cost one computation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dataflow.graph import LogicalDataflow
+from repro.ged.astar_lsa import astar_lsa_ged
+from repro.ged.costs import DEFAULT_COSTS, EditCosts
+from repro.ged.exact import exact_ged
+from repro.ged.view import GraphView, as_view
+
+
+class GEDCache:
+    """Signature-keyed cache of exact GED values.
+
+    Keys are unordered signature pairs (GED with symmetric costs is
+    symmetric).  Threshold-pruned verifications are *not* cached as
+    distances — only as one-sided bounds — so mixing verify and exact
+    queries stays correct.
+    """
+
+    def __init__(self, costs: EditCosts = DEFAULT_COSTS) -> None:
+        self.costs = costs
+        self._exact: dict[tuple[str, str], float] = {}
+        self._lower_bounds: dict[tuple[str, str], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(a: GraphView, b: GraphView) -> tuple[str, str]:
+        return (a.signature, b.signature) if a.signature <= b.signature else (
+            b.signature,
+            a.signature,
+        )
+
+    def distance(self, graph1, graph2) -> float:
+        """Exact GED with label-set acceleration, cached."""
+        a, b = as_view(graph1), as_view(graph2)
+        key = self._key(a, b)
+        if key in self._exact:
+            self.hits += 1
+            return self._exact[key]
+        self.misses += 1
+        value = astar_lsa_ged(a, b, costs=self.costs)
+        assert value is not None
+        self._exact[key] = value
+        return value
+
+    def within(self, graph1, graph2, threshold: float) -> bool:
+        """Cached threshold verification (Definition 1 predicate)."""
+        a, b = as_view(graph1), as_view(graph2)
+        key = self._key(a, b)
+        if key in self._exact:
+            self.hits += 1
+            return self._exact[key] <= threshold + 1e-9
+        bound = self._lower_bounds.get(key)
+        if bound is not None and bound > threshold:
+            self.hits += 1
+            return False
+        self.misses += 1
+        value = astar_lsa_ged(a, b, costs=self.costs, threshold=threshold)
+        if value is None:
+            previous = self._lower_bounds.get(key, 0.0)
+            self._lower_bounds[key] = max(previous, threshold + 1.0)
+            return False
+        self._exact[key] = value
+        return True
+
+
+def similarity_search(
+    query,
+    dataset: Sequence,
+    threshold: float,
+    cache: GEDCache | None = None,
+    use_lsa: bool = True,
+    prefilter: bool = False,
+) -> list[int]:
+    """Indices of dataset graphs within GED ``threshold`` of ``query``.
+
+    With ``use_lsa=False`` every pair is resolved by the direct exact GED
+    baseline (no threshold pruning) — the slow path Fig. 11b compares
+    against.  ``prefilter=True`` runs the O(n) admissible lower bounds of
+    :mod:`repro.ged.bounds` first and verifies only the survivors (the
+    classic filter-and-verification arrangement of §IV-C).
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    if prefilter:
+        from repro.ged.bounds import prefilter_indices
+
+        candidates = prefilter_indices(query, dataset, threshold)
+    else:
+        candidates = range(len(dataset))
+    matches: list[int] = []
+    for index in candidates:
+        graph = dataset[index]
+        if use_lsa:
+            if cache is not None:
+                hit = cache.within(query, graph, threshold)
+            else:
+                hit = astar_lsa_ged(query, graph, threshold=threshold) is not None
+        else:
+            hit = exact_ged(query, graph) <= threshold + 1e-9
+        if hit:
+            matches.append(index)
+    return matches

@@ -1,0 +1,56 @@
+"""Binary cross-entropy over labelled operators (paper §IV-A).
+
+The paper averages the per-operator BCE over the labelled set O_label.  We
+work in logit space for numerical stability and return the analytic
+gradient alongside the loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bce_with_logits(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    mask: np.ndarray,
+    pos_weight: float = 1.0,
+) -> tuple[float, np.ndarray]:
+    """Masked mean BCE and its gradient w.r.t. the logits.
+
+    ``logits`` is (n,) or (n, 1); ``labels`` in {-1, 0, 1}; only entries
+    with ``mask`` True contribute.  ``pos_weight`` multiplies the loss of
+    positive examples (bottleneck labels are a small minority in execution
+    histories, and an unweighted loss collapses to "never a bottleneck").
+    Returns ``(loss, grad)`` with ``grad`` shaped like ``logits``; when
+    nothing is labelled the loss is 0 with a zero gradient.
+    """
+    if pos_weight <= 0:
+        raise ValueError("pos_weight must be positive")
+    squeeze = logits.ndim == 2
+    flat = logits.reshape(-1)
+    n_labelled = int(mask.sum())
+    grad = np.zeros_like(flat)
+    if n_labelled == 0:
+        return 0.0, grad.reshape(logits.shape) if squeeze else grad
+
+    z = flat[mask]
+    y = labels[mask].astype(np.float64)
+    weights = np.where(y == 1.0, pos_weight, 1.0)
+    # log(1 + e^z) computed stably; BCE = max(z,0) - z*y + log(1+e^-|z|).
+    loss_terms = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+    total_weight = float(weights.sum())
+    loss = float((weights * loss_terms).sum() / total_weight)
+    probs = 1.0 / (1.0 + np.exp(-z))
+    grad[mask] = weights * (probs - y) / total_weight
+    return loss, grad.reshape(logits.shape) if squeeze else grad
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out

@@ -1,0 +1,50 @@
+"""Fine-tuning prediction models M_f (paper §IV-B).
+
+Lightweight classifiers over ``x = [h_v, p]`` (frozen GNN embedding plus a
+candidate parallelism degree) predicting the bottleneck probability.  SVM
+and GBDT enforce the paper's monotonic constraint — the probability of
+being a bottleneck is non-increasing in p — which makes Algorithm 2's
+binary search for the minimum feasible parallelism sound.  The plain
+neural network deliberately lacks the constraint (the Fig. 11a ablation).
+"""
+
+from repro.models.base import MonotonicityReport, check_monotonicity
+from repro.models.calibration import (
+    PlattCalibrator,
+    brier_score,
+    expected_calibration_error,
+    reliability_table,
+)
+from repro.models.svm import MonotonicSVM
+from repro.models.gbdt import MonotonicGBDT
+from repro.models.isotonic import IsotonicKNN
+from repro.models.mlp import MLPClassifier
+from repro.models.search import min_feasible_parallelism
+
+__all__ = [
+    "IsotonicKNN",
+    "MLPClassifier",
+    "MonotonicGBDT",
+    "MonotonicSVM",
+    "MonotonicityReport",
+    "PlattCalibrator",
+    "brier_score",
+    "check_monotonicity",
+    "expected_calibration_error",
+    "min_feasible_parallelism",
+    "reliability_table",
+]
+
+
+def make_prediction_model(kind: str, seed: int = 11):
+    """Factory for the fine-tuning layer: 'svm', 'xgboost', 'isotonic' or 'nn'."""
+    key = kind.lower()
+    if key == "svm":
+        return MonotonicSVM(seed=seed)
+    if key in ("xgboost", "gbdt"):
+        return MonotonicGBDT(seed=seed)
+    if key in ("isotonic", "knn"):
+        return IsotonicKNN(seed=seed)
+    if key in ("nn", "mlp"):
+        return MLPClassifier(seed=seed)
+    raise ValueError(f"unknown prediction model kind {kind!r}")

@@ -1,0 +1,96 @@
+"""Common contract and monotonicity checking for fine-tuning models.
+
+Every model consumes feature matrices whose **last column is the
+(normalised) parallelism degree** and exposes
+
+* ``fit(X, y)`` with binary labels,
+* ``predict_proba(X) -> (n,)`` bottleneck probabilities,
+* ``predict(X) -> (n,)`` hard 0/1 decisions.
+
+:func:`check_monotonicity` empirically probes a fitted model along the
+parallelism axis — used by tests and by the Fig. 11a ablation to show the
+NN baseline violating the constraint the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class BinaryClassifier(Protocol):
+    """Structural type of all fine-tuning prediction layers."""
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "BinaryClassifier": ...
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray: ...
+
+    def predict(self, features: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class MonotonicityReport:
+    """Result of probing a model along the parallelism feature."""
+
+    n_probes: int
+    n_violations: int
+    max_violation: float    # largest probability increase along increasing p
+
+    @property
+    def is_monotone(self) -> bool:
+        return self.n_violations == 0
+
+
+def check_monotonicity(
+    model: BinaryClassifier,
+    base_features: np.ndarray,
+    parallelism_grid: np.ndarray | None = None,
+    tolerance: float = 1e-9,
+) -> MonotonicityReport:
+    """Probe ``model`` for violations of the monotonic constraint.
+
+    For each row of ``base_features`` (parallelism column ignored), sweep
+    the last feature over ``parallelism_grid`` and count increases of the
+    predicted bottleneck probability.
+    """
+    if base_features.ndim != 2 or base_features.shape[1] < 2:
+        raise ValueError("base_features must be 2-D with >= 2 columns")
+    if parallelism_grid is None:
+        parallelism_grid = np.linspace(0.0, 1.0, 21)
+    n_probes = 0
+    n_violations = 0
+    max_violation = 0.0
+    for row in base_features:
+        swept = np.tile(row, (len(parallelism_grid), 1))
+        swept[:, -1] = parallelism_grid
+        probabilities = model.predict_proba(swept)
+        deltas = np.diff(probabilities)
+        n_probes += len(deltas)
+        bad = deltas > tolerance
+        n_violations += int(bad.sum())
+        if bad.any():
+            max_violation = max(max_violation, float(deltas[bad].max()))
+    return MonotonicityReport(
+        n_probes=n_probes, n_violations=n_violations, max_violation=max_violation
+    )
+
+
+def validate_training_inputs(features: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Shared input validation: shapes, finiteness, binary labels."""
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels).reshape(-1)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D matrix")
+    if len(features) != len(labels):
+        raise ValueError("features and labels disagree on sample count")
+    if len(labels) == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.isfinite(features).all():
+        raise ValueError("features contain non-finite values")
+    unique = set(np.unique(labels).tolist())
+    if not unique <= {0, 1}:
+        raise ValueError(f"labels must be binary 0/1, got {sorted(unique)}")
+    return features, labels.astype(np.float64)

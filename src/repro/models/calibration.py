@@ -1,0 +1,205 @@
+"""Probability calibration and reliability diagnostics for M_f (extension).
+
+Algorithm 2 compares M_f's bottleneck probability against a threshold, so
+the *calibration* of that probability — not just its ranking — determines
+where the recommended parallelism lands.  StreamTune's conservative
+threshold (0.35 by default) implicitly compensates for miscalibration;
+this module makes the trade-off measurable and correctable:
+
+* :class:`PlattCalibrator` — wraps any fitted model exposing a
+  ``decision_function`` (or falls back to logits of ``predict_proba``)
+  and learns the classic two-parameter sigmoid ``sigma(a*s + b)`` with
+  ``a > 0`` by Newton iterations on the calibration split.  Because the
+  mapping is strictly increasing in the underlying score, wrapping a
+  monotone model yields a monotone calibrated model — Algorithm 2's
+  binary search stays sound.
+* :func:`brier_score`, :func:`expected_calibration_error`,
+  :func:`reliability_table` — standard diagnostics used by the ablation
+  experiment to quantify how far raw model outputs sit from calibrated
+  probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _scores(model, features: np.ndarray) -> np.ndarray:
+    """Raw real-valued scores of a model, preferring the margin."""
+    decision = getattr(model, "decision_function", None)
+    if decision is not None:
+        return np.asarray(decision(features), dtype=np.float64)
+    probabilities = np.clip(model.predict_proba(features), 1e-9, 1 - 1e-9)
+    return np.log(probabilities / (1 - probabilities))
+
+
+@dataclass(frozen=True)
+class PlattParameters:
+    """Fitted sigmoid parameters: probability = sigma(slope*score + intercept)."""
+
+    slope: float
+    intercept: float
+    n_iterations: int
+    converged: bool
+
+
+def fit_platt(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    max_iterations: int = 100,
+    tolerance: float = 1e-9,
+) -> PlattParameters:
+    """Newton fit of Platt scaling with the standard target smoothing.
+
+    Uses Platt's prior-smoothed targets ``(n_pos+1)/(n_pos+2)`` and
+    ``1/(n_neg+2)`` so the fit is defined even for small or separable
+    calibration sets.  The slope is projected to stay positive: an
+    inverted calibration map would silently flip the monotone constraint
+    of the wrapped model.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise ValueError("scores and labels must be equal-length 1-D arrays")
+    if len(scores) < 2:
+        raise ValueError("need at least two calibration points")
+    if set(np.unique(labels)) - {0.0, 1.0}:
+        raise ValueError("labels must be binary")
+
+    n_pos = float(labels.sum())
+    n_neg = float(len(labels) - n_pos)
+    hi = (n_pos + 1.0) / (n_pos + 2.0)
+    lo = 1.0 / (n_neg + 2.0)
+    targets = np.where(labels > 0.5, hi, lo)
+
+    slope, intercept = 1.0, 0.0
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        z = slope * scores + intercept
+        prob = 1.0 / (1.0 + np.exp(-z))
+        gradient_common = prob - targets
+        grad_a = float(np.dot(gradient_common, scores))
+        grad_b = float(gradient_common.sum())
+        weight = prob * (1 - prob) + 1e-12
+        h_aa = float(np.dot(weight, scores * scores)) + 1e-9
+        h_ab = float(np.dot(weight, scores))
+        h_bb = float(weight.sum()) + 1e-9
+        det = h_aa * h_bb - h_ab * h_ab
+        if abs(det) < 1e-18:
+            break
+        step_a = (h_bb * grad_a - h_ab * grad_b) / det
+        step_b = (h_aa * grad_b - h_ab * grad_a) / det
+        slope -= step_a
+        intercept -= step_b
+        slope = max(slope, 1e-6)   # keep the map increasing
+        if max(abs(step_a), abs(step_b)) < tolerance:
+            converged = True
+            break
+    return PlattParameters(
+        slope=slope, intercept=intercept, n_iterations=iteration, converged=converged
+    )
+
+
+class PlattCalibrator:
+    """Calibrated wrapper around a fitted prediction layer.
+
+    Satisfies the same ``BinaryClassifier`` protocol as the wrapped model
+    (``fit`` refits *only* the calibration map — the base model is treated
+    as frozen, mirroring how fine-tuning freezes the GNN encoder).
+    """
+
+    def __init__(self, base_model) -> None:
+        self.base_model = base_model
+        self.parameters: PlattParameters | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "PlattCalibrator":
+        scores = _scores(self.base_model, np.asarray(features, dtype=np.float64))
+        self.parameters = fit_platt(scores, np.asarray(labels, dtype=np.float64))
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.parameters is None:
+            raise RuntimeError("calibrate (fit) before predicting")
+        scores = _scores(self.base_model, np.asarray(features, dtype=np.float64))
+        z = self.parameters.slope * scores + self.parameters.intercept
+        return 1.0 / (1.0 + np.exp(-z))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+
+def brier_score(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean squared error of probabilistic predictions (lower is better)."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if probabilities.shape != labels.shape:
+        raise ValueError("probabilities and labels must align")
+    if len(labels) == 0:
+        raise ValueError("empty inputs")
+    return float(np.mean((probabilities - labels) ** 2))
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    n_samples: int
+    mean_predicted: float
+    mean_observed: float
+
+    @property
+    def gap(self) -> float:
+        return abs(self.mean_predicted - self.mean_observed)
+
+
+def reliability_table(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    n_bins: int = 10,
+) -> list[ReliabilityBin]:
+    """Equal-width reliability diagram bins over [0, 1]."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if probabilities.shape != labels.shape:
+        raise ValueError("probabilities and labels must align")
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: list[ReliabilityBin] = []
+    for i in range(n_bins):
+        lower, upper = float(edges[i]), float(edges[i + 1])
+        if i + 1 == n_bins:
+            members = (probabilities >= lower) & (probabilities <= upper)
+        else:
+            members = (probabilities >= lower) & (probabilities < upper)
+        count = int(members.sum())
+        bins.append(
+            ReliabilityBin(
+                lower=lower,
+                upper=upper,
+                n_samples=count,
+                mean_predicted=float(probabilities[members].mean()) if count else 0.0,
+                mean_observed=float(labels[members].mean()) if count else 0.0,
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    n_bins: int = 10,
+) -> float:
+    """ECE: sample-weighted mean |confidence - accuracy| over bins."""
+    table = reliability_table(probabilities, labels, n_bins)
+    total = sum(entry.n_samples for entry in table)
+    if total == 0:
+        raise ValueError("empty inputs")
+    return float(
+        sum(entry.n_samples * entry.gap for entry in table) / total
+    )

@@ -1,0 +1,232 @@
+"""Monotonic gradient-boosted decision trees (paper §IV-B, "XGBoost").
+
+A from-scratch second-order gradient boosting classifier with the two
+modifications the paper describes for enforcing monotonicity:
+
+* **Split screening** — candidate splits on the constrained feature whose
+  child values would violate the monotonic order "are penalised by setting
+  their gain to -inf, effectively excluding them";
+* **Leaf value bounding** — once a node splits on the constrained feature,
+  the midpoint of the two child values bounds every leaf beneath: for a
+  *decreasing* constraint the low-parallelism subtree may not dip below the
+  midpoint and the high-parallelism subtree may not rise above it.
+
+Each tree is therefore non-increasing along the parallelism feature, and a
+sum of non-increasing trees (plus a constant base score) stays
+non-increasing, so the sigmoid of the ensemble honours the constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gnn.loss import sigmoid
+from repro.models.base import validate_training_inputs
+from repro.utils.rng import seeded_rng
+
+_NO_GAIN = -np.inf
+
+
+@dataclass
+class _Node:
+    """One node of a regression tree (leaf when ``feature`` is None)."""
+
+    value: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    def predict_one(self, row: np.ndarray) -> float:
+        node = self
+        while node.feature is not None:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+
+class MonotonicGBDT:
+    """Logistic-loss boosting, monotone non-increasing in the last feature."""
+
+    def __init__(
+        self,
+        n_estimators: int = 60,
+        max_depth: int = 3,
+        learning_rate: float = 0.25,
+        reg_lambda: float = 1.0,
+        min_child_weight: float = 1.0,
+        min_gain: float = 1e-6,
+        subsample: float = 1.0,
+        seed: int = 11,
+    ) -> None:
+        if n_estimators < 1 or max_depth < 1:
+            raise ValueError("n_estimators and max_depth must be >= 1")
+        if not 0 < subsample <= 1:
+            raise ValueError("subsample must lie in (0, 1]")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.reg_lambda = reg_lambda
+        self.min_child_weight = min_child_weight
+        self.min_gain = min_gain
+        self.subsample = subsample
+        self._rng = seeded_rng(seed)
+        self._trees: list[_Node] = []
+        self._base_score = 0.0
+        self._monotone_feature = -1      # resolved to a real index in fit()
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # boosting
+    # ------------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MonotonicGBDT":
+        features, labels = validate_training_inputs(features, labels)
+        self._monotone_feature = features.shape[1] - 1
+        positive_rate = float(np.clip(labels.mean(), 1e-4, 1 - 1e-4))
+        self._base_score = float(np.log(positive_rate / (1.0 - positive_rate)))
+        self._trees = []
+
+        scores = np.full(len(labels), self._base_score)
+        for _ in range(self.n_estimators):
+            probabilities = sigmoid(scores)
+            gradients = probabilities - labels
+            hessians = np.maximum(probabilities * (1.0 - probabilities), 1e-6)
+            if self.subsample < 1.0:
+                chosen = self._rng.random(len(labels)) < self.subsample
+                if not chosen.any():
+                    chosen[self._rng.integers(len(labels))] = True
+            else:
+                chosen = np.ones(len(labels), dtype=bool)
+            tree = self._build_node(
+                features[chosen],
+                gradients[chosen],
+                hessians[chosen],
+                depth=0,
+                lower=-np.inf,
+                upper=np.inf,
+            )
+            self._trees.append(tree)
+            scores += self.learning_rate * self._predict_tree(tree, features)
+        self._fitted = True
+        return self
+
+    def _leaf_value(self, grad_sum: float, hess_sum: float, lower: float, upper: float) -> float:
+        raw = -grad_sum / (hess_sum + self.reg_lambda)
+        return float(np.clip(raw, lower, upper))
+
+    def _build_node(
+        self,
+        features: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        depth: int,
+        lower: float,
+        upper: float,
+    ) -> _Node:
+        grad_sum = float(gradients.sum())
+        hess_sum = float(hessians.sum())
+        node = _Node(value=self._leaf_value(grad_sum, hess_sum, lower, upper))
+        if depth >= self.max_depth or len(gradients) < 2:
+            return node
+
+        best = self._find_best_split(features, gradients, hessians, grad_sum, hess_sum, lower, upper)
+        if best is None:
+            return node
+
+        feature, threshold, gain = best
+        del gain
+        go_left = features[:, feature] <= threshold
+        if feature == self._monotone_feature:
+            # Decreasing constraint: left (small p) >= mid >= right (large p).
+            left_grad = float(gradients[go_left].sum())
+            left_hess = float(hessians[go_left].sum())
+            right_grad = grad_sum - left_grad
+            right_hess = hess_sum - left_hess
+            left_value = self._leaf_value(left_grad, left_hess, lower, upper)
+            right_value = self._leaf_value(right_grad, right_hess, lower, upper)
+            mid = 0.5 * (left_value + right_value)
+            left_bounds = (mid, upper)
+            right_bounds = (lower, mid)
+        else:
+            left_bounds = (lower, upper)
+            right_bounds = (lower, upper)
+
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build_node(
+            features[go_left], gradients[go_left], hessians[go_left],
+            depth + 1, *left_bounds,
+        )
+        node.right = self._build_node(
+            features[~go_left], gradients[~go_left], hessians[~go_left],
+            depth + 1, *right_bounds,
+        )
+        return node
+
+    def _find_best_split(
+        self,
+        features: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        grad_sum: float,
+        hess_sum: float,
+        lower: float,
+        upper: float,
+    ) -> tuple[int, float, float] | None:
+        parent_score = grad_sum * grad_sum / (hess_sum + self.reg_lambda)
+        best_gain = self.min_gain
+        best: tuple[int, float, float] | None = None
+        for feature in range(features.shape[1]):
+            column = features[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_values = column[order]
+            grad_prefix = np.cumsum(gradients[order])
+            hess_prefix = np.cumsum(hessians[order])
+            for i in range(len(sorted_values) - 1):
+                if sorted_values[i] == sorted_values[i + 1]:
+                    continue
+                left_grad, left_hess = float(grad_prefix[i]), float(hess_prefix[i])
+                right_grad = grad_sum - left_grad
+                right_hess = hess_sum - left_hess
+                if left_hess < self.min_child_weight or right_hess < self.min_child_weight:
+                    continue
+                gain = (
+                    left_grad * left_grad / (left_hess + self.reg_lambda)
+                    + right_grad * right_grad / (right_hess + self.reg_lambda)
+                    - parent_score
+                )
+                if feature == self._monotone_feature:
+                    left_value = self._leaf_value(left_grad, left_hess, lower, upper)
+                    right_value = self._leaf_value(right_grad, right_hess, lower, upper)
+                    if left_value < right_value:
+                        gain = _NO_GAIN    # violates the decreasing constraint
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = 0.5 * (sorted_values[i] + sorted_values[i + 1])
+                    best = (feature, float(threshold), float(gain))
+        return best
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _predict_tree(tree: _Node, features: np.ndarray) -> np.ndarray:
+        return np.array([tree.predict_one(row) for row in features])
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        scores = np.full(len(features), self._base_score)
+        for tree in self._trees:
+            scores += self.learning_rate * self._predict_tree(tree, features)
+        return scores
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return sigmoid(self.decision_function(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)

@@ -1,0 +1,90 @@
+"""Plain neural-network classifier — the *non-monotonic* ablation baseline.
+
+Fig. 11a compares SVM/XGBoost (monotone) against a neural network that
+"does not enforce the monotonic constraint".  This is that NN: a small
+two-layer MLP trained with Adam on logistic loss.  Nothing stops it from
+predicting a *higher* bottleneck probability at a *higher* parallelism, so
+Algorithm 2's binary search can report spuriously low degrees — producing
+the extra reconfigurations and backpressure the ablation measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.layers import Linear, ReLU
+from repro.gnn.loss import bce_with_logits, sigmoid
+from repro.gnn.optim import Adam
+from repro.models.base import validate_training_inputs
+from repro.utils.rng import seeded_rng
+
+
+class MLPClassifier:
+    """Two-hidden-layer MLP over [h_v, p] without monotonicity."""
+
+    def __init__(
+        self,
+        hidden_dim: int = 32,
+        epochs: int = 150,
+        learning_rate: float = 5e-3,
+        batch_size: int = 64,
+        seed: int = 11,
+    ) -> None:
+        if hidden_dim < 1:
+            raise ValueError("hidden_dim must be >= 1")
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self._layers: list | None = None
+        self._rng = seeded_rng(seed)
+
+    def _build(self, input_dim: int) -> None:
+        rng = seeded_rng(self.seed + 1)
+        self._fc1 = Linear(rng, input_dim, self.hidden_dim)
+        self._act1 = ReLU()
+        self._fc2 = Linear(rng, self.hidden_dim, self.hidden_dim // 2)
+        self._act2 = ReLU()
+        self._fc3 = Linear(rng, self.hidden_dim // 2, 1)
+        self._layers = [self._fc1, self._act1, self._fc2, self._act2, self._fc3]
+
+    def _forward(self, features: np.ndarray) -> np.ndarray:
+        assert self._layers is not None
+        value = features
+        for layer in self._layers:
+            value = layer.forward(value)
+        return value
+
+    def _backward(self, grad: np.ndarray) -> None:
+        assert self._layers is not None
+        for layer in reversed(self._layers):
+            grad = layer.backward(grad)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLPClassifier":
+        features, labels = validate_training_inputs(features, labels)
+        self._build(features.shape[1])
+        parameters = [p for layer in self._layers for p in layer.parameters()]
+        optimizer = Adam(parameters, learning_rate=self.learning_rate, weight_decay=1e-4)
+        mask = np.ones(len(labels), dtype=bool)
+        for _ in range(self.epochs):
+            order = self._rng.permutation(len(labels))
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start : start + self.batch_size]
+                optimizer.zero_grad()
+                logits = self._forward(features[batch])
+                _, grad = bce_with_logits(
+                    logits, labels[batch].astype(np.int64), mask[batch]
+                )
+                self._backward(grad)
+                optimizer.step()
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._layers is None:
+            raise RuntimeError("model is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return sigmoid(self._forward(features).reshape(-1))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)

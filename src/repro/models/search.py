@@ -1,0 +1,77 @@
+"""Minimum-parallelism search (paper Algorithm 2, line 8).
+
+``p_rec(v) = min { p <= p_max : M_f(h_v, p) = 0 }`` — thanks to the
+monotonic constraint the feasible region is an up-closed interval, so the
+minimum is found by binary search in O(log p_max) model evaluations.
+
+The same routine is deliberately reused for the non-monotone NN ablation:
+on a non-monotone predictor the bisection invariant breaks and the returned
+degree can be wrong — that is the failure mode Fig. 11a quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def min_feasible_parallelism(
+    model,
+    embedding: np.ndarray,
+    p_max: int,
+    normalize,
+    probability_threshold: float | None = None,
+) -> int:
+    """Smallest parallelism the model does not classify as a bottleneck.
+
+    ``model`` is a fitted prediction layer over ``[h, p]``; ``normalize``
+    maps an integer degree to the model's parallelism feature (usually
+    :meth:`FeatureEncoder.normalize_parallelism` partially applied).
+    By default the model's own class decision (``predict``) defines
+    feasibility; pass ``probability_threshold`` to bisect the probability
+    surface at a custom level instead.  Returns ``p_max`` when even the
+    maximum is predicted to bottleneck.
+
+    Implementation note: all ``p_max`` candidate rows are evaluated in one
+    batched model call (models are vectorised; per-probe calls dominate
+    tuning time otherwise), and the *binary search* of Algorithm 2 then
+    runs over the precomputed predicate.  On a monotone model the result
+    equals the true minimum; on a non-monotone model it reproduces exactly
+    what bisection would do — the failure mode of the Fig. 11a NN ablation.
+    """
+    if p_max < 1:
+        raise ValueError("p_max must be >= 1")
+
+    rows = np.empty((p_max, len(embedding) + 1))
+    rows[:, :-1] = embedding
+    rows[:, -1] = [normalize(p) for p in range(1, p_max + 1)]
+    if probability_threshold is None:
+        bottleneck = model.predict(rows).astype(bool)
+    else:
+        bottleneck = model.predict_proba(rows) >= probability_threshold
+
+    def is_bottleneck(p: int) -> bool:
+        return bool(bottleneck[p - 1])
+
+    if is_bottleneck(p_max):
+        return p_max
+    low, high = 1, p_max
+    while low < high:
+        mid = (low + high) // 2
+        if is_bottleneck(mid):
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def feasibility_profile(
+    model,
+    embedding: np.ndarray,
+    p_max: int,
+    normalize,
+) -> np.ndarray:
+    """Bottleneck probability for every p in [1, p_max] (diagnostics)."""
+    rows = np.stack(
+        [np.concatenate([embedding, [normalize(p)]]) for p in range(1, p_max + 1)]
+    )
+    return model.predict_proba(rows)

@@ -1,0 +1,203 @@
+"""Monotonic SVM (paper Eq. 5).
+
+The paper's formulation separates the embedding features from the
+parallelism degree:
+
+    f(x) = w_e^T phi(h) + w_p * p + b,       subject to  w_p <= 0,
+
+with a kernel lift ``phi`` on the embedding part only, hinge loss with
+regularisation C, and the sign constraint enforcing that a larger
+parallelism can only lower the decision score (hence the bottleneck
+probability).
+
+Offline substitution: scikit-learn is unavailable, so the kernel trick is
+realised with **random Fourier features** (Rahimi & Recht) approximating an
+RBF kernel on ``h``, and the primal is solved by projected subgradient
+descent (the projection ``w_p <- min(w_p, 0)`` after every step keeps the
+iterate feasible).  Probabilities come from Platt-style scaling of the
+margin with a positivity-constrained slope, which preserves monotonicity
+in p.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import validate_training_inputs
+from repro.gnn.loss import sigmoid
+from repro.utils.rng import seeded_rng
+
+
+class MonotonicSVM:
+    """Kernelised hinge-loss classifier, monotone non-increasing in p."""
+
+    def __init__(
+        self,
+        c: float = 16.0,
+        gamma: float = 1.5,
+        n_fourier_features: int = 256,
+        epochs: int = 200,
+        learning_rate: float = 0.05,
+        seed: int = 11,
+    ) -> None:
+        if c <= 0 or gamma <= 0:
+            raise ValueError("c and gamma must be positive")
+        if n_fourier_features < 1:
+            raise ValueError("n_fourier_features must be >= 1")
+        self.c = c
+        self.gamma = gamma
+        self.n_fourier_features = n_fourier_features
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self._rng = seeded_rng(seed)
+        self._fitted = False
+        self._feature_mean: np.ndarray | None = None
+        self._feature_scale: np.ndarray | None = None
+        self._rff_weights: np.ndarray | None = None
+        self._rff_offsets: np.ndarray | None = None
+        self._w_embed: np.ndarray | None = None
+        self._w_parallelism = 0.0
+        self._bias = 0.0
+        self._platt_scale = 1.0
+        self._platt_offset = 0.0
+
+    # ------------------------------------------------------------------
+    # feature lift
+    # ------------------------------------------------------------------
+
+    def _lift(self, embeddings: np.ndarray) -> np.ndarray:
+        """Random Fourier features approximating an RBF kernel on h."""
+        assert self._rff_weights is not None and self._rff_offsets is not None
+        projection = embeddings @ self._rff_weights + self._rff_offsets
+        return np.sqrt(2.0 / self.n_fourier_features) * np.cos(projection)
+
+    def _split(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Standardised embedding columns and the raw parallelism column.
+
+        The RBF kernel is distance-based: without per-column standardisation
+        the GNN embedding's scale dominates gamma and the kernel saturates
+        (every pair looks maximally distant), destroying generalisation.
+        """
+        embeddings = features[:, :-1]
+        if self._feature_mean is not None:
+            embeddings = (embeddings - self._feature_mean) / self._feature_scale
+        return embeddings, features[:, -1]
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MonotonicSVM":
+        features, labels = validate_training_inputs(features, labels)
+        raw_embeddings = features[:, :-1]
+        self._feature_mean = raw_embeddings.mean(axis=0)
+        self._feature_scale = np.maximum(raw_embeddings.std(axis=0), 1e-8)
+        embeddings, parallelism = self._split(features)
+        # Normalise the kernel bandwidth by dimensionality so gamma means
+        # "per typical pairwise distance" regardless of embedding width.
+        n_embed = embeddings.shape[1]
+        self._rff_weights = self._rng.normal(
+            0.0,
+            np.sqrt(2.0 * self.gamma / n_embed),
+            size=(n_embed, self.n_fourier_features),
+        )
+        self._rff_offsets = self._rng.uniform(0.0, 2.0 * np.pi, self.n_fourier_features)
+        lifted = self._lift(embeddings)
+
+        y = 2.0 * labels - 1.0                      # {-1, +1}
+        n = len(y)
+        # Class weights keep the minority class visible (bottleneck labels
+        # are often rare once tuning converges).
+        n_pos = max(1.0, float((y > 0).sum()))
+        n_neg = max(1.0, float((y < 0).sum()))
+        weight = np.where(y > 0, n / (2.0 * n_pos), n / (2.0 * n_neg))
+
+        # Primal smooth (squared-hinge) SVM solved by L-BFGS-B; the Eq. 5
+        # sign constraint w_p <= 0 maps directly onto a box bound.  The
+        # regulariser follows the usual SVM scaling lambda = 1 / (C n).
+        lam = 1.0 / (self.c * n)
+        dim = self.n_fourier_features
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            w_e = theta[:dim]
+            w_p = theta[dim]
+            b = theta[dim + 1]
+            scores = lifted @ w_e + w_p * parallelism + b
+            margin = 1.0 - y * scores
+            active = margin > 0.0
+            hinge = np.where(active, margin, 0.0)
+            value = 0.5 * lam * (w_e @ w_e + w_p * w_p) + float(
+                (weight * hinge**2).mean()
+            )
+            coeff = -2.0 * weight * hinge * y / n
+            grad = np.empty_like(theta)
+            grad[:dim] = lam * w_e + coeff @ lifted
+            grad[dim] = lam * w_p + float(coeff @ parallelism)
+            grad[dim + 1] = float(coeff.sum())
+            return value, grad
+
+        from scipy.optimize import minimize
+
+        theta0 = np.zeros(dim + 2)
+        bounds = [(None, None)] * dim + [(None, 0.0), (None, None)]
+        solution = minimize(
+            objective,
+            theta0,
+            jac=True,
+            method="L-BFGS-B",
+            bounds=bounds,
+            options={"maxiter": self.epochs},
+        )
+        self._w_embed = solution.x[:dim]
+        self._w_parallelism = float(min(solution.x[dim], 0.0))
+        self._bias = float(solution.x[dim + 1])
+        self._fitted = True
+        margins = lifted @ self._w_embed + self._w_parallelism * parallelism + self._bias
+        self._fit_platt(margins, labels)
+        return self
+
+    def _fit_platt(self, margins: np.ndarray, labels: np.ndarray) -> None:
+        """Fit p = sigmoid(a * margin + b0) with a >= 0 (keeps monotonicity)."""
+        a, b0 = 1.0, 0.0
+        for _ in range(120):
+            z = a * margins + b0
+            p = sigmoid(z)
+            grad_a = float(((p - labels) * margins).mean())
+            grad_b = float((p - labels).mean())
+            a -= 0.5 * grad_a
+            b0 -= 0.5 * grad_b
+            a = max(a, 1e-2)
+        self._platt_scale = a
+        self._platt_offset = b0
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Margin f(x); positive = predicted bottleneck."""
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        embeddings, parallelism = self._split(features)
+        lifted = self._lift(embeddings)
+        assert self._w_embed is not None
+        return lifted @ self._w_embed + self._w_parallelism * parallelism + self._bias
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        margins = self.decision_function(features)
+        return sigmoid(self._platt_scale * margins + self._platt_offset)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard decision on the *margin* (class-weighted hinge boundary).
+
+        Platt probabilities are calibrated to the class prior, so on
+        imbalanced data the 0.5-probability surface drifts away from the
+        max-margin separator; the class decision must use the margin.
+        """
+        return (self.decision_function(features) >= 0.0).astype(np.int64)
+
+    @property
+    def parallelism_weight(self) -> float:
+        """The constrained weight w_p (always <= 0 after fitting)."""
+        return self._w_parallelism

@@ -1,0 +1,7 @@
+"""Shared utilities: seeded randomness, timing, and table formatting."""
+
+from repro.utils.rng import seeded_rng, spawn_rng
+from repro.utils.timer import Timer
+from repro.utils.tables import format_table
+
+__all__ = ["seeded_rng", "spawn_rng", "Timer", "format_table"]

@@ -1,0 +1,29 @@
+"""Benchmark workloads: Nexmark queries, PQP synthetic queries, rate patterns.
+
+Implements the paper's §V-A workload setup: Nexmark Q1/Q2/Q3/Q5/Q8, the PQP
+query templates of ZeroTune (Linear, 2-way-join, 3-way-join), the Table II
+source-rate units, and the periodic source-rate pattern used to drive every
+tuning campaign.
+"""
+
+from repro.workloads.rates import (
+    BASIC_CYCLE,
+    RateSchedule,
+    periodic_multipliers,
+    rate_units,
+)
+from repro.workloads.nexmark import nexmark_queries, nexmark_query
+from repro.workloads.pqp import pqp_queries, pqp_query_set
+from repro.workloads.query import StreamingQuery
+
+__all__ = [
+    "BASIC_CYCLE",
+    "RateSchedule",
+    "StreamingQuery",
+    "nexmark_queries",
+    "nexmark_query",
+    "periodic_multipliers",
+    "pqp_queries",
+    "pqp_query_set",
+    "rate_units",
+]

@@ -1,0 +1,246 @@
+"""Nexmark benchmark queries Q1, Q2, Q3, Q5, Q8 (paper §V-A).
+
+The paper selects these five queries for operator diversity:
+
+* **Q1** — currency conversion: a stateless *map* over the bid stream.
+* **Q2** — auction filter: a stateless *filter* over the bid stream.
+* **Q3** — local item suggestion: a stateful record-at-a-time *incremental
+  join* of filtered persons and auctions.
+* **Q5** — hot items: *sliding-window* aggregation; we model the classic
+  diamond (per-auction window counts joined with the window maximum).
+* **Q8** — monitor new users: a *tumbling-window join* of persons and
+  auctions.
+
+Selectivities and tuple widths are ground-truth simulator inputs chosen to
+match the queries' published semantics (e.g. Q2's auction filter passes a
+small fraction of bids); the tuners never read them directly.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.graph import LogicalDataflow
+from repro.dataflow.operators import (
+    AggregateFunction,
+    DataType,
+    KeyClass,
+    OperatorSpec,
+    OperatorType,
+    WindowPolicy,
+    WindowType,
+)
+from repro.workloads.query import StreamingQuery
+from repro.workloads.rates import rate_units
+
+#: Tuple widths (bytes) of the Nexmark record types.
+BID_WIDTH = 112.0
+AUCTION_WIDTH = 136.0
+PERSON_WIDTH = 200.0
+
+NEXMARK_QUERY_NAMES = ("q1", "q2", "q3", "q5", "q8")
+
+
+def _source(name: str, data_type: DataType, width: float) -> OperatorSpec:
+    return OperatorSpec(
+        name=name,
+        op_type=OperatorType.SOURCE,
+        tuple_width_in=width,
+        tuple_width_out=width,
+        tuple_data_type=data_type,
+    )
+
+
+def _sink(name: str, width: float) -> OperatorSpec:
+    return OperatorSpec(
+        name=name,
+        op_type=OperatorType.SINK,
+        tuple_width_in=width,
+        tuple_width_out=width,
+    )
+
+
+def _build_q1() -> LogicalDataflow:
+    flow = LogicalDataflow("nexmark_q1")
+    flow.chain(
+        _source("src_bids", DataType.BID, BID_WIDTH),
+        OperatorSpec(
+            name="map_currency",
+            op_type=OperatorType.MAP,
+            tuple_width_in=BID_WIDTH,
+            tuple_width_out=BID_WIDTH,
+            tuple_data_type=DataType.BID,
+            selectivity=1.0,
+        ),
+        _sink("sink", BID_WIDTH),
+    )
+    return flow
+
+
+def _build_q2() -> LogicalDataflow:
+    flow = LogicalDataflow("nexmark_q2")
+    flow.chain(
+        _source("src_bids", DataType.BID, BID_WIDTH),
+        OperatorSpec(
+            name="filter_auction",
+            op_type=OperatorType.FILTER,
+            tuple_width_in=BID_WIDTH,
+            tuple_width_out=BID_WIDTH,
+            tuple_data_type=DataType.BID,
+            selectivity=0.2,
+        ),
+        _sink("sink", BID_WIDTH),
+    )
+    return flow
+
+
+def _build_q3() -> LogicalDataflow:
+    flow = LogicalDataflow("nexmark_q3")
+    src_auctions = flow.add_operator(_source("src_auctions", DataType.AUCTION, AUCTION_WIDTH))
+    src_persons = flow.add_operator(_source("src_persons", DataType.PERSON, PERSON_WIDTH))
+    filter_category = flow.add_operator(
+        OperatorSpec(
+            name="filter_category",
+            op_type=OperatorType.FILTER,
+            tuple_width_in=AUCTION_WIDTH,
+            tuple_width_out=AUCTION_WIDTH,
+            tuple_data_type=DataType.AUCTION,
+            selectivity=0.25,
+        )
+    )
+    filter_state = flow.add_operator(
+        OperatorSpec(
+            name="filter_state",
+            op_type=OperatorType.FILTER,
+            tuple_width_in=PERSON_WIDTH,
+            tuple_width_out=PERSON_WIDTH,
+            tuple_data_type=DataType.PERSON,
+            selectivity=0.2,
+        )
+    )
+    join_seller = flow.add_operator(
+        OperatorSpec(
+            name="join_seller",
+            op_type=OperatorType.JOIN,
+            join_key_class=KeyClass.LONG,
+            tuple_width_in=(AUCTION_WIDTH + PERSON_WIDTH) / 2,
+            tuple_width_out=AUCTION_WIDTH + PERSON_WIDTH,
+            tuple_data_type=DataType.JOINED,
+            selectivity=0.3,
+        )
+    )
+    out = flow.add_operator(_sink("sink", AUCTION_WIDTH + PERSON_WIDTH))
+    flow.connect(src_auctions, filter_category)
+    flow.connect(src_persons, filter_state)
+    flow.connect(filter_category, join_seller)
+    flow.connect(filter_state, join_seller)
+    flow.connect(join_seller, out)
+    return flow
+
+
+def _build_q5() -> LogicalDataflow:
+    flow = LogicalDataflow("nexmark_q5")
+    src = flow.add_operator(_source("src_bids", DataType.BID, BID_WIDTH))
+    win_count = flow.add_operator(
+        OperatorSpec(
+            name="win_count",
+            op_type=OperatorType.WINDOW_AGGREGATE,
+            window_type=WindowType.SLIDING,
+            window_policy=WindowPolicy.TIME,
+            window_length=60.0,
+            sliding_length=10.0,
+            aggregate_class=KeyClass.LONG,
+            aggregate_key_class=KeyClass.LONG,
+            aggregate_function=AggregateFunction.COUNT,
+            tuple_width_in=BID_WIDTH,
+            tuple_width_out=48.0,
+            tuple_data_type=DataType.AGGREGATED,
+            selectivity=0.30,
+        )
+    )
+    win_max = flow.add_operator(
+        OperatorSpec(
+            name="win_max",
+            op_type=OperatorType.WINDOW_AGGREGATE,
+            window_type=WindowType.SLIDING,
+            window_policy=WindowPolicy.TIME,
+            window_length=60.0,
+            sliding_length=10.0,
+            aggregate_class=KeyClass.LONG,
+            aggregate_key_class=KeyClass.LONG,
+            aggregate_function=AggregateFunction.MAX,
+            tuple_width_in=48.0,
+            tuple_width_out=48.0,
+            tuple_data_type=DataType.AGGREGATED,
+            selectivity=0.2,
+        )
+    )
+    join_hot = flow.add_operator(
+        OperatorSpec(
+            name="join_hot",
+            op_type=OperatorType.JOIN,
+            join_key_class=KeyClass.LONG,
+            tuple_width_in=48.0,
+            tuple_width_out=64.0,
+            tuple_data_type=DataType.JOINED,
+            selectivity=0.5,
+        )
+    )
+    out = flow.add_operator(_sink("sink", 64.0))
+    flow.connect(src, win_count)
+    flow.connect(win_count, win_max)
+    flow.connect(win_count, join_hot)
+    flow.connect(win_max, join_hot)
+    flow.connect(join_hot, out)
+    return flow
+
+
+def _build_q8() -> LogicalDataflow:
+    flow = LogicalDataflow("nexmark_q8")
+    src_persons = flow.add_operator(_source("src_persons", DataType.PERSON, PERSON_WIDTH))
+    src_auctions = flow.add_operator(_source("src_auctions", DataType.AUCTION, AUCTION_WIDTH))
+    win_join = flow.add_operator(
+        OperatorSpec(
+            name="win_join",
+            op_type=OperatorType.WINDOW_JOIN,
+            window_type=WindowType.TUMBLING,
+            window_policy=WindowPolicy.TIME,
+            window_length=600.0,
+            join_key_class=KeyClass.LONG,
+            tuple_width_in=(PERSON_WIDTH + AUCTION_WIDTH) / 2,
+            tuple_width_out=96.0,
+            tuple_data_type=DataType.JOINED,
+            selectivity=0.15,
+        )
+    )
+    out = flow.add_operator(_sink("sink", 96.0))
+    flow.connect(src_persons, win_join)
+    flow.connect(src_auctions, win_join)
+    flow.connect(win_join, out)
+    return flow
+
+
+_BUILDERS = {
+    "q1": _build_q1,
+    "q2": _build_q2,
+    "q3": _build_q3,
+    "q5": _build_q5,
+    "q8": _build_q8,
+}
+
+
+def nexmark_query(name: str, engine: str = "flink") -> StreamingQuery:
+    """Build one Nexmark query bound to an engine's Table II rate units."""
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown Nexmark query {name!r}; have {sorted(_BUILDERS)}")
+    flow = _BUILDERS[key]()
+    return StreamingQuery(
+        name=f"nexmark_{key}_{engine}",
+        flow=flow,
+        rate_units=rate_units("nexmark", key, engine),
+        engine=engine,
+    )
+
+
+def nexmark_queries(engine: str = "flink") -> list[StreamingQuery]:
+    """All five evaluated Nexmark queries for ``engine``."""
+    return [nexmark_query(name, engine) for name in NEXMARK_QUERY_NAMES]

@@ -1,0 +1,38 @@
+"""A streaming query: a dataflow plus its source-rate units."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.graph import LogicalDataflow
+
+
+@dataclass(frozen=True)
+class StreamingQuery:
+    """A benchmark query bound to an engine's Table II rate units.
+
+    ``rate_units`` maps each source operator name to its Wu (records/s);
+    multiplying by a pattern multiplier in [1, 10] yields the instantaneous
+    source rates of a tuning campaign step.
+    """
+
+    name: str
+    flow: LogicalDataflow
+    rate_units: dict[str, float]
+    engine: str  # "flink" or "timely"
+
+    def __post_init__(self) -> None:
+        self.flow.validate()
+        sources = set(self.flow.sources())
+        configured = set(self.rate_units)
+        if sources != configured:
+            raise ValueError(
+                f"{self.name}: rate units {sorted(configured)} do not match "
+                f"sources {sorted(sources)}"
+            )
+
+    def rates_at(self, multiplier: float) -> dict[str, float]:
+        """Source rates at ``multiplier`` x Wu."""
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        return {src: unit * multiplier for src, unit in self.rate_units.items()}

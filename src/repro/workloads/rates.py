@@ -1,0 +1,97 @@
+"""Source-rate units (Table II) and the periodic rate pattern (§V-A).
+
+The paper drives every query with a periodic pattern: a basic cycle of ten
+multipliers ``[3, 7, 4, 2, 1, 10, 8, 5, 6, 9]`` (in units of Wu), replicated
+to a sequence of 20, with six permutations generated per query — 120 source
+rate changes in total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import seeded_rng
+
+#: §V-A basic cycle of source-rate multipliers (x Wu).
+BASIC_CYCLE: tuple[int, ...] = (3, 7, 4, 2, 1, 10, 8, 5, 6, 9)
+
+#: Table II — source rate units Wu in records/s, keyed by
+#: (workload, query, engine) -> {source name: Wu}.
+_RATE_UNITS: dict[tuple[str, str, str], dict[str, float]] = {
+    ("nexmark", "q1", "flink"): {"src_bids": 700_000.0},
+    ("nexmark", "q1", "timely"): {"src_bids": 9_000_000.0},
+    ("nexmark", "q2", "flink"): {"src_bids": 900_000.0},
+    ("nexmark", "q2", "timely"): {"src_bids": 9_000_000.0},
+    ("nexmark", "q3", "flink"): {"src_auctions": 200_000.0, "src_persons": 40_000.0},
+    ("nexmark", "q3", "timely"): {"src_auctions": 5_000_000.0, "src_persons": 5_000_000.0},
+    ("nexmark", "q5", "flink"): {"src_bids": 80_000.0},
+    ("nexmark", "q5", "timely"): {"src_bids": 10_000_000.0},
+    ("nexmark", "q8", "flink"): {"src_auctions": 100_000.0, "src_persons": 60_000.0},
+    ("nexmark", "q8", "timely"): {"src_auctions": 4_000_000.0, "src_persons": 4_000_000.0},
+    ("pqp", "linear", "flink"): {"src": 5_000.0},
+    ("pqp", "2-way-join", "flink"): {"src_left": 500.0, "src_right": 500.0},
+    ("pqp", "3-way-join", "flink"): {"src_a": 250.0, "src_b": 250.0, "src_c": 250.0},
+}
+
+
+def rate_units(workload: str, query: str, engine: str) -> dict[str, float]:
+    """Look up the Table II rate units for a query on an engine."""
+    try:
+        return dict(_RATE_UNITS[(workload, query, engine)])
+    except KeyError:
+        raise KeyError(
+            f"no Table II rate units for {workload}/{query} on {engine}"
+        ) from None
+
+
+def periodic_multipliers(
+    n_permutations: int = 6,
+    cycle: tuple[int, ...] = BASIC_CYCLE,
+    seed: int | None = None,
+) -> list[int]:
+    """The §V-A rate-multiplier sequence.
+
+    Each permutation of the basic cycle is replicated once (20 entries);
+    ``n_permutations`` permutations concatenate to ``20 * n`` multipliers
+    (120 at the paper's scale).  The first permutation is the identity so
+    small campaigns still start with the canonical cycle.
+    """
+    if n_permutations < 1:
+        raise ValueError("n_permutations must be >= 1")
+    rng = seeded_rng(seed)
+    sequence: list[int] = []
+    for index in range(n_permutations):
+        if index == 0:
+            perm = list(cycle)
+        else:
+            perm = [int(x) for x in rng.permutation(np.asarray(cycle))]
+        sequence.extend(perm + perm)
+    return sequence
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """A concrete schedule of source-rate maps for one query."""
+
+    query_name: str
+    steps: tuple[dict[str, float], ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    @classmethod
+    def for_query(
+        cls,
+        query,
+        n_permutations: int = 6,
+        seed: int | None = None,
+    ) -> "RateSchedule":
+        """Build the periodic schedule for a :class:`StreamingQuery`."""
+        multipliers = periodic_multipliers(n_permutations=n_permutations, seed=seed)
+        steps = tuple(query.rates_at(m) for m in multipliers)
+        return cls(query_name=query.name, steps=steps)

@@ -1,0 +1,138 @@
+"""Shared fixtures: small dataflows, engines, and a tiny pre-trained model.
+
+Expensive artifacts (history, pre-training) are session-scoped and sized
+for speed; correctness-critical behaviour is exercised by the unit tests,
+while these fixtures support integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HistoryGenerator, pretrain
+from repro.dataflow.graph import LogicalDataflow
+from repro.dataflow.operators import (
+    AggregateFunction,
+    KeyClass,
+    OperatorSpec,
+    OperatorType,
+    WindowPolicy,
+    WindowType,
+)
+from repro.engines import FlinkCluster, TimelyCluster
+from repro.workloads import nexmark_queries, pqp_query_set
+
+
+def build_linear_flow(name: str = "linear_flow", selectivity: float = 0.5) -> LogicalDataflow:
+    """source -> filter -> sink."""
+    flow = LogicalDataflow(name)
+    flow.chain(
+        OperatorSpec(name="src", op_type=OperatorType.SOURCE),
+        OperatorSpec(name="filter", op_type=OperatorType.FILTER, selectivity=selectivity),
+        OperatorSpec(name="sink", op_type=OperatorType.SINK),
+    )
+    flow.validate()
+    return flow
+
+
+def build_diamond_flow(name: str = "diamond_flow") -> LogicalDataflow:
+    """source fans out to two filters that join back (Fig. 3 shape)."""
+    flow = LogicalDataflow(name)
+    src = flow.add_operator(OperatorSpec(name="src", op_type=OperatorType.SOURCE))
+    left = flow.add_operator(
+        OperatorSpec(name="left", op_type=OperatorType.FILTER, selectivity=0.6)
+    )
+    right = flow.add_operator(
+        OperatorSpec(name="right", op_type=OperatorType.FILTER, selectivity=0.4)
+    )
+    join = flow.add_operator(
+        OperatorSpec(
+            name="join",
+            op_type=OperatorType.JOIN,
+            join_key_class=KeyClass.INT,
+            selectivity=0.5,
+        )
+    )
+    sink = flow.add_operator(OperatorSpec(name="sink", op_type=OperatorType.SINK))
+    flow.connect(src, left)
+    flow.connect(src, right)
+    flow.connect(left, join)
+    flow.connect(right, join)
+    flow.connect(join, sink)
+    flow.validate()
+    return flow
+
+
+def build_window_flow(name: str = "window_flow") -> LogicalDataflow:
+    """source -> sliding window aggregate -> sink."""
+    flow = LogicalDataflow(name)
+    flow.chain(
+        OperatorSpec(name="src", op_type=OperatorType.SOURCE),
+        OperatorSpec(
+            name="window",
+            op_type=OperatorType.WINDOW_AGGREGATE,
+            window_type=WindowType.SLIDING,
+            window_policy=WindowPolicy.TIME,
+            window_length=60.0,
+            sliding_length=12.0,
+            aggregate_class=KeyClass.INT,
+            aggregate_key_class=KeyClass.LONG,
+            aggregate_function=AggregateFunction.SUM,
+            selectivity=0.25,
+        ),
+        OperatorSpec(name="sink", op_type=OperatorType.SINK),
+    )
+    flow.validate()
+    return flow
+
+
+@pytest.fixture
+def linear_flow() -> LogicalDataflow:
+    return build_linear_flow()
+
+
+@pytest.fixture
+def diamond_flow() -> LogicalDataflow:
+    return build_diamond_flow()
+
+
+@pytest.fixture
+def window_flow() -> LogicalDataflow:
+    return build_window_flow()
+
+
+@pytest.fixture
+def flink() -> FlinkCluster:
+    return FlinkCluster(seed=1234)
+
+
+@pytest.fixture
+def timely() -> TimelyCluster:
+    return TimelyCluster(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full 61-query Flink corpus."""
+    return nexmark_queries("flink") + [
+        q for qs in pqp_query_set().values() for q in qs
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_history(corpus):
+    """A small labelled execution history (session-scoped)."""
+    engine = FlinkCluster(seed=77)
+    return HistoryGenerator(engine, seed=78).generate(corpus, 400)
+
+
+@pytest.fixture(scope="session")
+def tiny_pretrained(tiny_history):
+    """A fast pre-trained StreamTune artifact (session-scoped)."""
+    return pretrain(
+        tiny_history,
+        max_parallelism=100,
+        n_clusters=2,
+        epochs=8,
+        seed=5,
+    )

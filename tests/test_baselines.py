@@ -1,0 +1,217 @@
+"""Tests for the DS2, ContTune, ZeroTune and Oracle tuners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ContTuneTuner, DS2Tuner, OracleTuner, ZeroTuneTuner
+from repro.baselines._demand import propagate_target_demand
+from repro.baselines.api import TuningResult, TuningStep
+from repro.engines.flink import FlinkCluster
+from repro.engines.timely import TimelyCluster
+from repro.workloads.nexmark import nexmark_query
+
+
+@pytest.fixture
+def q2():
+    return nexmark_query("q2", "flink")
+
+
+def cold_deployment(engine, query, multiplier=3):
+    return engine.deploy(
+        query.flow,
+        dict.fromkeys(query.flow.operator_names, 1),
+        query.rates_at(multiplier),
+    )
+
+
+class TestOracle:
+    def test_one_shot_and_backpressure_free(self, q2):
+        engine = FlinkCluster(seed=11)
+        tuner = OracleTuner(engine)
+        deployment = cold_deployment(engine, q2)
+        result = tuner.tune(deployment, q2.rates_at(10))
+        assert result.n_reconfigurations == 1
+        assert result.converged
+        assert not engine.ground_truth(deployment).has_backpressure
+
+    def test_oracle_is_minimal(self, q2):
+        """Dropping any operator by one degree must re-saturate the job."""
+        engine = FlinkCluster(seed=11, noise_std=0.0)
+        tuner = OracleTuner(engine)
+        deployment = cold_deployment(engine, q2)
+        tuner.tune(deployment, q2.rates_at(10))
+        optimal = dict(deployment.parallelisms)
+        for name in optimal:
+            if optimal[name] == 1:
+                continue
+            reduced = dict(optimal)
+            reduced[name] -= 1
+            engine.reconfigure(deployment, reduced)
+            assert engine.ground_truth(deployment).has_backpressure, name
+            engine.reconfigure(deployment, optimal)
+
+
+class TestDS2:
+    def test_clears_backpressure(self, q2):
+        engine = FlinkCluster(seed=12)
+        tuner = DS2Tuner(engine)
+        deployment = cold_deployment(engine, q2)
+        result = tuner.tune(deployment, q2.rates_at(10))
+        assert not engine.ground_truth(deployment).has_backpressure
+        assert result.n_reconfigurations >= 1
+
+    def test_near_oracle_total(self, q2):
+        engine = FlinkCluster(seed=12)
+        oracle_total = sum(
+            OracleTuner(engine).optimal_parallelisms(
+                cold_deployment(engine, q2), q2.rates_at(10)
+            ).values()
+        )
+        tuner = DS2Tuner(engine)
+        deployment = cold_deployment(engine, q2)
+        result = tuner.tune(deployment, q2.rates_at(10))
+        assert result.final_total_parallelism <= 2 * oracle_total
+
+    def test_scales_down_after_rate_drop(self, q2):
+        engine = FlinkCluster(seed=12)
+        tuner = DS2Tuner(engine)
+        deployment = cold_deployment(engine, q2)
+        high = tuner.tune(deployment, q2.rates_at(10)).final_total_parallelism
+        low = tuner.tune(deployment, q2.rates_at(2)).final_total_parallelism
+        assert low < high
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            DS2Tuner(FlinkCluster(seed=1), max_iterations=0)
+
+    def test_demand_propagation_uses_observed_selectivity(self, q2):
+        engine = FlinkCluster(seed=12, noise_std=0.0)
+        deployment = engine.deploy(
+            q2.flow, {"src_bids": 2, "filter_auction": 30, "sink": 4},
+            q2.rates_at(3),
+        )
+        telemetry = engine.measure(deployment)
+        demand = propagate_target_demand(deployment, telemetry, q2.rates_at(10))
+        assert demand["src_bids"] == pytest.approx(9e6)
+        assert demand["filter_auction"] == pytest.approx(9e6, rel=1e-6)
+        assert demand["sink"] == pytest.approx(0.2 * 9e6, rel=1e-3)
+
+
+class TestContTune:
+    def test_clears_backpressure(self, q2):
+        engine = FlinkCluster(seed=13)
+        tuner = ContTuneTuner(engine)
+        deployment = cold_deployment(engine, q2)
+        tuner.tune(deployment, q2.rates_at(10))
+        assert not engine.ground_truth(deployment).has_backpressure
+
+    def test_history_accumulates_across_processes(self, q2):
+        engine = FlinkCluster(seed=13)
+        tuner = ContTuneTuner(engine)
+        deployment = cold_deployment(engine, q2)
+        tuner.tune(deployment, q2.rates_at(3))
+        count_after_first = tuner.observation_count(q2.flow.name, "filter_auction")
+        tuner.tune(deployment, q2.rates_at(7))
+        assert tuner.observation_count(q2.flow.name, "filter_auction") > count_after_first
+
+    def test_prepare_resets_job_history(self, q2):
+        engine = FlinkCluster(seed=13)
+        tuner = ContTuneTuner(engine)
+        deployment = cold_deployment(engine, q2)
+        tuner.tune(deployment, q2.rates_at(3))
+        tuner.prepare(q2)
+        assert tuner.observation_count(q2.flow.name, "filter_auction") == 0
+
+    def test_later_processes_lean_on_history(self, q2):
+        """Revisiting a rate with a populated GP needs few reconfigs."""
+        engine = FlinkCluster(seed=13)
+        tuner = ContTuneTuner(engine)
+        deployment = cold_deployment(engine, q2)
+        tuner.tune(deployment, q2.rates_at(10))
+        tuner.tune(deployment, q2.rates_at(3))
+        again = tuner.tune(deployment, q2.rates_at(10)).n_reconfigurations
+        assert again <= 2
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ContTuneTuner(FlinkCluster(seed=1), alpha=-1.0)
+
+
+class TestZeroTune:
+    @pytest.fixture
+    def zerotune(self, tiny_history):
+        engine = FlinkCluster(seed=14)
+        return engine, ZeroTuneTuner(engine, tiny_history[:150], epochs=3, seed=15)
+
+    def test_requires_history(self):
+        with pytest.raises(ValueError):
+            ZeroTuneTuner(FlinkCluster(seed=1), [])
+
+    def test_fit_idempotent(self, zerotune):
+        _, tuner = zerotune
+        tuner.fit()
+        model = tuner._model
+        tuner.fit()
+        assert tuner._model is model
+
+    def test_single_reconfiguration(self, zerotune, q2):
+        engine, tuner = zerotune
+        deployment = cold_deployment(engine, q2)
+        result = tuner.tune(deployment, q2.rates_at(5))
+        assert result.n_reconfigurations <= 1
+        assert len(result.steps) == 1
+
+    def test_recommends_more_than_oracle(self, zerotune, q2):
+        """No resource term in the objective -> over-provisioning."""
+        engine, tuner = zerotune
+        oracle_total = sum(
+            OracleTuner(engine).optimal_parallelisms(
+                cold_deployment(engine, q2), q2.rates_at(5)
+            ).values()
+        )
+        deployment = cold_deployment(engine, q2)
+        result = tuner.tune(deployment, q2.rates_at(5))
+        assert result.final_total_parallelism > oracle_total
+
+
+class TestTimelyOverprovisioningMechanism:
+    def test_ds2_overprovisions_on_timely(self):
+        """Spin inflation makes DS2 scale the bottleneck well above need."""
+        query = nexmark_query("q8", "timely")
+        engine = TimelyCluster(seed=16)
+        oracle = OracleTuner(engine)
+        deployment = cold_deployment(engine, query, multiplier=3)
+        optimal = oracle.optimal_parallelisms(deployment, query.rates_at(10))
+        ds2 = DS2Tuner(engine)
+        result = ds2.tune(deployment, query.rates_at(10))
+        # The windowed join is the binding operator: DS2's useful-time
+        # deflation should roughly multiply its degree by the spin factor.
+        assert result.final_parallelisms["win_join"] >= 1.5 * optimal["win_join"]
+        assert result.final_total_parallelism >= sum(optimal.values())
+
+
+class TestResultInvariants:
+    def test_backpressure_events_subset_of_reconfigs(self, q2, tiny_history):
+        engine = FlinkCluster(seed=17)
+        for tuner in (DS2Tuner(engine), ContTuneTuner(engine), OracleTuner(engine)):
+            deployment = cold_deployment(engine, q2)
+            result = tuner.tune(deployment, q2.rates_at(8))
+            assert result.n_backpressure_events <= result.n_reconfigurations
+            engine.stop(deployment)
+
+    def test_empty_result_raises_on_final(self):
+        result = TuningResult(query_name="q", tuner_name="t")
+        with pytest.raises(ValueError):
+            _ = result.final_parallelisms
+
+    def test_stabilize_deadband(self, q2):
+        engine = FlinkCluster(seed=18)
+        tuner = DS2Tuner(engine)
+        current = {"a": 10, "b": 2}
+        proposal = {"a": 11, "b": 2}
+        assert tuner.stabilize(proposal, current, has_backpressure=False) == current
+        jump = {"a": 15, "b": 2}
+        assert tuner.stabilize(jump, current, has_backpressure=False) == jump
+        assert tuner.stabilize(proposal, current, has_backpressure=True) == proposal

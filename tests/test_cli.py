@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _resolve_query, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_history_args(self):
+        args = build_parser().parse_args(
+            ["history", "--output", "h.jsonl", "--records", "50"]
+        )
+        assert args.records == 50
+        assert args.engine == "flink"
+
+    def test_tune_args(self):
+        args = build_parser().parse_args(
+            ["tune", "--model", "m", "--query", "q5", "--rates", "2,9"]
+        )
+        assert args.rates == "2,9"
+        assert args.layer == "svm"
+
+    def test_tune_accepts_isotonic_layer(self):
+        args = build_parser().parse_args(
+            ["tune", "--model", "m", "--query", "q2", "--layer", "isotonic"]
+        )
+        assert args.layer == "isotonic"
+
+    def test_tune_rejects_unknown_layer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["tune", "--model", "m", "--query", "q2", "--layer", "forest"]
+            )
+
+    def test_ablations_subcommand(self):
+        args = build_parser().parse_args(["ablations", "--scale", "smoke"])
+        assert args.scale == "smoke"
+        assert args.func.__name__ == "_cmd_ablations"
+
+
+class TestQueryResolution:
+    def test_nexmark(self):
+        assert _resolve_query("q5", "flink").name == "nexmark_q5_flink"
+
+    def test_pqp(self):
+        assert _resolve_query("2-way-join/3", "flink").name.startswith("pqp_2way")
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            _resolve_query("4-way/0", "flink")
+
+
+class TestEndToEnd:
+    def test_history_pretrain_tune_pipeline(self, tmp_path, capsys):
+        history_path = tmp_path / "history.jsonl"
+        model_dir = tmp_path / "model"
+
+        assert main([
+            "history", "--output", str(history_path),
+            "--records", "400", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 400 records" in out
+
+        assert main([
+            "pretrain", "--history", str(history_path),
+            "--output", str(model_dir), "--clusters", "2",
+            "--epochs", "6", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pre-trained 2 cluster encoder(s)" in out
+
+        assert main([
+            "tune", "--model", str(model_dir),
+            "--query", "q1", "--rates", "3,8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "StreamTune tuning" in out
+        assert "converged" in out

@@ -1,0 +1,160 @@
+"""Tests for GED-space cluster-quality diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    GEDKMeans,
+    cluster_summary,
+    mean_silhouette,
+    silhouette_scores,
+    within_cluster_dispersion,
+)
+from repro.dataflow.graph import LogicalDataflow
+from repro.dataflow.operators import AggregateFunction, OperatorSpec, OperatorType
+from repro.ged.search import GEDCache
+
+
+def chain_flow(name: str, middle_types: list[OperatorType]) -> LogicalDataflow:
+    flow = LogicalDataflow(name)
+    middle = [
+        OperatorSpec(
+            name=f"op{i}",
+            op_type=op_type,
+            aggregate_function=(
+                AggregateFunction.SUM
+                if op_type
+                in (OperatorType.AGGREGATE, OperatorType.WINDOW_AGGREGATE)
+                else AggregateFunction.NONE
+            ),
+        )
+        for i, op_type in enumerate(middle_types)
+    ]
+    flow.chain(
+        OperatorSpec(name="src", op_type=OperatorType.SOURCE),
+        *middle,
+        OperatorSpec(name="sink", op_type=OperatorType.SINK),
+    )
+    flow.validate()
+    return flow
+
+
+@pytest.fixture()
+def two_families():
+    """Two structurally distinct families: short filter chains vs long
+    aggregate pipelines."""
+    filters = [
+        chain_flow(f"filter_{i}", [OperatorType.FILTER]) for i in range(3)
+    ]
+    pipelines = [
+        chain_flow(
+            f"agg_{i}",
+            [OperatorType.MAP, OperatorType.AGGREGATE, OperatorType.AGGREGATE,
+             OperatorType.FLAT_MAP],
+        )
+        for i in range(3)
+    ]
+    graphs = filters + pipelines
+    assignments = [0, 0, 0, 1, 1, 1]
+    return graphs, assignments
+
+
+class TestSilhouette:
+    def test_crisp_families_score_high(self, two_families):
+        graphs, assignments = two_families
+        assert mean_silhouette(graphs, assignments) > 0.5
+
+    def test_shuffled_assignments_score_lower(self, two_families):
+        graphs, good = two_families
+        bad = [0, 1, 0, 1, 0, 1]
+        assert mean_silhouette(graphs, bad) < mean_silhouette(graphs, good)
+
+    def test_scores_in_range(self, two_families):
+        graphs, assignments = two_families
+        scores = silhouette_scores(graphs, assignments)
+        assert np.all(scores >= -1.0)
+        assert np.all(scores <= 1.0)
+        assert scores.shape == (len(graphs),)
+
+    def test_single_cluster_scores_zero(self, two_families):
+        graphs, _ = two_families
+        scores = silhouette_scores(graphs, [0] * len(graphs))
+        assert np.allclose(scores, 0.0)
+
+    def test_singleton_cluster_scores_zero(self, two_families):
+        graphs, _ = two_families
+        assignments = [0, 0, 0, 0, 0, 1]   # one singleton
+        scores = silhouette_scores(graphs, assignments)
+        assert scores[-1] == 0.0
+
+    def test_identical_graphs_in_same_cluster_score_perfect(self):
+        same = [chain_flow(f"f{i}", [OperatorType.FILTER]) for i in range(2)]
+        other = [
+            chain_flow(
+                f"g{i}",
+                [OperatorType.MAP, OperatorType.AGGREGATE, OperatorType.FLAT_MAP],
+            )
+            for i in range(2)
+        ]
+        scores = silhouette_scores(same + other, [0, 0, 1, 1])
+        assert np.allclose(scores, 1.0)
+
+    def test_input_validation(self, two_families):
+        graphs, _ = two_families
+        with pytest.raises(ValueError):
+            silhouette_scores(graphs, [0])
+        with pytest.raises(ValueError):
+            silhouette_scores([], [])
+
+    def test_cache_is_reused(self, two_families):
+        graphs, assignments = two_families
+        cache = GEDCache()
+        silhouette_scores(graphs, assignments, cache)
+        first_misses = cache.misses
+        silhouette_scores(graphs, assignments, cache)
+        assert cache.misses == first_misses
+
+
+class TestDispersion:
+    def test_tight_cluster_has_low_dispersion(self, two_families):
+        graphs, assignments = two_families
+        centers = [graphs[0], graphs[3]]
+        dispersion = within_cluster_dispersion(graphs, assignments, centers)
+        assert set(dispersion) == {0, 1}
+        assert all(value >= 0.0 for value in dispersion.values())
+
+    def test_rejects_assignment_without_center(self, two_families):
+        graphs, assignments = two_families
+        with pytest.raises(ValueError, match="no center"):
+            within_cluster_dispersion(graphs, assignments, centers=[graphs[0]])
+
+    def test_rejects_misaligned_inputs(self, two_families):
+        graphs, _ = two_families
+        with pytest.raises(ValueError, match="align"):
+            within_cluster_dispersion(graphs, [0], centers=[graphs[0]])
+
+
+class TestClusterSummary:
+    def test_one_row_per_cluster(self, two_families):
+        graphs, assignments = two_families
+        centers = [graphs[0], graphs[3]]
+        rows = cluster_summary(graphs, assignments, centers)
+        assert [row.cluster for row in rows] == [0, 1]
+        assert [row.size for row in rows] == [3, 3]
+        for row in rows:
+            assert row.dispersion >= 0.0
+            assert -1.0 <= row.silhouette <= 1.0
+
+    def test_agrees_with_kmeans_output(self, two_families):
+        graphs, _ = two_families
+        result = GEDKMeans(n_clusters=2, tau=5.0, seed=3).fit(graphs)
+        rows = cluster_summary(
+            graphs, list(result.assignments), result.center_graphs
+        )
+        assert sum(row.size for row in rows) == len(graphs)
+        # A clustering that recovers the two families must score well.
+        sizes = sorted(row.size for row in rows)
+        if sizes == [3, 3]:
+            assert all(row.silhouette > 0.0 for row in rows)

@@ -1,0 +1,140 @@
+"""Tests for the experiment harness (scales, context, campaigns, figures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import context
+from repro.experiments.campaigns import CampaignResult, run_campaign
+from repro.experiments.fig4_processing_ability import run as run_fig4
+from repro.experiments.fig5_history_distribution import PAPER_DISTRIBUTION
+from repro.experiments.scale import DEFAULT, PAPER, SMOKE, ExperimentScale, resolve_scale
+from repro.baselines.api import TuningResult, TuningStep
+
+
+class TestScale:
+    def test_presets_resolvable(self):
+        assert resolve_scale("smoke") is SMOKE
+        assert resolve_scale("default") is DEFAULT
+        assert resolve_scale("paper") is PAPER
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert resolve_scale() is SMOKE
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            resolve_scale("galactic")
+
+    def test_paper_scale_matches_protocol(self):
+        assert PAPER.n_rate_changes == 120
+        assert PAPER.n_permutations == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad", n_history_records=5, gnn_epochs=1, n_clusters=1,
+                n_permutations=1, n_rate_changes=1, queries_per_template=1,
+                n_latency_epochs=1, zerotune_epochs=1, zerotune_history=1,
+            )
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad", n_history_records=100, gnn_epochs=1, n_clusters=1,
+                n_permutations=1, n_rate_changes=40, queries_per_template=1,
+                n_latency_epochs=1, zerotune_epochs=1, zerotune_history=1,
+            )
+
+
+class TestContext:
+    def test_engines(self):
+        assert context.make_engine("flink", SMOKE).name == "flink"
+        assert context.make_engine("timely", SMOKE).name == "timely"
+        with pytest.raises(KeyError):
+            context.make_engine("storm", SMOKE)
+
+    def test_corpus_sizes(self):
+        assert len(context.corpus("flink")) == 61
+        assert len(context.corpus("timely")) == 5
+
+    def test_evaluation_groups(self):
+        flink_groups = context.evaluation_queries("flink", SMOKE)
+        assert set(flink_groups) == {
+            "q1", "q2", "q3", "q5", "q8", "linear", "2-way-join", "3-way-join"
+        }
+        timely_groups = context.evaluation_queries("timely", SMOKE)
+        assert set(timely_groups) == {"q3", "q5", "q8"}
+
+    def test_tuner_factory(self, tiny_history):
+        engine = context.make_engine("flink", SMOKE)
+        for method in ("DS2", "ContTune", "Oracle"):
+            assert context.make_tuner(method, engine, SMOKE).name == method
+        with pytest.raises(KeyError):
+            context.make_tuner("magic", engine, SMOKE)
+
+    def test_cache_is_keyed_and_clearable(self):
+        context._CACHE["probe"] = 1
+        assert context._cached("probe", lambda: 2) == 1
+        context.clear_cache()
+        assert context._cached("probe", lambda: 2) == 2
+        context.clear_cache()
+
+
+class TestCampaignResult:
+    def _result(self, reconfigs: int, bp: int, total: int) -> TuningResult:
+        result = TuningResult(query_name="q", tuner_name="t")
+        for i in range(max(reconfigs, 1)):
+            result.steps.append(
+                TuningStep(
+                    parallelisms={"op": total},
+                    reconfigured=i < reconfigs,
+                    backpressure_after=i < bp,
+                    recommendation_seconds=0.01,
+                    mean_cpu_utilisation=0.5,
+                )
+            )
+        return result
+
+    def test_aggregations(self):
+        campaign = CampaignResult(query_name="q", method="t")
+        campaign.multipliers = [3, 10, 3]
+        campaign.processes = [
+            self._result(2, 1, 5),
+            self._result(1, 0, 9),
+            self._result(1, 0, 5),
+        ]
+        assert campaign.average_reconfigurations == pytest.approx(4 / 3)
+        assert campaign.total_backpressure_events == 1
+        assert campaign.final_parallelism_at(10) == 9.0
+        assert campaign.final_parallelism_at(3) == 5.0
+        assert campaign.final_parallelisms_at(10) == {"op": 9}
+        with pytest.raises(ValueError):
+            campaign.final_parallelism_at(7)
+
+    def test_cpu_trace_and_boundaries(self):
+        campaign = CampaignResult(query_name="q", method="t")
+        campaign.multipliers = [3, 10]
+        campaign.processes = [self._result(2, 0, 5), self._result(1, 0, 5)]
+        assert len(campaign.cpu_trace()) == 3
+        assert campaign.process_boundaries() == [0, 2]
+
+
+class TestRunCampaign:
+    def test_oracle_micro_campaign(self):
+        engine = context.make_engine("flink", SMOKE)
+        tuner = context.make_tuner("Oracle", engine, SMOKE)
+        query = context.evaluation_queries("flink", SMOKE)["q1"][0]
+        result = run_campaign(engine, tuner, query, [3, 10, 5])
+        assert result.n_processes == 3
+        assert result.multipliers == [3, 10, 5]
+        assert result.total_backpressure_events == 0
+        assert result.final_parallelism_at(10) >= result.final_parallelism_at(5)
+
+
+class TestFigureModules:
+    def test_fig4_reproduces_paper_thresholds(self):
+        result = run_fig4()
+        assert result.filter_threshold == 14
+        assert result.window_threshold == 10
+
+    def test_fig5_paper_distribution_sums_to_100(self):
+        assert sum(PAPER_DISTRIBUTION.values()) == pytest.approx(100.0, abs=0.1)

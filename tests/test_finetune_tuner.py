@@ -1,0 +1,190 @@
+"""Tests for warm-up datasets, distillation, and the Algorithm 2 tuner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.finetune import (
+    DISTILLATION_GRID,
+    PredictionDataset,
+    build_warmup_dataset,
+    distill_rows,
+    rows_from_record,
+)
+from repro.core.tuner import StreamTuneTuner, _ConstantModel
+from repro.engines.flink import FlinkCluster
+from repro.workloads.nexmark import nexmark_query
+
+
+class TestPredictionDataset:
+    def test_append_and_matrices(self):
+        ds = PredictionDataset()
+        ds.append(np.array([1.0, 0.5]), 1)
+        ds.append(np.array([0.0, 0.9]), 0)
+        X, y = ds.matrices()
+        assert X.shape == (2, 2)
+        assert list(y) == [1, 0]
+
+    def test_rejects_undefined_labels(self):
+        ds = PredictionDataset()
+        with pytest.raises(ValueError):
+            ds.append(np.zeros(2), -1)
+
+    def test_empty_matrices_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionDataset().matrices()
+
+    def test_extend_and_class_balance(self):
+        a = PredictionDataset()
+        a.append(np.zeros(2), 1)
+        b = PredictionDataset()
+        b.append(np.ones(2), 0)
+        a.extend(b)
+        assert len(a) == 2
+        assert a.has_both_classes()
+        assert a.n_positive == 1
+
+
+class TestWarmup:
+    def test_rows_from_record_uses_labelled_only(self, tiny_pretrained, tiny_history):
+        record = next(r for r in tiny_history if 0 < r.n_labelled < len(r.labels))
+        encoder = tiny_pretrained.encoders[
+            tiny_pretrained.assign_cluster(record.flow)
+        ]
+        rows = rows_from_record(tiny_pretrained, encoder, record)
+        assert len(rows) == record.n_labelled
+
+    def test_feature_layout(self, tiny_pretrained, tiny_history):
+        record = next(r for r in tiny_history if r.n_labelled > 0)
+        encoder = tiny_pretrained.encoders[
+            tiny_pretrained.assign_cluster(record.flow)
+        ]
+        rows = rows_from_record(tiny_pretrained, encoder, record)
+        X, _ = rows.matrices()
+        embedding_dim = tiny_pretrained.encoders[0].config.embedding_dim
+        assert X.shape[1] == embedding_dim + 1
+        assert np.all((X[:, -1] >= 0) & (X[:, -1] <= 1))
+
+    def test_warmup_dataset_nonempty(self, tiny_pretrained):
+        ds = build_warmup_dataset(tiny_pretrained, 0, max_rows=200, seed=1)
+        assert len(ds) > 0
+
+    def test_warmup_cluster_bounds(self, tiny_pretrained):
+        with pytest.raises(ValueError):
+            build_warmup_dataset(tiny_pretrained, 99)
+
+    def test_distill_rows_cover_grid(self, tiny_pretrained, corpus):
+        query = corpus[0]
+        cluster, encoder = tiny_pretrained.encoder_for(query.flow)
+        rows = distill_rows(
+            tiny_pretrained, encoder, query.flow, query.rates_at(5)
+        )
+        valid_grid = [p for p in DISTILLATION_GRID if p <= 100]
+        assert len(rows) == len(valid_grid) * len(query.flow)
+
+
+class TestConstantModel:
+    def test_constant_predictions(self):
+        model = _ConstantModel(1.0)
+        rows = np.zeros((3, 4))
+        assert list(model.predict(rows)) == [1, 1, 1]
+        assert list(_ConstantModel(0.0).predict(rows)) == [0, 0, 0]
+
+
+class TestStreamTuneTuner:
+    @pytest.fixture
+    def setup(self, tiny_pretrained):
+        engine = FlinkCluster(seed=31)
+        tuner = StreamTuneTuner(engine, tiny_pretrained, seed=32, max_iterations=6)
+        query = nexmark_query("q2", "flink")
+        return engine, tuner, query
+
+    def test_tune_produces_steps(self, setup):
+        engine, tuner, query = setup
+        tuner.prepare(query)
+        deployment = engine.deploy(
+            query.flow, dict.fromkeys(query.flow.operator_names, 1),
+            query.rates_at(3),
+        )
+        result = tuner.tune(deployment, query.rates_at(3))
+        assert result.steps
+        assert result.tuner_name == "StreamTune"
+        assert all(
+            1 <= p <= engine.max_parallelism
+            for step in result.steps
+            for p in step.parallelisms.values()
+        )
+
+    def test_backpressure_eventually_cleared(self, setup):
+        engine, tuner, query = setup
+        tuner.prepare(query)
+        deployment = engine.deploy(
+            query.flow, dict.fromkeys(query.flow.operator_names, 1),
+            query.rates_at(5),
+        )
+        tuner.tune(deployment, query.rates_at(5))
+        final = engine.measure(deployment)
+        assert not final.has_backpressure
+
+    def test_feedback_accumulates(self, setup):
+        engine, tuner, query = setup
+        tuner.prepare(query)
+        deployment = engine.deploy(
+            query.flow, dict.fromkeys(query.flow.operator_names, 1),
+            query.rates_at(3),
+        )
+        tuner.tune(deployment, query.rates_at(3))
+        first = len(tuner._feedback_of[query.flow.name])
+        tuner.tune(deployment, query.rates_at(7))
+        assert len(tuner._feedback_of[query.flow.name]) > first
+
+    def test_prepare_idempotent(self, setup):
+        engine, tuner, query = setup
+        tuner.prepare(query)
+        dataset = tuner._dataset_of[query.flow.name]
+        tuner.prepare(query)
+        assert tuner._dataset_of[query.flow.name] is dataset
+
+    def test_unprepared_query_lazily_initialised(self, setup, tiny_pretrained):
+        engine, _, query = setup
+        tuner = StreamTuneTuner(engine, tiny_pretrained, seed=33)
+        deployment = engine.deploy(
+            query.flow, dict.fromkeys(query.flow.operator_names, 1),
+            query.rates_at(2),
+        )
+        result = tuner.tune(deployment, query.rates_at(2))
+        assert result.steps
+
+    def test_invalid_max_iterations(self, tiny_pretrained):
+        with pytest.raises(ValueError):
+            StreamTuneTuner(FlinkCluster(seed=1), tiny_pretrained, max_iterations=0)
+
+    def test_rebalance_caps_imbalance(self, setup):
+        engine, tuner, _ = setup
+        features = np.random.default_rng(0).uniform(size=(100, 3))
+        labels = np.zeros(100)
+        labels[:2] = 1
+        rebalanced_X, rebalanced_y = tuner._rebalance(features, labels, "job")
+        n_pos = int(rebalanced_y.sum())
+        n_neg = len(rebalanced_y) - n_pos
+        assert n_neg / n_pos <= tuner.max_class_imbalance + 1
+
+
+class TestTuningResultAccounting:
+    def test_result_metrics(self, tiny_pretrained):
+        engine = FlinkCluster(seed=41)
+        tuner = StreamTuneTuner(engine, tiny_pretrained, seed=42)
+        query = nexmark_query("q1", "flink")
+        tuner.prepare(query)
+        deployment = engine.deploy(
+            query.flow, dict.fromkeys(query.flow.operator_names, 1),
+            query.rates_at(4),
+        )
+        result = tuner.tune(deployment, query.rates_at(4))
+        assert result.n_reconfigurations <= len(result.steps)
+        assert result.recommendation_seconds > 0
+        minutes = result.tuning_minutes(10.0)
+        assert minutes >= result.n_reconfigurations * 10.0
+        assert len(result.cpu_trace()) == len(result.steps)
+        assert result.final_parallelisms == result.steps[-1].parallelisms

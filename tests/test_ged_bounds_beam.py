@@ -1,0 +1,162 @@
+"""Tests for GED lower bounds, beam-search upper bounds, and prefiltering.
+
+The critical invariant chain:  lower bound <= exact GED <= beam bound,
+for every pair — exercised against exact values on small random DAGs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.graph import LogicalDataflow
+from repro.dataflow.operators import OperatorSpec, OperatorType
+from repro.ged import (
+    beam_ged,
+    beam_within,
+    combined_bound,
+    degree_sequence_bound,
+    exact_ged,
+    label_multiset_bound,
+    prefilter_indices,
+    similarity_search,
+)
+from repro.ged.view import as_view
+from repro.utils.rng import seeded_rng
+
+_CHAINABLE = [
+    OperatorType.MAP,
+    OperatorType.FLAT_MAP,
+    OperatorType.FILTER,
+    OperatorType.AGGREGATE,
+]
+
+
+def random_chain_flow(seed: int, max_middle: int = 4) -> LogicalDataflow:
+    """source -> 1..max_middle random middle operators -> sink."""
+    rng = seeded_rng(seed)
+    flow = LogicalDataflow(f"rand_{seed}")
+    middle = [
+        OperatorSpec(
+            name=f"op{i}",
+            op_type=_CHAINABLE[int(rng.integers(len(_CHAINABLE)))],
+            aggregate_function=__import__(
+                "repro.dataflow.operators", fromlist=["AggregateFunction"]
+            ).AggregateFunction.SUM,
+        )
+        for i in range(1 + int(rng.integers(max_middle)))
+    ]
+    flow.chain(
+        OperatorSpec(name="src", op_type=OperatorType.SOURCE),
+        *middle,
+        OperatorSpec(name="sink", op_type=OperatorType.SINK),
+    )
+    flow.validate()
+    return flow
+
+
+class TestLowerBounds:
+    def test_zero_on_identical_graphs(self, linear_flow):
+        view = as_view(linear_flow)
+        assert label_multiset_bound(view, view) == 0.0
+        assert degree_sequence_bound(view, view) == 0.0
+        assert combined_bound(linear_flow, linear_flow) == 0.0
+
+    def test_label_bound_counts_substitutions(self, linear_flow, window_flow):
+        bound = label_multiset_bound(as_view(linear_flow), as_view(window_flow))
+        assert bound > 0
+
+    def test_degree_bound_sees_structural_difference(self, linear_flow, diamond_flow):
+        bound = degree_sequence_bound(as_view(linear_flow), as_view(diamond_flow))
+        assert bound > 0
+
+    @pytest.mark.parametrize("seed_pair", [(1, 2), (3, 9), (5, 11), (7, 20), (13, 4)])
+    def test_bounds_are_admissible(self, seed_pair):
+        a = random_chain_flow(seed_pair[0])
+        b = random_chain_flow(seed_pair[1])
+        exact = exact_ged(a, b)
+        assert label_multiset_bound(as_view(a), as_view(b)) <= exact + 1e-9
+        assert degree_sequence_bound(as_view(a), as_view(b)) <= exact + 1e-9
+        assert combined_bound(a, b) <= exact + 1e-9
+
+    def test_bounds_are_symmetric(self, linear_flow, diamond_flow):
+        forward = combined_bound(linear_flow, diamond_flow)
+        backward = combined_bound(diamond_flow, linear_flow)
+        assert forward == pytest.approx(backward)
+
+
+class TestPrefilter:
+    def test_rejections_are_sound(self, linear_flow):
+        dataset = [random_chain_flow(seed) for seed in range(8)]
+        tau = 3.0
+        survivors = set(prefilter_indices(linear_flow, dataset, tau))
+        for index, graph in enumerate(dataset):
+            if index not in survivors:
+                assert exact_ged(linear_flow, graph) > tau
+
+    def test_prefiltered_search_equals_plain_search(self, linear_flow):
+        dataset = [random_chain_flow(seed) for seed in range(10)]
+        tau = 4.0
+        plain = similarity_search(linear_flow, dataset, tau)
+        filtered = similarity_search(linear_flow, dataset, tau, prefilter=True)
+        assert plain == filtered
+
+    def test_negative_threshold_rejected(self, linear_flow):
+        with pytest.raises(ValueError):
+            prefilter_indices(linear_flow, [linear_flow], -1.0)
+
+
+class TestBeamGED:
+    def test_zero_on_identical_graphs(self, diamond_flow):
+        assert beam_ged(diamond_flow, diamond_flow) == 0.0
+
+    def test_rejects_bad_width(self, linear_flow):
+        with pytest.raises(ValueError):
+            beam_ged(linear_flow, linear_flow, beam_width=0)
+
+    @pytest.mark.parametrize("seed_pair", [(1, 2), (3, 9), (5, 11), (7, 20)])
+    def test_beam_upper_bounds_exact(self, seed_pair):
+        a = random_chain_flow(seed_pair[0])
+        b = random_chain_flow(seed_pair[1])
+        exact = exact_ged(a, b)
+        for width in (1, 4, 16):
+            assert beam_ged(a, b, beam_width=width) >= exact - 1e-9
+
+    @pytest.mark.parametrize("seed_pair", [(1, 2), (3, 9), (5, 11)])
+    def test_wide_beam_reaches_exact(self, seed_pair):
+        a = random_chain_flow(seed_pair[0])
+        b = random_chain_flow(seed_pair[1])
+        assert beam_ged(a, b, beam_width=256) == pytest.approx(exact_ged(a, b))
+
+    def test_widening_never_hurts(self):
+        a = random_chain_flow(21)
+        b = random_chain_flow(34)
+        bounds = [beam_ged(a, b, beam_width=w) for w in (1, 2, 8, 64)]
+        assert all(x >= y - 1e-9 for x, y in zip(bounds, bounds[1:]))
+
+    def test_beam_within_certifies_only_yes(self, linear_flow, diamond_flow):
+        exact = exact_ged(linear_flow, diamond_flow)
+        assert beam_within(linear_flow, diamond_flow, exact + 10, beam_width=64) is True
+        # Below the true distance the beam can never certify membership.
+        assert beam_within(linear_flow, diamond_flow, exact - 1, beam_width=64) is None
+
+    def test_beam_within_validates_threshold(self, linear_flow):
+        with pytest.raises(ValueError):
+            beam_within(linear_flow, linear_flow, -0.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed_a=st.integers(min_value=0, max_value=60),
+    seed_b=st.integers(min_value=0, max_value=60),
+)
+def test_bound_sandwich_property(seed_a, seed_b):
+    """lower bound <= exact <= beam bound, on arbitrary DAG pairs."""
+    a = random_chain_flow(seed_a, max_middle=3)
+    b = random_chain_flow(seed_b, max_middle=3)
+    exact = exact_ged(a, b)
+    lower = combined_bound(a, b)
+    upper = beam_ged(a, b, beam_width=8)
+    assert lower <= exact + 1e-9
+    assert exact <= upper + 1e-9

@@ -1,0 +1,256 @@
+"""Tests for the numpy GNN: layers, message passing, model, training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.data import GraphSample, build_sample
+from repro.gnn.layers import Linear, Parameter, ReLU, glorot
+from repro.gnn.loss import bce_with_logits, sigmoid
+from repro.gnn.model import BottleneckGNN, EncoderConfig
+from repro.gnn.mpnn import FuseLayer, MessagePassingLayer, normalized_adjacency
+from repro.gnn.optim import Adam
+from repro.gnn.train import evaluate_accuracy, train_bottleneck_gnn
+from repro.dataflow.features import FeatureEncoder
+from repro.utils.rng import seeded_rng
+from tests.conftest import build_diamond_flow
+
+
+def toy_sample(seed=0, n=6, d=10, labels=(1, 0, -1, 1, 0, 1)) -> GraphSample:
+    rng = np.random.default_rng(seed)
+    edges = [(0, 1), (1, 2), (2, 3), (1, 4), (4, 5)]
+    agg_in, agg_out = normalized_adjacency(n, edges)
+    label_array = np.array(labels)
+    return GraphSample(
+        name="toy",
+        node_names=[str(i) for i in range(n)],
+        features=rng.normal(size=(n, d)),
+        agg_in=agg_in,
+        agg_out=agg_out,
+        parallelism=rng.uniform(0, 1, size=n),
+        labels=label_array,
+        mask=label_array >= 0,
+    )
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(seeded_rng(0), 4, 3)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+        grad_in = layer.backward(np.ones((5, 3)))
+        assert grad_in.shape == (5, 4)
+
+    def test_linear_gradient_numeric(self):
+        rng = seeded_rng(1)
+        layer = Linear(rng, 3, 2)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        base = layer.forward(x)
+        layer.backward(2 * base)
+        eps = 1e-6
+        w = layer.weight.value
+        orig = w[0, 0]
+        w[0, 0] = orig + eps
+        up = loss()
+        w[0, 0] = orig - eps
+        down = loss()
+        w[0, 0] = orig
+        assert layer.weight.grad[0, 0] == pytest.approx((up - down) / (2 * eps), rel=1e-4)
+
+    def test_relu_masks_negatives(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 2.0]])
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+    def test_backward_before_forward_fails(self):
+        with pytest.raises(AssertionError):
+            Linear(seeded_rng(0), 2, 2).backward(np.ones((1, 2)))
+
+    def test_glorot_bounds(self):
+        values = glorot(seeded_rng(0), 100, 100)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(values) <= limit)
+
+    def test_parameter_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.array_equal(p.grad, np.zeros(3))
+
+
+class TestAdjacency:
+    def test_rows_normalised(self):
+        agg_in, agg_out = normalized_adjacency(4, [(0, 2), (1, 2), (2, 3)])
+        assert agg_in[2].sum() == pytest.approx(1.0)
+        assert agg_in[2, 0] == pytest.approx(0.5)
+        assert agg_out[2, 3] == pytest.approx(1.0)
+        assert agg_in[0].sum() == 0.0   # no in-edges
+
+    def test_mean_aggregation_semantics(self):
+        agg_in, _ = normalized_adjacency(3, [(0, 2), (1, 2)])
+        h = np.array([[2.0], [4.0], [0.0]])
+        assert (agg_in @ h)[2, 0] == pytest.approx(3.0)
+
+
+class TestLoss:
+    def test_masked_nodes_ignored(self):
+        logits = np.array([10.0, -10.0, 999.0])
+        labels = np.array([1, 0, -1])
+        mask = labels >= 0
+        loss, grad = bce_with_logits(logits, labels, mask)
+        assert loss < 1e-3
+        assert grad[2] == 0.0
+
+    def test_empty_mask_zero(self):
+        loss, grad = bce_with_logits(np.zeros(3), np.full(3, -1), np.zeros(3, bool))
+        assert loss == 0.0
+        assert np.array_equal(grad, np.zeros(3))
+
+    def test_pos_weight_scales_positive_gradient(self):
+        logits = np.zeros(2)
+        labels = np.array([1, 0])
+        mask = np.ones(2, bool)
+        _, grad_plain = bce_with_logits(logits, labels, mask, pos_weight=1.0)
+        _, grad_weighted = bce_with_logits(logits, labels, mask, pos_weight=5.0)
+        ratio = abs(grad_weighted[0] / grad_weighted[1])
+        assert ratio == pytest.approx(5.0)
+        assert abs(grad_plain[0] / grad_plain[1]) == pytest.approx(1.0)
+
+    def test_invalid_pos_weight(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(np.zeros(1), np.zeros(1), np.ones(1, bool), pos_weight=0)
+
+    def test_sigmoid_stable_extremes(self):
+        values = sigmoid(np.array([-1e4, 0.0, 1e4]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(0.5)
+        assert values[2] == pytest.approx(1.0)
+
+
+class TestModel:
+    def test_forward_shapes(self):
+        sample = toy_sample()
+        model = BottleneckGNN(EncoderConfig(input_dim=10, hidden_dim=8, seed=1))
+        logits = model.forward(sample)
+        assert logits.shape == (6, 1)
+        probs = model.predict_probabilities(sample)
+        assert probs.shape == (6,)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_agnostic_embedding_ignores_parallelism(self):
+        sample = toy_sample()
+        model = BottleneckGNN(EncoderConfig(input_dim=10, hidden_dim=8, seed=1))
+        h1 = model.encode(sample, parallelism_aware=False)
+        sample.parallelism = np.zeros(6)
+        h2 = model.encode(sample, parallelism_aware=False)
+        assert np.array_equal(h1, h2)
+
+    def test_aware_embedding_depends_on_parallelism(self):
+        sample = toy_sample()
+        model = BottleneckGNN(EncoderConfig(input_dim=10, hidden_dim=8, seed=1))
+        h1 = model.encoder.forward(sample, parallelism_aware=True)
+        sample.parallelism = 1.0 - sample.parallelism
+        h2 = model.encoder.forward(sample, parallelism_aware=True)
+        assert not np.array_equal(h1, h2)
+
+    def test_jumping_knowledge_doubles_embedding(self):
+        with_jk = EncoderConfig(input_dim=10, hidden_dim=8, jumping_knowledge=True)
+        without = EncoderConfig(input_dim=10, hidden_dim=8, jumping_knowledge=False)
+        assert with_jk.embedding_dim == 16
+        assert without.embedding_dim == 8
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(input_dim=0)
+        with pytest.raises(ValueError):
+            EncoderConfig(input_dim=4, n_message_passing=0)
+
+    def test_deterministic_by_seed(self):
+        sample = toy_sample()
+        a = BottleneckGNN(EncoderConfig(input_dim=10, seed=3)).forward(sample)
+        b = BottleneckGNN(EncoderConfig(input_dim=10, seed=3)).forward(sample)
+        assert np.array_equal(a, b)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        optimizer = Adam([p], learning_rate=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            p.grad[:] = 2 * p.value
+            optimizer.step()
+        assert abs(p.value[0]) < 1e-2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Adam([], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Adam([], beta1=1.0)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        samples = [toy_sample(seed=s) for s in range(6)]
+        _, report = train_bottleneck_gnn(
+            samples,
+            config=EncoderConfig(input_dim=10, hidden_dim=8, seed=2),
+            epochs=15,
+            seed=2,
+        )
+        assert report.losses[-1] < report.losses[0]
+
+    def test_learns_separable_rule(self):
+        """Bottleneck iff parallelism below 0.5: learnable via FUSE."""
+        rng = np.random.default_rng(0)
+        samples = []
+        for s in range(25):
+            sample = toy_sample(seed=s, labels=(0,) * 6)
+            parallelism = rng.uniform(0, 1, size=6)
+            labels = (parallelism < 0.5).astype(np.int64)
+            sample.parallelism = parallelism
+            sample.labels = labels
+            sample.mask = np.ones(6, bool)
+            samples.append(sample)
+        model, report = train_bottleneck_gnn(
+            samples,
+            config=EncoderConfig(input_dim=10, hidden_dim=12, seed=4),
+            epochs=60,
+            learning_rate=1e-2,
+            seed=4,
+        )
+        assert report.final_accuracy > 0.85
+        assert evaluate_accuracy(model, samples) > 0.85
+
+    def test_requires_labelled_samples(self):
+        sample = toy_sample(labels=(-1,) * 6)
+        with pytest.raises(ValueError, match="labelled"):
+            train_bottleneck_gnn([sample])
+
+
+class TestBuildSample:
+    def test_from_dataflow(self):
+        flow = build_diamond_flow()
+        encoder = FeatureEncoder()
+        sample = build_sample(
+            flow,
+            {"src": 1e5},
+            dict.fromkeys(flow.operator_names, 4),
+            {"join": 1, "left": 0},
+            encoder=encoder,
+            max_parallelism=100,
+        )
+        assert sample.n_nodes == 5
+        assert sample.n_labelled == 2
+        assert sample.labels[sample.index_of("join")] == 1
+        assert sample.labels[sample.index_of("left")] == 0
+        assert sample.labels[sample.index_of("sink")] == -1
+        assert sample.features.shape == (5, encoder.dimension)
+        assert np.all(sample.parallelism == sample.parallelism[0])

@@ -1,0 +1,123 @@
+"""Unit and property tests for the ground-truth performance model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.operators import (
+    AggregateFunction,
+    OperatorSpec,
+    OperatorType,
+    WindowPolicy,
+    WindowType,
+)
+from repro.engines.perf import BASE_RATE, SCALING_ALPHA, PerformanceModel
+
+
+def spec_of(op_type: OperatorType, **overrides) -> OperatorSpec:
+    kwargs = dict(name="x", op_type=op_type)
+    if op_type in (OperatorType.AGGREGATE, OperatorType.WINDOW_AGGREGATE):
+        kwargs["aggregate_function"] = AggregateFunction.SUM
+    if op_type in (OperatorType.WINDOW_AGGREGATE, OperatorType.WINDOW_JOIN):
+        kwargs.setdefault("window_type", WindowType.TUMBLING)
+        kwargs.setdefault("window_length", 30.0)
+    kwargs.update(overrides)
+    return OperatorSpec(**kwargs)
+
+
+@pytest.fixture
+def perf() -> PerformanceModel:
+    return PerformanceModel()
+
+
+class TestBasics:
+    def test_invalid_speed_factor(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(speed_factor=0.0)
+
+    def test_invalid_parallelism(self, perf):
+        with pytest.raises(ValueError):
+            perf.processing_ability(spec_of(OperatorType.MAP), 0)
+
+    def test_speed_factor_scales_rates(self):
+        slow = PerformanceModel(speed_factor=1.0)
+        fast = PerformanceModel(speed_factor=12.0)
+        spec = spec_of(OperatorType.FILTER)
+        ratio = fast.per_instance_rate(spec) / slow.per_instance_rate(spec)
+        assert ratio == pytest.approx(12.0)
+
+    def test_cost_factor_divides_rate(self, perf):
+        cheap = spec_of(OperatorType.MAP)
+        expensive = spec_of(OperatorType.MAP, cost_factor=10.0)
+        assert perf.per_instance_rate(cheap) == pytest.approx(
+            10.0 * perf.per_instance_rate(expensive)
+        )
+
+    def test_wider_tuples_are_slower(self, perf):
+        narrow = spec_of(OperatorType.MAP, tuple_width_in=32.0)
+        wide = spec_of(OperatorType.MAP, tuple_width_in=512.0)
+        assert perf.per_instance_rate(narrow) > perf.per_instance_rate(wide)
+
+    def test_sliding_window_penalty(self, perf):
+        tumbling = spec_of(OperatorType.WINDOW_AGGREGATE)
+        sliding = spec_of(
+            OperatorType.WINDOW_AGGREGATE,
+            window_type=WindowType.SLIDING,
+            window_length=60.0,
+            sliding_length=10.0,
+        )
+        assert perf.per_instance_rate(tumbling) > perf.per_instance_rate(sliding)
+
+    def test_stateless_scales_better_than_stateful(self, perf):
+        assert SCALING_ALPHA[OperatorType.FILTER] > SCALING_ALPHA[OperatorType.WINDOW_JOIN]
+
+    def test_all_types_have_rates_and_alphas(self):
+        for op_type in OperatorType:
+            assert op_type in BASE_RATE
+            assert op_type in SCALING_ALPHA
+            assert 0 < SCALING_ALPHA[op_type] <= 1.0
+
+
+class TestScaling:
+    @pytest.mark.parametrize("op_type", list(OperatorType))
+    def test_pa_strictly_increasing_in_parallelism(self, perf, op_type):
+        spec = spec_of(op_type)
+        values = [perf.processing_ability(spec, p) for p in range(1, 30)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_pa_sublinear_for_stateful(self, perf):
+        spec = spec_of(OperatorType.WINDOW_JOIN)
+        single = perf.processing_ability(spec, 1)
+        assert perf.processing_ability(spec, 16) < 16 * single
+
+    def test_pa_at_one_equals_per_instance(self, perf):
+        spec = spec_of(OperatorType.FILTER)
+        assert perf.processing_ability(spec, 1) == pytest.approx(
+            perf.per_instance_rate(spec)
+        )
+
+
+class TestMinParallelismOracle:
+    def test_zero_demand_needs_one(self, perf):
+        assert perf.min_parallelism_for(spec_of(OperatorType.MAP), 0.0, 100) == 1
+
+    def test_capped_at_p_max(self, perf):
+        spec = spec_of(OperatorType.WINDOW_JOIN, cost_factor=1000.0)
+        assert perf.min_parallelism_for(spec, 1e9, 10) == 10
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        demand=st.floats(min_value=1e3, max_value=5e7),
+        op_index=st.integers(min_value=0, max_value=len(OperatorType) - 1),
+        cost=st.floats(min_value=0.5, max_value=50.0),
+    )
+    def test_min_parallelism_is_tight(self, demand, op_index, cost):
+        """PA(p*) >= demand and PA(p* - 1) < demand whenever p* > 1."""
+        perf = PerformanceModel()
+        spec = spec_of(list(OperatorType)[op_index], cost_factor=cost)
+        p_star = perf.min_parallelism_for(spec, demand, 1000)
+        if p_star < 1000:
+            assert perf.processing_ability(spec, p_star) >= demand * (1 - 1e-9)
+        if p_star > 1:
+            assert perf.processing_ability(spec, p_star - 1) < demand

@@ -1,0 +1,266 @@
+"""Tests for the scheduling-aware tuning substrate (§VII extension)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.graph import LogicalDataflow
+from repro.dataflow.operators import OperatorSpec, OperatorType
+from repro.engines.base import EngineError
+from repro.engines.scheduler import (
+    STRATEGIES,
+    ClusterTopology,
+    ContendedPerformanceModel,
+    Machine,
+    SchedulingAwareTimely,
+    choose_strategy,
+    place_instances,
+)
+from repro.engines.perf import PerformanceModel
+from repro.engines.timely import TimelyCluster
+
+
+def two_machine_topology(cores: int = 4) -> ClusterTopology:
+    return ClusterTopology.uniform(n_machines=2, cores_each=cores)
+
+
+class TestTopology:
+    def test_uniform_builder(self):
+        topology = ClusterTopology.uniform(3, 8)
+        assert len(topology.machines) == 3
+        assert topology.total_cores == 24
+
+    def test_rejects_empty_topology(self):
+        with pytest.raises(ValueError, match="at least one machine"):
+            ClusterTopology(machines=())
+
+    def test_rejects_duplicate_machine_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            ClusterTopology(machines=(Machine("m", 2), Machine("m", 4)))
+
+    def test_rejects_bad_machine(self):
+        with pytest.raises(ValueError):
+            Machine("", 2)
+        with pytest.raises(ValueError):
+            Machine("m", 0)
+
+    def test_machine_lookup(self):
+        topology = two_machine_topology()
+        assert topology.machine("machine-0").cores == 4
+        with pytest.raises(KeyError):
+            topology.machine("nope")
+
+
+class TestPlacement:
+    def test_all_instances_placed(self, linear_flow):
+        parallelisms = {"src": 2, "filter": 3, "sink": 1}
+        plan = place_instances(linear_flow, parallelisms, two_machine_topology())
+        for name, count in parallelisms.items():
+            assert plan.instance_count(name) == count
+
+    def test_unknown_strategy_rejected(self, linear_flow):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            place_instances(
+                linear_flow, {"src": 1, "filter": 1, "sink": 1},
+                two_machine_topology(), "zigzag",
+            )
+
+    def test_missing_parallelism_rejected(self, linear_flow):
+        with pytest.raises(EngineError, match="no parallelism"):
+            place_instances(linear_flow, {"src": 1}, two_machine_topology())
+
+    def test_nonpositive_parallelism_rejected(self, linear_flow):
+        with pytest.raises(EngineError, match=">= 1"):
+            place_instances(
+                linear_flow, {"src": 0, "filter": 1, "sink": 1},
+                two_machine_topology(),
+            )
+
+    def test_placement_is_deterministic(self, diamond_flow):
+        parallelisms = dict.fromkeys(diamond_flow.operator_names, 3)
+        topology = two_machine_topology()
+        a = place_instances(diamond_flow, parallelisms, topology, "spread")
+        b = place_instances(diamond_flow, parallelisms, topology, "spread")
+        assert a.instances == b.instances
+
+    def test_spread_balances_compact_concentrates(self, diamond_flow):
+        parallelisms = dict.fromkeys(diamond_flow.operator_names, 2)
+        topology = two_machine_topology(cores=4)
+        spread = place_instances(diamond_flow, parallelisms, topology, "spread")
+        compact = place_instances(diamond_flow, parallelisms, topology, "compact")
+        assert spread.imbalance() <= compact.imbalance()
+        # Compact fills machine-0 to its core count before machine-1.
+        assert compact.threads_on("machine-0") == 4
+
+    def test_compact_overflows_last_machine(self, linear_flow):
+        """More tasks than cores: the final machine absorbs the excess."""
+        parallelisms = {"src": 4, "filter": 4, "sink": 4}
+        topology = two_machine_topology(cores=4)
+        plan = place_instances(linear_flow, parallelisms, topology, "compact")
+        assert plan.threads_on("machine-0") == 4
+        assert plan.threads_on("machine-1") == 8
+
+    def test_machines_hosting(self, linear_flow):
+        parallelisms = {"src": 1, "filter": 1, "sink": 1}
+        plan = place_instances(
+            linear_flow, parallelisms, two_machine_topology(cores=1), "compact"
+        )
+        assert plan.machines_hosting("src") == ["machine-0"]
+
+
+class TestContention:
+    def test_idle_machines_have_unit_slowdown(self, linear_flow):
+        parallelisms = {"src": 1, "filter": 1, "sink": 1}
+        plan = place_instances(
+            linear_flow, parallelisms, two_machine_topology(cores=8), "spread"
+        )
+        assert all(f == 1.0 for f in plan.machine_slowdowns().values())
+        assert all(f == 1.0 for f in plan.operator_slowdowns().values())
+
+    def test_oversubscribed_machine_slows_hosted_operators(self, linear_flow):
+        parallelisms = {"src": 4, "filter": 4, "sink": 4}
+        topology = ClusterTopology.uniform(1, 4)   # 12 threads on 4 cores
+        plan = place_instances(linear_flow, parallelisms, topology, "compact")
+        assert plan.machine_slowdowns()["machine-0"] == pytest.approx(3.0)
+        slowdowns = plan.operator_slowdowns()
+        assert all(f == pytest.approx(3.0) for f in slowdowns.values())
+
+    def test_compact_hurts_front_operators_more_than_spread(self, linear_flow):
+        """With compact packing the first machine saturates while the
+        second idles; spread shares the pain evenly."""
+        parallelisms = {"src": 6, "filter": 6, "sink": 6}
+        topology = two_machine_topology(cores=4)
+        compact = place_instances(linear_flow, parallelisms, topology, "compact")
+        spread = place_instances(linear_flow, parallelisms, topology, "spread")
+        assert max(compact.operator_slowdowns().values()) > max(
+            spread.operator_slowdowns().values()
+        )
+
+    def test_contended_model_scales_rates(self):
+        base = PerformanceModel()
+        spec = OperatorSpec(name="f", op_type=OperatorType.FILTER)
+        contended = ContendedPerformanceModel(base, {"f": 2.0})
+        assert contended.per_instance_rate(spec) == pytest.approx(
+            base.per_instance_rate(spec) / 2.0
+        )
+        assert contended.processing_ability(spec, 4) == pytest.approx(
+            base.processing_ability(spec, 4) / 2.0
+        )
+        assert contended.scaling_alpha(spec) == base.scaling_alpha(spec)
+
+    def test_contended_model_needs_more_parallelism(self):
+        base = PerformanceModel()
+        spec = OperatorSpec(name="f", op_type=OperatorType.FILTER)
+        demand = base.processing_ability(spec, 4)
+        contended = ContendedPerformanceModel(base, {"f": 2.0})
+        assert contended.min_parallelism_for(spec, demand, 100) > 4
+
+    def test_contended_model_rejects_speedups(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ContendedPerformanceModel(PerformanceModel(), {"f": 0.5})
+
+    def test_unlisted_operator_runs_at_full_speed(self):
+        base = PerformanceModel()
+        spec = OperatorSpec(name="g", op_type=OperatorType.MAP)
+        contended = ContendedPerformanceModel(base, {"f": 2.0})
+        assert contended.per_instance_rate(spec) == base.per_instance_rate(spec)
+
+
+class TestSchedulingAwareTimely:
+    def test_default_topology(self):
+        engine = SchedulingAwareTimely(seed=1)
+        assert engine.topology.total_cores == 128
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            SchedulingAwareTimely(strategy="diagonal", seed=1)
+
+    def test_contention_induces_backpressure(self, linear_flow):
+        """The same deployment is fine on a large topology and saturated on
+        a tiny one — placement is now part of the physics."""
+        roomy = SchedulingAwareTimely(
+            topology=ClusterTopology.uniform(2, 64), seed=3
+        )
+        cramped = SchedulingAwareTimely(
+            topology=ClusterTopology.uniform(1, 2), strategy="compact", seed=3
+        )
+        parallelisms = {"src": 2, "filter": 6, "sink": 2}
+
+        # Pick a demand the uncontended deployment just sustains.
+        plain = TimelyCluster(seed=3)
+        probe = plain.deploy(linear_flow, parallelisms, {"src": 1.0})
+        perf = plain.perf
+        sustainable = perf.processing_ability(linear_flow.operator("filter"), 6)
+        plain.stop(probe)
+        rate = {"src": sustainable * 0.9}
+
+        roomy_job = roomy.deploy(linear_flow, parallelisms, rate)
+        cramped_job = cramped.deploy(linear_flow, parallelisms, rate)
+        assert not roomy.ground_truth(roomy_job).has_backpressure
+        assert cramped.ground_truth(cramped_job).has_backpressure
+
+    def test_placement_recomputed_after_reconfigure(self, linear_flow):
+        engine = SchedulingAwareTimely(
+            topology=ClusterTopology.uniform(1, 4), strategy="compact", seed=5
+        )
+        deployment = engine.deploy(
+            linear_flow, {"src": 1, "filter": 1, "sink": 1}, {"src": 100.0}
+        )
+        before = engine.placement_for(deployment).threads_on("machine-0")
+        engine.reconfigure(deployment, {"src": 2, "filter": 4, "sink": 2})
+        after = engine.placement_for(deployment).threads_on("machine-0")
+        assert (before, after) == (3, 8)
+
+    def test_measure_uses_contended_perf(self, linear_flow):
+        engine = SchedulingAwareTimely(
+            topology=ClusterTopology.uniform(1, 1), strategy="compact",
+            seed=7, noise_std=0.0,
+        )
+        deployment = engine.deploy(
+            linear_flow, {"src": 4, "filter": 4, "sink": 4}, {"src": 1000.0}
+        )
+        contended = engine.perf_for(deployment)
+        spec = linear_flow.operator("filter")
+        assert contended.per_instance_rate(spec) < engine.perf.per_instance_rate(spec)
+
+
+class TestChooseStrategy:
+    def test_prefers_spread_when_contention_ties(self, linear_flow):
+        parallelisms = {"src": 1, "filter": 1, "sink": 1}
+        strategy = choose_strategy(
+            linear_flow, parallelisms, two_machine_topology(cores=8)
+        )
+        assert strategy == "spread"
+
+    def test_returns_a_known_strategy(self, diamond_flow):
+        parallelisms = dict.fromkeys(diamond_flow.operator_names, 5)
+        strategy = choose_strategy(
+            diamond_flow, parallelisms, ClusterTopology.uniform(3, 2)
+        )
+        assert strategy in STRATEGIES
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    degrees=st.lists(st.integers(min_value=1, max_value=9), min_size=3, max_size=3),
+    cores=st.integers(min_value=1, max_value=16),
+    strategy=st.sampled_from(STRATEGIES),
+)
+def test_placement_conserves_instances_and_bounds_slowdown(degrees, cores, strategy):
+    """Placement never loses or invents instances, and slowdowns are >= 1."""
+    flow = LogicalDataflow("prop_flow")
+    flow.chain(
+        OperatorSpec(name="src", op_type=OperatorType.SOURCE),
+        OperatorSpec(name="filter", op_type=OperatorType.FILTER, selectivity=0.5),
+        OperatorSpec(name="sink", op_type=OperatorType.SINK),
+    )
+    parallelisms = dict(zip(["src", "filter", "sink"], degrees))
+    topology = ClusterTopology.uniform(2, cores)
+    plan = place_instances(flow, parallelisms, topology, strategy)
+    assert sum(plan.threads_on(m.name) for m in topology.machines) == sum(degrees)
+    for name, count in parallelisms.items():
+        assert plan.instance_count(name) == count
+    assert all(f >= 1.0 for f in plan.operator_slowdowns().values())
+    assert all(f >= 1.0 for f in plan.machine_slowdowns().values())

@@ -1,0 +1,130 @@
+"""Tests for pre-training support diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.support import (
+    BOUNDARY_BAND,
+    DimensionSupport,
+    SupportProfile,
+    cluster_support_profiles,
+    preflight_check,
+)
+
+
+class TestDimensionSupport:
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError, match="high must be >= low"):
+            DimensionSupport("x", 2.0, 1.0)
+
+    def test_inside_near_and_outside(self):
+        support = DimensionSupport("rate", 100.0, 200.0)
+        assert support.verdict(150.0) == "inside"
+        assert support.verdict(100.0 + 1.0) == "near-boundary"
+        assert support.verdict(199.5) == "near-boundary"
+        assert support.verdict(50.0) == "extrapolating"
+        assert support.verdict(250.0) == "extrapolating"
+
+    def test_band_width_matches_constant(self):
+        support = DimensionSupport("rate", 0.0, 100.0)
+        inside_edge = BOUNDARY_BAND * 100.0
+        assert support.verdict(inside_edge - 0.1) == "near-boundary"
+        assert support.verdict(inside_edge + 0.1) == "inside"
+
+    def test_degenerate_support_flags_boundary(self):
+        support = DimensionSupport("rate", 5.0, 5.0)
+        assert support.verdict(5.0) == "near-boundary"
+        assert support.verdict(6.0) == "extrapolating"
+
+    def test_margin_sign(self):
+        support = DimensionSupport("rate", 10.0, 20.0)
+        assert support.margin(15.0) == 5.0
+        assert support.margin(9.0) == -1.0
+        assert support.margin(25.0) == -5.0
+
+
+class TestSupportProfile:
+    def test_from_records_spans_history(self, tiny_history):
+        profile = SupportProfile.from_records(tiny_history[:50])
+        totals = [sum(r.source_rates.values()) for r in tiny_history[:50]]
+        assert profile.rate_support.low == min(totals)
+        assert profile.rate_support.high == max(totals)
+
+    def test_from_empty_records_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            SupportProfile.from_records([])
+
+    def test_check_rates_only(self, tiny_history):
+        profile = SupportProfile.from_records(tiny_history[:50])
+        mid = (profile.rate_support.low + profile.rate_support.high) / 2
+        verdict = profile.check({"src": mid})
+        assert verdict.per_dimension["total_source_rate"] == "inside"
+        assert "parallelism" not in verdict.per_dimension
+        assert verdict.is_safe
+
+    def test_check_flags_extrapolating_rates(self, tiny_history):
+        profile = SupportProfile.from_records(tiny_history[:50])
+        verdict = profile.check({"src": profile.rate_support.high * 10})
+        assert verdict.verdict == "extrapolating"
+        assert not verdict.is_safe
+        assert verdict.margins["total_source_rate"] < 0
+
+    def test_check_includes_parallelism_when_given(self, tiny_history):
+        profile = SupportProfile.from_records(tiny_history[:50])
+        mid = (profile.rate_support.low + profile.rate_support.high) / 2
+        huge_degree = int(profile.parallelism_support.high) * 3
+        verdict = profile.check({"src": mid}, {"op": huge_degree})
+        assert verdict.per_dimension["parallelism"] == "extrapolating"
+        assert verdict.verdict == "extrapolating"
+
+    def test_overall_verdict_is_worst_dimension(self, tiny_history):
+        profile = SupportProfile.from_records(tiny_history[:50])
+        mid = (profile.rate_support.low + profile.rate_support.high) / 2
+        mid_degree = int(
+            (profile.parallelism_support.low + profile.parallelism_support.high) / 2
+        )
+        verdict = profile.check({"src": mid}, {"op": mid_degree})
+        assert verdict.verdict == "inside"
+
+
+class TestPretrainedIntegration:
+    def test_one_profile_per_cluster(self, tiny_pretrained):
+        profiles = cluster_support_profiles(tiny_pretrained)
+        assert len(profiles) == tiny_pretrained.n_clusters
+
+    def test_preflight_check_roundtrip(self, tiny_pretrained, tiny_history):
+        record = tiny_history[0]
+        verdict = preflight_check(
+            tiny_pretrained, record.flow, record.source_rates
+        )
+        # A rate drawn from the history itself can never extrapolate.
+        assert verdict.per_dimension["total_source_rate"] in (
+            "inside",
+            "near-boundary",
+        )
+
+    def test_preflight_flags_unseen_extreme(self, tiny_pretrained, tiny_history):
+        record = tiny_history[0]
+        extreme = {name: rate * 1e4 for name, rate in record.source_rates.items()}
+        verdict = preflight_check(tiny_pretrained, record.flow, extreme)
+        assert verdict.verdict == "extrapolating"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    low=st.floats(min_value=0.0, max_value=1e6),
+    width=st.floats(min_value=0.0, max_value=1e6),
+    value=st.floats(min_value=-1e7, max_value=1e7),
+)
+def test_dimension_verdict_margin_consistency(low, width, value):
+    """Margin sign always agrees with the inside/outside classification."""
+    support = DimensionSupport("x", low, low + width)
+    verdict = support.verdict(value)
+    margin = support.margin(value)
+    if verdict == "extrapolating":
+        assert margin < 0
+    else:
+        assert margin >= 0
