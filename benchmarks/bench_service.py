@@ -1,0 +1,178 @@
+"""Tuning-service benchmark: concurrent campaigns vs. sequential tuning.
+
+Runs the same 8-query campaign twice —
+
+* **baseline**: the seed repository's sequential path (one plain
+  :class:`StreamTuneTuner` per query, no shared caches, duplicated-row
+  fitting), exactly what ``repro.experiments.campaigns.run_campaign``
+  executes today;
+* **service**: one :class:`repro.service.TuningService` run (worker pool,
+  shared GED/assignment/warm-up/distillation/embedding caches,
+  weighted-deduplicated warm-started fitting)
+
+— and reports the wall-clock ratio.  It also verifies the service's
+determinism contract: the concurrent run must be **bit-identical** (every
+per-step parallelism map of every tuning process) to the same service
+executed sequentially, i.e. concurrency must never change a
+recommendation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full: asserts >= 3x
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI-sized, no ratio gate
+
+The speedup on a single-core machine comes from the service-only work
+elimination (caches + weighted fitting); multi-core machines add pool
+parallelism on top.  The two paths make near-identical tuning decisions
+(the weighted fit optimises the same objective; last-ulp float drift can
+move individual recommendations by one degree) — the final table compares
+their quality metrics side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import context
+from repro.experiments.campaigns import run_campaign
+from repro.experiments.scale import resolve_scale
+from repro.service import CampaignSpec, TuningService
+from repro.utils.tables import format_table
+from repro.workloads.rates import periodic_multipliers
+
+FULL_GROUPS = ("q1", "q2", "q3", "q5", "q8", "linear", "2-way-join", "3-way-join")
+SMOKE_GROUPS = ("q1", "q3", "linear", "2-way-join")
+
+
+def _campaign_steps(result) -> list[list[dict[str, int]]]:
+    return [[step.parallelisms for step in process.steps] for process in result.processes]
+
+
+def _quality(results) -> tuple[int, int, int]:
+    backpressure = sum(r.total_backpressure_events for r in results)
+    converged = sum(1 for r in results for p in r.processes if p.converged)
+    parallelism = sum(p.final_total_parallelism for r in results for p in r.processes)
+    return backpressure, converged, parallelism
+
+
+def run_bench(
+    smoke: bool = False,
+    backend: str = "thread",
+    max_workers: int | None = None,
+) -> dict:
+    scale = resolve_scale("smoke")
+    engine_name = "flink"
+    groups = SMOKE_GROUPS if smoke else FULL_GROUPS
+    n_rate_changes = 2 if smoke else 8
+    evaluation = context.evaluation_queries(engine_name, scale)
+    queries = [evaluation[group][0] for group in groups]
+    multipliers = periodic_multipliers(n_permutations=1, seed=scale.seed)[:n_rate_changes]
+
+    print(f"preparing pre-trained model ({scale.name} scale) ...", flush=True)
+    pretrained = context.pretrained_model(engine_name, scale)
+
+    # -- baseline: the sequential seed path --------------------------------
+    started = time.perf_counter()
+    baseline = []
+    for query in queries:
+        engine = context.make_engine(engine_name, scale)
+        tuner = context.make_tuner("StreamTune", engine, scale)
+        baseline.append(run_campaign(engine, tuner, query, multipliers))
+    baseline_seconds = time.perf_counter() - started
+
+    # -- service: concurrent + cached + deduplicated fitting ---------------
+    specs = [
+        CampaignSpec(
+            query=query,
+            multipliers=tuple(multipliers),
+            engine=engine_name,
+            engine_seed=scale.seed,
+            seed=scale.seed + 4,
+        )
+        for query in queries
+    ]
+    service = TuningService(pretrained, backend=backend, max_workers=max_workers)
+    started = time.perf_counter()
+    concurrent = service.run(specs)
+    service_seconds = time.perf_counter() - started
+
+    # -- determinism: concurrency must not change any recommendation -------
+    reference = TuningService(pretrained, backend="sequential").run(specs)
+    concurrent_steps = [_campaign_steps(o.result) for o in concurrent]
+    reference_steps = [_campaign_steps(o.result) for o in reference]
+    identical = concurrent_steps == reference_steps
+
+    speedup = baseline_seconds / service_seconds if service_seconds > 0 else float("inf")
+    base_bp, base_conv, base_par = _quality(baseline)
+    svc_bp, svc_conv, svc_par = _quality([o.result for o in concurrent])
+    n_processes = sum(len(r.processes) for r in baseline)
+
+    print()
+    print(
+        format_table(
+            ["path", "wall", "bp events", "converged", "sum final parallelism"],
+            [
+                ("sequential baseline", f"{baseline_seconds:.2f}s",
+                 base_bp, f"{base_conv}/{n_processes}", base_par),
+                (f"service ({backend})", f"{service_seconds:.2f}s",
+                 svc_bp, f"{svc_conv}/{n_processes}", svc_par),
+            ],
+            title=f"{len(queries)}-query campaign, {len(multipliers)} rate changes each",
+        )
+    )
+    print(f"speedup: {speedup:.2f}x")
+    print(f"concurrent == sequential service (bit-identical steps): {identical}")
+    stats = service.cache_stats()
+    print(
+        "cache hits/misses — "
+        + ", ".join(
+            f"{kind}: {v.get('hits', 0)}h/{v.get('misses', 0)}m"
+            for kind, v in stats.items()
+        )
+    )
+
+    assert identical, "concurrent service diverged from its sequential execution"
+    # Recommendation parity with the plain baseline: the weighted fit solves
+    # the same optimisation problem, so per-query tuning outcomes must agree
+    # on everything decision-relevant (convergence, backpressure burden,
+    # provisioned capacity) even where float-level drift moves an individual
+    # degree by one.
+    assert svc_conv == base_conv, (
+        f"convergence changed: baseline {base_conv}, service {svc_conv}"
+    )
+    assert abs(svc_bp - base_bp) <= max(3, base_bp // 4), (
+        f"backpressure events diverged: baseline {base_bp}, service {svc_bp}"
+    )
+    assert abs(svc_par - base_par) <= 0.05 * base_par, (
+        f"final parallelism diverged: baseline {base_par}, service {svc_par}"
+    )
+    if not smoke:
+        assert speedup >= 3.0, (
+            f"service speedup {speedup:.2f}x is below the required 3x"
+        )
+    return {
+        "speedup": speedup,
+        "identical": identical,
+        "baseline_seconds": baseline_seconds,
+        "service_seconds": service_seconds,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run (4 queries, 2 rate changes, no speedup gate)",
+    )
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread"
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args()
+    run_bench(smoke=args.smoke, backend=args.backend, max_workers=args.workers)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,72 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_campaigns(args: argparse.Namespace) -> int:
+    from repro.experiments.context import pretrained_model
+    from repro.service import CampaignSpec, TuningService
+
+    scale = resolve_scale(args.scale)
+    if args.model:
+        artifact = load_pretrained(args.model)
+    else:
+        artifact = pretrained_model(args.engine, scale)
+    multipliers = tuple(float(m) for m in args.rates.split(","))
+    specs = [
+        CampaignSpec(
+            query=_resolve_query(name.strip(), args.engine),
+            multipliers=multipliers,
+            engine=args.engine,
+            engine_seed=args.seed,
+            seed=args.seed,
+            model_kind=args.layer,
+        )
+        for name in args.queries.split(",")
+    ]
+    manager = None
+    if args.backend == "process":
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+    service = TuningService(
+        artifact,
+        backend=args.backend,
+        max_workers=args.workers,
+        prioritize_backpressure=not args.no_priority,
+        manager=manager,
+    )
+    outcomes = service.run(specs)
+    rows = []
+    for outcome in outcomes:
+        result = outcome.result
+        rows.append(
+            (
+                outcome.spec_name,
+                result.n_processes,
+                f"{result.average_reconfigurations:.2f}",
+                result.total_backpressure_events,
+                sum(p.final_total_parallelism for p in result.processes),
+                f"{outcome.wall_seconds:.2f}s",
+            )
+        )
+    print(
+        format_table(
+            ["query", "processes", "avg reconfigs", "bp events",
+             "sum final parallelism", "wall"],
+            rows,
+            title=f"tuning service ({args.backend}, {service.max_workers} workers)",
+        )
+    )
+    stats = service.cache_stats()
+    summary = ", ".join(
+        f"{kind}: {values.get('hits', 0)}h/{values.get('misses', 0)}m"
+        for kind, values in stats.items()
+    )
+    print(f"cache hits/misses — {summary}")
+    if manager is not None:
+        manager.shutdown()
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     import os
 
@@ -165,6 +231,36 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--seed", type=int, default=17)
     tune.add_argument("--scale", default=None)
     tune.set_defaults(func=_cmd_tune)
+
+    serve = sub.add_parser(
+        "serve-campaigns",
+        help="tune many queries concurrently through the tuning service",
+    )
+    serve.add_argument(
+        "--queries",
+        required=True,
+        help="comma-separated query names (nexmark q1..q8 or '<template>/<index>')",
+    )
+    serve.add_argument(
+        "--model", default=None, help="directory from `pretrain` (default: build at --scale)"
+    )
+    serve.add_argument("--rates", default="3,7,4,2", help="comma-separated xWu multipliers")
+    serve.add_argument("--engine", choices=("flink", "timely"), default="flink")
+    serve.add_argument(
+        "--backend", choices=("sequential", "thread", "process"), default="thread"
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--layer", choices=("svm", "xgboost", "isotonic", "nn"), default="svm"
+    )
+    serve.add_argument(
+        "--no-priority",
+        action="store_true",
+        help="dispatch in submission order instead of backpressure-first",
+    )
+    serve.add_argument("--seed", type=int, default=17)
+    serve.add_argument("--scale", default=None)
+    serve.set_defaults(func=_cmd_serve_campaigns)
 
     experiments = sub.add_parser("experiments", help="run every paper experiment")
     experiments.add_argument("--scale", default="default")

@@ -91,15 +91,21 @@ def distill_rows(
         max_parallelism=pretrained.max_parallelism,
     )
     embeddings = encoder.encode(sample, parallelism_aware=False)
+    degrees = [d for d in grid if d <= pretrained.max_parallelism]
+    p_norms = np.array(
+        [
+            pretrained.feature_encoder.normalize_parallelism(
+                degree, pretrained.max_parallelism
+            )
+            for degree in degrees
+        ]
+    )
+    # One encoder pass for the whole degree grid (fuse-after-readout makes
+    # the message-passing state degree-independent).
+    probability_grid = encoder.predict_probabilities_grid(sample, p_norms)
     rows = PredictionDataset()
-    for degree in grid:
-        if degree > pretrained.max_parallelism:
-            continue
-        p_norm = pretrained.feature_encoder.normalize_parallelism(
-            degree, pretrained.max_parallelism
-        )
-        sample.parallelism = np.full(sample.n_nodes, p_norm)
-        probabilities = encoder.predict_probabilities(sample, parallelism_aware=True)
+    for grid_index, p_norm in enumerate(p_norms):
+        probabilities = probability_grid[grid_index]
         for index in range(sample.n_nodes):
             rows.append(
                 np.concatenate([embeddings[index], [p_norm]]),
@@ -134,12 +140,19 @@ def build_warmup_dataset(
     max_rows: int = 600,
     n_distill_records: int = 8,
     seed: int | None = None,
+    batch_encode: bool = False,
 ) -> PredictionDataset:
     """Algorithm 2, line 3: sample the cluster's history into T.
 
     Recorded rows (real Algorithm 1 labels) come first; GNN-distilled rows
     over the parallelism grid of up to ``n_distill_records`` sampled
     dataflows densify the parallelism axis.
+
+    ``batch_encode=True`` embeds the selected records through the
+    block-diagonal batching of :mod:`repro.gnn.batch` (one encoder pass per
+    batch instead of one per record).  Row selection and ordering are
+    unchanged; values are numerically equivalent but may differ from the
+    per-record path in the last floating-point ulp.
     """
     if not 0 <= cluster < pretrained.n_clusters:
         raise ValueError(f"cluster {cluster} out of range")
@@ -148,10 +161,35 @@ def build_warmup_dataset(
     members = list(pretrained.records_by_cluster[cluster])
     order = rng.permutation(len(members))
     dataset = PredictionDataset()
-    for index in order:
-        dataset.extend(rows_from_record(pretrained, encoder, members[index]))
-        if len(dataset) >= max_rows:
-            break
+    if batch_encode:
+        from repro.gnn.batch import encode_samples
+
+        chosen: list[ExecutionRecord] = []
+        n_rows = 0
+        for index in order:
+            record = members[index]
+            chosen.append(record)
+            n_rows += sum(1 for label in record.labels.values() if label >= 0)
+            if n_rows >= max_rows:
+                break
+        samples = [pretrained.sample_for(record) for record in chosen]
+        embedded = encode_samples(encoder, samples, parallelism_aware=False)
+        for record, sample, embeddings in zip(chosen, samples, embedded):
+            for node_index, name in enumerate(sample.node_names):
+                label = record.labels.get(name, -1)
+                if label < 0:
+                    continue
+                p_norm = pretrained.feature_encoder.normalize_parallelism(
+                    record.parallelisms[name], pretrained.max_parallelism
+                )
+                dataset.append(
+                    np.concatenate([embeddings[node_index], [p_norm]]), label
+                )
+    else:
+        for index in order:
+            dataset.extend(rows_from_record(pretrained, encoder, members[index]))
+            if len(dataset) >= max_rows:
+                break
     for index in order[:n_distill_records]:
         record = members[index]
         dataset.extend(

@@ -21,6 +21,10 @@ execution histories it extends.
 
 from __future__ import annotations
 
+import inspect
+import threading
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.baselines.api import ParallelismTuner, TuningResult, TuningStep
@@ -34,6 +38,28 @@ from repro.models.search import min_feasible_parallelism
 from repro.utils.rng import seeded_rng, stable_hash
 from repro.utils.timer import Timer
 from repro.workloads.query import StreamingQuery
+
+
+@dataclass
+class QueryTuningState:
+    """Everything the tuner accumulates for one query.
+
+    Grouping the per-query mutable state into one object (instead of three
+    parallel instance dictionaries) is what makes :meth:`StreamTuneTuner.tune`
+    reentrant: a tuning process touches only its own state record plus local
+    variables, so one tuner instance can drive interleaved campaigns for
+    *different* queries from multiple threads.  Concurrent processes for the
+    *same* query still require external serialisation (feedback is an
+    append-log shared across that query's rate changes by design).
+    """
+
+    job_key: str
+    cluster: int
+    dataset: PredictionDataset
+    feedback: PredictionDataset = field(default_factory=PredictionDataset)
+    #: Previous SVM solution for this query; warm-starts the next refit on
+    #: the deduplicated fitting path (same seed => same RFF feature space).
+    warm_theta: np.ndarray | None = None
 
 
 class StreamTuneTuner(ParallelismTuner):
@@ -51,11 +77,28 @@ class StreamTuneTuner(ParallelismTuner):
         probability_threshold: float | None = 0.35,
         max_class_imbalance: float = 3.0,
         seed: int = 17,
+        caches=None,
+        fit_dedup: bool = False,
+        batch_encode: bool = False,
     ) -> None:
         """``probability_threshold`` below 0.5 biases recommendations
         conservatively: an operator must be *clearly* safe before its degree
         is accepted, which is what keeps StreamTune backpressure-free at the
-        edge of the pre-training rate support (Table III)."""
+        edge of the pre-training rate support (Table III).
+
+        ``caches`` is an optional lookaside store with a single method
+        ``get_or_compute(kind, key, builder)`` (see
+        :class:`repro.service.cache.TuningCacheSet`); the tuner consults it
+        for warm-up datasets, distilled operating points and
+        parallelism-agnostic embeddings, all of which are pure functions of
+        their key.  ``fit_dedup=True`` collapses the (heavily duplicated)
+        training multiset into weighted unique rows before fitting, for
+        model kinds whose ``fit`` accepts ``sample_weight`` (others fall
+        back to the duplicated-row fit); the optimised objective is
+        mathematically identical.  ``batch_encode=True`` builds warm-up
+        datasets through the block-diagonal batched GNN inference of
+        :mod:`repro.gnn.batch` (one encoder pass per record batch).
+        """
         super().__init__(engine)
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
@@ -68,35 +111,84 @@ class StreamTuneTuner(ParallelismTuner):
         self.operating_point_weight = 4
         self.observed_weight = 10
         self.seed = seed
-        self._rng = seeded_rng(seed)
-        self._cluster_of: dict[str, int] = {}
-        self._dataset_of: dict[str, PredictionDataset] = {}
-        self._feedback_of: dict[str, PredictionDataset] = {}
+        self.caches = caches
+        self.fit_dedup = fit_dedup
+        self.batch_encode = batch_encode
+        self._dedup_supported: bool | None = None
+        self._states: dict[str, QueryTuningState] = {}
+        self._state_lock = threading.Lock()
         self._model_seed = seed
+
+    # ------------------------------------------------------------------
+    # per-query state (compatibility views kept for callers and tests)
+    # ------------------------------------------------------------------
+
+    @property
+    def _cluster_of(self) -> dict[str, int]:
+        return {job: state.cluster for job, state in self._states.items()}
+
+    @property
+    def _dataset_of(self) -> dict[str, PredictionDataset]:
+        return {job: state.dataset for job, state in self._states.items()}
+
+    @property
+    def _feedback_of(self) -> dict[str, PredictionDataset]:
+        return {job: state.feedback for job, state in self._states.items()}
+
+    def _cached(self, kind: str, key: tuple, builder):
+        if self.caches is None:
+            return builder()
+        return self.caches.get_or_compute(kind, key, builder)
+
+    def _weighted_fit_supported(self) -> bool:
+        """Whether ``model_kind`` can consume weighted unique rows.
+
+        Model kinds without ``sample_weight`` support (the xgboost /
+        isotonic / nn ablation layers) silently fall back to the
+        duplicated-row fit, so ``fit_dedup=True`` is always safe to pass.
+        """
+        if self._dedup_supported is None:
+            probe = make_prediction_model(self.model_kind, seed=self.seed)
+            self._dedup_supported = _supports_sample_weight(probe)
+        return self._dedup_supported
+
+    def _build_state(self, flow) -> QueryTuningState:
+        cluster = self._cached(
+            "assign",
+            (flow.structural_signature(),),
+            lambda: self.pretrained.assign_cluster(flow),
+        )
+        dataset = self._cached(
+            "warmup",
+            (cluster, self.warmup_rows, self.seed, self.batch_encode),
+            lambda: build_warmup_dataset(
+                self.pretrained,
+                cluster,
+                max_rows=self.warmup_rows,
+                seed=self.seed,
+                batch_encode=self.batch_encode,
+            ),
+        )
+        return QueryTuningState(job_key=flow.name, cluster=cluster, dataset=dataset)
 
     # ------------------------------------------------------------------
     # Algorithm 2, lines 1-3 (per query)
     # ------------------------------------------------------------------
 
     def prepare(self, query: StreamingQuery) -> None:
-        job = query.flow.name
-        if job in self._cluster_of:
-            return
-        cluster, _ = self.pretrained.encoder_for(query.flow)
-        self._cluster_of[job] = cluster
-        self._dataset_of[job] = build_warmup_dataset(
-            self.pretrained, cluster, max_rows=self.warmup_rows, seed=self.seed
-        )
+        self._state_for(query.flow)
 
-    def _context(self, deployment: Deployment) -> tuple[int, PredictionDataset]:
-        job = deployment.flow.name
-        if job not in self._cluster_of:
-            cluster = self.pretrained.assign_cluster(deployment.flow)
-            self._cluster_of[job] = cluster
-            self._dataset_of[job] = build_warmup_dataset(
-                self.pretrained, cluster, max_rows=self.warmup_rows, seed=self.seed
-            )
-        return self._cluster_of[job], self._dataset_of[job]
+    def _state_for(self, flow) -> QueryTuningState:
+        job = flow.name
+        with self._state_lock:
+            state = self._states.get(job)
+        if state is not None:
+            return state
+        state = self._build_state(flow)
+        with self._state_lock:
+            # Another thread may have prepared the same query concurrently;
+            # keep the first-registered state so feedback stays in one log.
+            return self._states.setdefault(job, state)
 
     # ------------------------------------------------------------------
     # Algorithm 2, lines 4-12 (per tuning process)
@@ -104,12 +196,13 @@ class StreamTuneTuner(ParallelismTuner):
 
     def tune(self, deployment: Deployment, target_rates: dict[str, float]) -> TuningResult:
         self.engine.set_source_rates(deployment, target_rates)
-        cluster, dataset = self._context(deployment)
+        state = self._state_for(deployment.flow)
+        cluster, dataset = state.cluster, state.dataset
         encoder = self.pretrained.encoders[cluster]
         flow = deployment.flow
         result = TuningResult(query_name=flow.name, tuner_name=self.name)
 
-        feedback = self._feedback_of.setdefault(flow.name, PredictionDataset())
+        feedback = state.feedback
         # Per-process feasibility floors: when a redeployment backpressures,
         # the measured served rate bounds the bottleneck's true per-instance
         # ability, so degrees below ceil(p * demand/served) are provably
@@ -125,23 +218,37 @@ class StreamTuneTuner(ParallelismTuner):
                 # carries the encoder's threshold surface, the job's own
                 # Algorithm 1 feedback dominates on conflict, and the
                 # cluster warm-up acts as light regularisation.
-                operating_point = distill_rows(
-                    self.pretrained, encoder, flow, target_rates
+                rate_key = tuple(sorted(target_rates.items()))
+                operating_point = self._cached(
+                    "distill",
+                    (cluster, flow.name, rate_key),
+                    lambda: distill_rows(
+                        self.pretrained, encoder, flow, target_rates
+                    ),
                 )
-                training_set = PredictionDataset()
                 # Once real feedback exists for this job it must be able to
                 # overrule the distilled prior, so the prior's weight drops.
                 prior_weight = (
                     self.operating_point_weight if not feedback else
                     max(1, self.operating_point_weight // 2)
                 )
-                for _repeat in range(prior_weight):
-                    training_set.extend(operating_point)
-                for _repeat in range(self.observed_weight):
-                    training_set.extend(feedback)
-                training_set.extend(dataset)
-                model = self._fit_model(training_set, job_key=flow.name)
-                embeddings, order = self._encode(encoder, flow, target_rates)
+                if self.fit_dedup and self._weighted_fit_supported():
+                    model = self._fit_model_weighted(
+                        operating_point, feedback, dataset, prior_weight, state
+                    )
+                else:
+                    training_set = PredictionDataset()
+                    for _repeat in range(prior_weight):
+                        training_set.extend(operating_point)
+                    for _repeat in range(self.observed_weight):
+                        training_set.extend(feedback)
+                    training_set.extend(dataset)
+                    model = self._fit_model(training_set, job_key=flow.name)
+                embeddings, order = self._cached(
+                    "embed",
+                    (cluster, flow.name, rate_key),
+                    lambda: self._encode(encoder, flow, target_rates),
+                )
                 recommendation = self._recommend(model, embeddings, order)
                 for name, floor in floors.items():
                     recommendation[name] = max(recommendation[name], floor)
@@ -204,6 +311,82 @@ class StreamTuneTuner(ParallelismTuner):
             self.model_kind, seed=self.seed + stable_hash(job_key, 1000)
         )
         return model.fit(features, labels)
+
+    def _fit_model_weighted(
+        self,
+        operating_point: PredictionDataset,
+        feedback: PredictionDataset,
+        warmup: PredictionDataset,
+        prior_weight: int,
+        state: QueryTuningState,
+    ):
+        """Deduplicated fit: weighted unique rows instead of a row multiset.
+
+        The training multiset duplicates rows *by construction* — the
+        distilled prior is replicated ``prior_weight`` times, feedback
+        ``observed_weight`` times, and the warm-up history repeats rows for
+        every redeployment of the same query — so accumulating multiplicity
+        weights over unique rows (hash of the raw bytes, insertion-ordered
+        and therefore deterministic) lets the optimiser touch a fraction of
+        the rows per iteration while minimising the same weighted objective.
+        Class rebalancing becomes a fractional reweighting of the minority
+        class (rather than sampled row repetition), and successive refits of
+        the same query warm-start L-BFGS from the previous solution — every
+        step is a pure function of the accumulated state, so results are
+        reproducible run-to-run and independent of campaign interleaving.
+        """
+        index_of: dict[tuple[bytes, int], int] = {}
+        rows: list[np.ndarray] = []
+        labels: list[int] = []
+        weights: list[float] = []
+
+        def absorb(dataset: PredictionDataset, multiplicity: float) -> None:
+            for row, label in zip(dataset.features, dataset.labels):
+                key = (row.tobytes(), label)
+                position = index_of.get(key)
+                if position is None:
+                    index_of[key] = len(rows)
+                    rows.append(row)
+                    labels.append(label)
+                    weights.append(multiplicity)
+                else:
+                    weights[position] += multiplicity
+
+        absorb(operating_point, float(prior_weight))
+        absorb(feedback, float(self.observed_weight))
+        absorb(warmup, 1.0)
+        if not rows:
+            raise ValueError("cannot fit on an empty dataset")
+        label_array = np.asarray(labels, dtype=np.int64)
+        weight_array = np.asarray(weights, dtype=np.float64)
+        positive = label_array == 1
+        w_pos = float(weight_array[positive].sum())
+        w_neg = float(weight_array[~positive].sum())
+        if w_pos == 0.0 or w_neg == 0.0:
+            return _ConstantModel(1.0 if w_pos else 0.0)
+        # Fractional minority reweighting replaces the sampled oversampling
+        # of the duplicate-row path: scale the minority class up to the
+        # allowed imbalance ratio exactly (no RNG needed).
+        major, minor = max(w_pos, w_neg), min(w_pos, w_neg)
+        if major / minor > self.max_class_imbalance:
+            factor = (major / self.max_class_imbalance) / minor
+            minority = positive if w_pos < w_neg else ~positive
+            weight_array = np.where(minority, weight_array * factor, weight_array)
+        model = make_prediction_model(
+            self.model_kind, seed=self.seed + stable_hash(state.job_key, 1000)
+        )
+        kwargs = {}
+        if state.warm_theta is not None and _supports_theta0(model):
+            kwargs["theta0"] = state.warm_theta
+        if hasattr(model, "platt_tol"):
+            model.platt_tol = 1e-7
+        if hasattr(model, "solver_options"):
+            model.solver_options = {"ftol": 1e-7, "gtol": 1e-4}
+        fitted = model.fit(
+            np.stack(rows), label_array, sample_weight=weight_array, **kwargs
+        )
+        state.warm_theta = getattr(fitted, "solution_theta", None)
+        return fitted
 
     def _rebalance(self, features: np.ndarray, labels: np.ndarray, job_key: str):
         """Deterministic minority oversampling (same rows, same model)."""
@@ -336,6 +519,20 @@ class StreamTuneTuner(ParallelismTuner):
             base = max(bumped[name], deployment.parallelisms[name])
             bumped[name] = self.clamp(max(base + 1, int(base * 1.5)))
         return bumped
+
+
+def _supports_sample_weight(model) -> bool:
+    try:
+        return "sample_weight" in inspect.signature(model.fit).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def _supports_theta0(model) -> bool:
+    try:
+        return "theta0" in inspect.signature(model.fit).parameters
+    except (TypeError, ValueError):
+        return False
 
 
 class _ConstantModel:

@@ -139,3 +139,59 @@ def averaged(results: list[CampaignResult], attribute: str) -> float:
     """Mean of a CampaignResult property across a query group."""
     values = [getattr(result, attribute) for result in results]
     return float(np.mean(values))
+
+
+def service_campaigns(
+    engine_name: str,
+    groups: list[str],
+    scale: ExperimentScale,
+    backend: str = "thread",
+    max_workers: int | None = None,
+) -> dict[str, list[CampaignResult]]:
+    """StreamTune campaigns for many query groups via the tuning service.
+
+    The concurrent counterpart of calling :func:`campaign` per group: every
+    query of every group becomes one :class:`~repro.service.CampaignSpec`
+    and the whole fleet runs through a single
+    :class:`~repro.service.TuningService` (shared GED/embedding caches,
+    backpressure-first dispatch).  Results are cached under dedicated
+    ``service-campaign`` keys — the service's deduplicated fitting path is
+    deterministic but not bit-identical to the sequential figures grid, so
+    the two grids never mix.
+    """
+    from repro.service import CampaignSpec, TuningService
+
+    key = ("service-campaign", engine_name, tuple(groups), scale.name, backend)
+    if key in context._CACHE:
+        return context._CACHE[key]
+
+    evaluation = context.evaluation_queries(engine_name, scale)
+    multipliers = tuple(
+        periodic_multipliers(n_permutations=scale.n_permutations, seed=scale.seed)[
+            : scale.n_rate_changes
+        ]
+    )
+    specs = []
+    for group in groups:
+        for query in evaluation[group]:
+            specs.append(
+                CampaignSpec(
+                    query=query,
+                    multipliers=multipliers,
+                    engine=engine_name,
+                    engine_seed=scale.seed,
+                    seed=scale.seed + 4,
+                )
+            )
+    service = TuningService(
+        context.pretrained_model(engine_name, scale),
+        backend=backend,
+        max_workers=max_workers,
+    )
+    outcomes = {outcome.spec_name: outcome for outcome in service.run(specs)}
+    results: dict[str, list[CampaignResult]] = {
+        group: [outcomes[query.name].result for query in evaluation[group]]
+        for group in groups
+    }
+    context._CACHE[key] = results
+    return results

@@ -184,6 +184,38 @@ class BottleneckGNN:
         """Node embeddings — the fine-tuning features h_v (agnostic path)."""
         return self.encoder.forward(sample, parallelism_aware)
 
+    def predict_probabilities_grid(
+        self, sample: GraphSample, parallelism_grid: np.ndarray
+    ) -> np.ndarray:
+        """Per-operator probabilities for many uniform parallelism degrees.
+
+        Returns shape ``(len(parallelism_grid), n_nodes)``: row ``i`` equals
+        ``predict_probabilities`` with every node's (normalised) degree set
+        to ``parallelism_grid[i]``.  With the default fuse-after-readout
+        architecture the message-passing readout is independent of the
+        degree, so the expensive encoder runs **once** and only the FUSE
+        layer and head are re-applied per grid point — the distillation
+        loop's grid probe drops from ``len(grid)`` encoder passes to one.
+        ``fuse_per_step`` models fall back to a full forward per degree.
+        """
+        grid = np.asarray(parallelism_grid, dtype=np.float64)
+        if self.config.fuse_per_step:
+            rows = []
+            original = sample.parallelism
+            try:
+                for p_norm in grid:
+                    sample.parallelism = np.full(sample.n_nodes, p_norm)
+                    rows.append(self.predict_probabilities(sample, parallelism_aware=True))
+            finally:
+                sample.parallelism = original
+            return np.stack(rows)
+        z = self.encoder.forward(sample, parallelism_aware=False)
+        rows = []
+        for p_norm in grid:
+            fused = self.encoder.fuse_final.forward(z, np.full(sample.n_nodes, p_norm))
+            rows.append(sigmoid(self.head.forward(fused).reshape(-1)))
+        return np.stack(rows)
+
     def parameters(self) -> list[Parameter]:
         return self.encoder.parameters() + self.head.parameters()
 

@@ -20,6 +20,7 @@ def min_feasible_parallelism(
     p_max: int,
     normalize,
     probability_threshold: float | None = None,
+    strict: bool = False,
 ) -> int:
     """Smallest parallelism the model does not classify as a bottleneck.
 
@@ -37,17 +38,41 @@ def min_feasible_parallelism(
     runs over the precomputed predicate.  On a monotone model the result
     equals the true minimum; on a non-monotone model it reproduces exactly
     what bisection would do — the failure mode of the Fig. 11a NN ablation.
+    Because the predicate is precomputed once, the outcome is a pure
+    function of the model's predictions: repeated calls with identical
+    inputs return identical degrees even for non-monotone models.
+
+    ``strict=True`` validates the precomputed predicate and raises
+    :class:`ValueError` when the model is not monotone along the
+    parallelism axis (a bottleneck verdict reappearing after a
+    non-bottleneck one), instead of silently returning bisection's answer.
     """
     if p_max < 1:
         raise ValueError("p_max must be >= 1")
 
-    rows = np.empty((p_max, len(embedding) + 1))
-    rows[:, :-1] = embedding
-    rows[:, -1] = [normalize(p) for p in range(1, p_max + 1)]
-    if probability_threshold is None:
-        bottleneck = model.predict(rows).astype(bool)
+    norms = np.array([normalize(p) for p in range(1, p_max + 1)])
+    if hasattr(model, "margin_profile") and hasattr(model, "proba_profile"):
+        # Profile fast path: the model can sweep the parallelism axis for a
+        # fixed embedding without materialising p_max duplicated rows (for
+        # the kernel SVM this avoids p_max redundant feature lifts).
+        if probability_threshold is None:
+            bottleneck = model.margin_profile(embedding, norms) >= 0.0
+        else:
+            bottleneck = model.proba_profile(embedding, norms) >= probability_threshold
     else:
-        bottleneck = model.predict_proba(rows) >= probability_threshold
+        rows = np.empty((p_max, len(embedding) + 1))
+        rows[:, :-1] = embedding
+        rows[:, -1] = norms
+        if probability_threshold is None:
+            bottleneck = model.predict(rows).astype(bool)
+        else:
+            bottleneck = model.predict_proba(rows) >= probability_threshold
+
+    if strict and np.any(bottleneck[1:] & ~bottleneck[:-1]):
+        raise ValueError(
+            "model is not monotone along the parallelism axis: a bottleneck "
+            "verdict reappears after a non-bottleneck one"
+        )
 
     def is_bottleneck(p: int) -> bool:
         return bool(bottleneck[p - 1])

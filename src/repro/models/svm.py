@@ -39,7 +39,11 @@ class MonotonicSVM:
         epochs: int = 200,
         learning_rate: float = 0.05,
         seed: int = 11,
+        platt_tol: float = 0.0,
     ) -> None:
+        """``platt_tol`` > 0 stops the Platt-scaling loop once both gradient
+        magnitudes fall below it (deterministic early exit); the default 0
+        keeps the historical fixed-iteration behaviour bit-for-bit."""
         if c <= 0 or gamma <= 0:
             raise ValueError("c and gamma must be positive")
         if n_fourier_features < 1:
@@ -49,8 +53,15 @@ class MonotonicSVM:
         self.n_fourier_features = n_fourier_features
         self.epochs = epochs
         self.learning_rate = learning_rate
+        self.platt_tol = platt_tol
+        #: Optional extra options merged into the L-BFGS-B ``options`` dict
+        #: (e.g. ``{"ftol": 1e-7, "gtol": 1e-4}``).  The online tuning loop
+        #: thresholds a calibrated probability at ~0.35, so it can trade the
+        #: solver's last digits of objective precision for iterations.
+        self.solver_options: dict | None = None
         self._rng = seeded_rng(seed)
         self._fitted = False
+        self.solution_theta: np.ndarray | None = None
         self._feature_mean: np.ndarray | None = None
         self._feature_scale: np.ndarray | None = None
         self._rff_weights: np.ndarray | None = None
@@ -87,11 +98,45 @@ class MonotonicSVM:
     # fitting
     # ------------------------------------------------------------------
 
-    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MonotonicSVM":
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> "MonotonicSVM":
+        """Fit the primal SVM; ``sample_weight`` counts row multiplicities.
+
+        A dataset with ``sample_weight=[2, 3]`` optimises the same objective
+        as the expanded dataset repeating row 0 twice and row 1 three times
+        — the fine-tuning loop exploits this to collapse its heavily
+        duplicated training multiset (prior replication, feedback
+        replication, minority oversampling) into weighted unique rows.
+
+        ``theta0`` warm-starts L-BFGS from a previous solution in the same
+        random-feature space (the RFF draw depends only on the model seed,
+        so successive refits of a tuning loop share the feature space); the
+        online loop's refits change only a few feedback rows between fits,
+        which makes the previous optimum an excellent starting point.
+        """
         features, labels = validate_training_inputs(features, labels)
+        counts = None
+        if sample_weight is not None:
+            counts = np.asarray(sample_weight, dtype=np.float64).reshape(-1)
+            if len(counts) != len(labels):
+                raise ValueError("sample_weight and labels disagree on count")
+            if not (counts > 0).all():
+                raise ValueError("sample_weight entries must be positive")
         raw_embeddings = features[:, :-1]
-        self._feature_mean = raw_embeddings.mean(axis=0)
-        self._feature_scale = np.maximum(raw_embeddings.std(axis=0), 1e-8)
+        if counts is None:
+            self._feature_mean = raw_embeddings.mean(axis=0)
+            self._feature_scale = np.maximum(raw_embeddings.std(axis=0), 1e-8)
+        else:
+            total = counts.sum()
+            mean = (counts[:, None] * raw_embeddings).sum(axis=0) / total
+            var = (counts[:, None] * (raw_embeddings - mean) ** 2).sum(axis=0) / total
+            self._feature_mean = mean
+            self._feature_scale = np.maximum(np.sqrt(var), 1e-8)
         embeddings, parallelism = self._split(features)
         # Normalise the kernel bandwidth by dimensionality so gamma means
         # "per typical pairwise distance" regardless of embedding width.
@@ -105,12 +150,18 @@ class MonotonicSVM:
         lifted = self._lift(embeddings)
 
         y = 2.0 * labels - 1.0                      # {-1, +1}
-        n = len(y)
+        n = len(y) if counts is None else float(counts.sum())
         # Class weights keep the minority class visible (bottleneck labels
         # are often rare once tuning converges).
-        n_pos = max(1.0, float((y > 0).sum()))
-        n_neg = max(1.0, float((y < 0).sum()))
+        if counts is None:
+            n_pos = max(1.0, float((y > 0).sum()))
+            n_neg = max(1.0, float((y < 0).sum()))
+        else:
+            n_pos = max(1.0, float(counts[y > 0].sum()))
+            n_neg = max(1.0, float(counts[y < 0].sum()))
         weight = np.where(y > 0, n / (2.0 * n_pos), n / (2.0 * n_neg))
+        if counts is not None:
+            weight = weight * counts
 
         # Primal smooth (squared-hinge) SVM solved by L-BFGS-B; the Eq. 5
         # sign constraint w_p <= 0 maps directly onto a box bound.  The
@@ -127,7 +178,7 @@ class MonotonicSVM:
             active = margin > 0.0
             hinge = np.where(active, margin, 0.0)
             value = 0.5 * lam * (w_e @ w_e + w_p * w_p) + float(
-                (weight * hinge**2).mean()
+                (weight * hinge**2).sum() / n
             )
             coeff = -2.0 * weight * hinge * y / n
             grad = np.empty_like(theta)
@@ -138,32 +189,57 @@ class MonotonicSVM:
 
         from scipy.optimize import minimize
 
-        theta0 = np.zeros(dim + 2)
+        if theta0 is None:
+            start = np.zeros(dim + 2)
+        else:
+            start = np.asarray(theta0, dtype=np.float64)
+            if start.shape != (dim + 2,):
+                raise ValueError(
+                    f"theta0 must have shape ({dim + 2},), got {start.shape}"
+                )
+            # Project into the feasible box so L-BFGS-B starts legal.
+            start = start.copy()
+            start[dim] = min(start[dim], 0.0)
         bounds = [(None, None)] * dim + [(None, 0.0), (None, None)]
+        options = {"maxiter": self.epochs}
+        if self.solver_options:
+            options.update(self.solver_options)
         solution = minimize(
             objective,
-            theta0,
+            start,
             jac=True,
             method="L-BFGS-B",
             bounds=bounds,
-            options={"maxiter": self.epochs},
+            options=options,
         )
+        self.solution_theta = solution.x.copy()
         self._w_embed = solution.x[:dim]
         self._w_parallelism = float(min(solution.x[dim], 0.0))
         self._bias = float(solution.x[dim + 1])
         self._fitted = True
         margins = lifted @ self._w_embed + self._w_parallelism * parallelism + self._bias
-        self._fit_platt(margins, labels)
+        self._fit_platt(margins, labels, counts)
         return self
 
-    def _fit_platt(self, margins: np.ndarray, labels: np.ndarray) -> None:
+    def _fit_platt(
+        self,
+        margins: np.ndarray,
+        labels: np.ndarray,
+        counts: np.ndarray | None = None,
+    ) -> None:
         """Fit p = sigmoid(a * margin + b0) with a >= 0 (keeps monotonicity)."""
+        n = float(len(margins)) if counts is None else float(counts.sum())
+        multiplicity = np.ones_like(margins) if counts is None else counts
         a, b0 = 1.0, 0.0
         for _ in range(120):
             z = a * margins + b0
             p = sigmoid(z)
-            grad_a = float(((p - labels) * margins).mean())
-            grad_b = float((p - labels).mean())
+            grad_a = float((multiplicity * (p - labels) * margins).sum() / n)
+            grad_b = float((multiplicity * (p - labels)).sum() / n)
+            if self.platt_tol > 0.0 and (
+                abs(grad_a) < self.platt_tol and abs(grad_b) < self.platt_tol
+            ):
+                break
             a -= 0.5 * grad_a
             b0 -= 0.5 * grad_b
             a = max(a, 1e-2)
@@ -186,6 +262,37 @@ class MonotonicSVM:
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         margins = self.decision_function(features)
+        return sigmoid(self._platt_scale * margins + self._platt_offset)
+
+    # ------------------------------------------------------------------
+    # parallelism profiles (fast path for the minimum-degree search)
+    # ------------------------------------------------------------------
+
+    def margin_profile(
+        self, embedding: np.ndarray, parallelism_values: np.ndarray
+    ) -> np.ndarray:
+        """Margins of one operator embedding across many parallelism values.
+
+        ``f(x) = w_e^T phi(h) + w_p p + b`` touches the kernel lift through
+        ``h`` only, so sweeping ``p`` needs a single lifted row rather than
+        one per candidate degree — the minimum-parallelism search evaluates
+        ``p_max`` candidates with one cosine transform instead of ``p_max``.
+        """
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        embedding = np.asarray(embedding, dtype=np.float64).reshape(1, -1)
+        row = np.concatenate([embedding, [[0.0]]], axis=1)
+        lifted_embedding, _ = self._split(row)
+        lifted = self._lift(lifted_embedding)
+        assert self._w_embed is not None
+        base = lifted @ self._w_embed
+        return base + self._w_parallelism * np.asarray(parallelism_values) + self._bias
+
+    def proba_profile(
+        self, embedding: np.ndarray, parallelism_values: np.ndarray
+    ) -> np.ndarray:
+        """Platt-calibrated probabilities along a parallelism sweep."""
+        margins = self.margin_profile(embedding, parallelism_values)
         return sigmoid(self._platt_scale * margins + self._platt_offset)
 
     def predict(self, features: np.ndarray) -> np.ndarray:

@@ -1,0 +1,63 @@
+"""Concurrent multi-query tuning service.
+
+StreamTune's premise is amortising past tuning work; this package extends
+the amortisation across *queries running at the same time*.  The seed
+repository tuned one :class:`~repro.workloads.query.StreamingQuery` at a
+time through a synchronous tuner — real deployments face fleets of
+concurrent jobs whose source rates move independently (ContTune VLDB'23,
+PDSP-Bench 2025), so the service layer runs many tuning campaigns at once
+and makes sure no piece of pure work is ever computed twice.
+
+Architecture (see each module for depth):
+
+* :mod:`repro.service.scheduler` — :class:`CampaignSpec` describes one
+  ``(query, rate-trace)`` campaign; :class:`BackpressureScheduler` probes
+  every campaign's starting deployment and dispatches queries currently
+  showing backpressure first (hottest leading), so scarce workers buy the
+  most SLO.
+* :mod:`repro.service.cache` — :class:`TuningCacheSet` routes the tuner's
+  pure computations (cluster assignment, warm-up dataset construction,
+  distilled operating points, operator embeddings) through bounded
+  concurrency-safe LRU caches; :class:`SharedGEDCache` is the
+  thread/process-safe pairwise-GED store behind cluster assignment.
+* :mod:`repro.service.tuning` — :class:`TuningService` executes campaigns
+  over a ``sequential`` / ``thread`` / ``process`` worker pool.  Every
+  campaign owns its engine and tuner (per-campaign seeding), all share the
+  caches, and results are bit-identical across backends and dispatch
+  orders because every cached value is a pure function of its key.
+
+Quick start::
+
+    from repro.service import CampaignSpec, TuningService
+
+    service = TuningService(pretrained, backend="thread", max_workers=4)
+    specs = [CampaignSpec(query=q, multipliers=(3, 7, 4, 2)) for q in queries]
+    outcomes = service.run(specs)          # input order, deterministic
+
+Benchmark: ``python benchmarks/bench_service.py`` compares an 8-query
+concurrent campaign against the plain sequential loop (same seeds) and
+checks backend-identity; ``--smoke`` runs a seconds-scale variant for CI.
+"""
+
+from repro.service.cache import ConcurrentLRUCache, SharedGEDCache, TuningCacheSet
+from repro.service.scheduler import (
+    BackpressureScheduler,
+    CampaignPriority,
+    CampaignSpec,
+    FifoScheduler,
+)
+from repro.service.tuning import BACKENDS, CampaignOutcome, TuningService, execute_campaign
+
+__all__ = [
+    "BACKENDS",
+    "BackpressureScheduler",
+    "CampaignOutcome",
+    "CampaignPriority",
+    "CampaignSpec",
+    "ConcurrentLRUCache",
+    "FifoScheduler",
+    "SharedGEDCache",
+    "TuningCacheSet",
+    "TuningService",
+    "execute_campaign",
+]

@@ -1,0 +1,266 @@
+"""Concurrency-safe lookaside caches for the tuning service.
+
+Three layers:
+
+* :class:`ConcurrentLRUCache` — a bounded ``get_or_compute`` cache safe
+  under threads (a plain lock + ordered dict) or processes (pass a
+  ``multiprocessing.Manager`` dict/lock pair as backing store; eviction is
+  then insertion-ordered rather than strictly least-recently-used, since a
+  proxied mapping cannot be reordered cheaply).
+* :class:`TuningCacheSet` — the kind-routed facade the tuner consults
+  (``assign`` / ``warmup`` / ``distill`` / ``embed`` sections, one cache
+  each) via ``get_or_compute(kind, key, builder)``.
+* :class:`SharedGEDCache` — a :class:`repro.ged.search.GEDCache`-compatible
+  wrapper that funnels pairwise GED distances and threshold verifications
+  through a concurrency-safe store, so one service run never computes the
+  same graph pair twice even across campaigns (and, with manager-backed
+  storage, across worker processes).
+
+All cached values are pure functions of their key, so a cache hit is
+*bit-identical* to a recomputation — concurrent campaigns stay exactly
+reproducible no matter which worker populated an entry first.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import MutableMapping
+
+from repro.ged.astar_lsa import astar_lsa_ged
+from repro.ged.costs import DEFAULT_COSTS, EditCosts
+from repro.ged.view import as_view
+
+_LOCAL_RLOCK_TYPE = type(threading.RLock())
+
+
+class ConcurrentLRUCache:
+    """A bounded key/value cache with ``get_or_compute`` semantics.
+
+    With the default backing (``OrderedDict`` + ``threading.RLock``) the
+    cache is a classic thread-safe LRU.  For cross-process sharing pass a
+    manager-proxied ``mapping`` and ``lock``; entries are then evicted in
+    insertion order (proxies cannot move keys) which is close enough for
+    the service's access patterns, where hot keys are written once and
+    read many times.
+
+    Builders run *outside* the lock: two racing workers may both compute a
+    missing entry, but builders are pure functions of the key, so both
+    compute the same value and either write is correct.  That trade keeps
+    an expensive miss from serialising every other worker's hits.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 65536,
+        mapping: MutableMapping | None = None,
+        lock=None,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: MutableMapping = OrderedDict() if mapping is None else mapping
+        self._reorderable = mapping is None
+        self._lock = threading.RLock() if lock is None else lock
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    # A process-local RLock cannot be pickled; manager proxies can.  When a
+    # cache with local backing travels to a worker (e.g. inside a pickled
+    # pretrained artifact on spawn-based platforms), the worker receives a
+    # snapshot of the data under a fresh lock of its own.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if isinstance(self._lock, _LOCAL_RLOCK_TYPE):
+            state["_lock"] = None
+        if isinstance(self._data, OrderedDict):
+            state["_data"] = OrderedDict(self._data)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._lock is None:
+            self._lock = threading.RLock()
+
+    def get(self, key, default=None):
+        # Lookup via KeyError rather than an identity sentinel: a
+        # manager-proxied mapping round-trips ``get``'s default through
+        # pickle, so a sentinel would come back as a *different* object and
+        # misses would masquerade as hits.
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                return default
+            if self._reorderable:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            if self._reorderable:
+                self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._evict_one()
+
+    def _evict_one(self) -> None:
+        if self._reorderable:
+            self._data.popitem(last=False)
+            return
+        # Proxied mapping: drop the oldest inserted key.
+        for key in self._data.keys():
+            del self._data[key]
+            return
+
+    def get_or_compute(self, key, builder):
+        """Return the cached value for ``key``, computing it on a miss."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+            else:
+                self.hits += 1
+                if self._reorderable:
+                    self._data.move_to_end(key)
+                return value
+        value = builder()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
+
+
+#: Cache sections the tuner consults, with per-section capacity defaults.
+#: ``assign`` entries are a handful of bytes; ``warmup`` datasets are the
+#: largest (hundreds of rows), so their section is kept deliberately small.
+CACHE_SECTIONS: dict[str, int] = {
+    "assign": 65536,
+    "warmup": 64,
+    "distill": 4096,
+    "embed": 4096,
+}
+
+
+class TuningCacheSet:
+    """Kind-routed cache facade shared by every campaign of a service run."""
+
+    def __init__(
+        self,
+        sections: dict[str, int] | None = None,
+        mapping_factory=None,
+        lock_factory=None,
+    ) -> None:
+        """``mapping_factory``/``lock_factory`` create the backing store per
+        section — pass ``manager.dict`` / ``manager.RLock`` for a
+        process-shared cache set, or leave ``None`` for thread-local ones.
+        """
+        sections = dict(CACHE_SECTIONS if sections is None else sections)
+        self._caches = {
+            kind: ConcurrentLRUCache(
+                maxsize=size,
+                mapping=mapping_factory() if mapping_factory is not None else None,
+                lock=lock_factory() if lock_factory is not None else None,
+            )
+            for kind, size in sections.items()
+        }
+
+    def get_or_compute(self, kind: str, key, builder):
+        cache = self._caches.get(kind)
+        if cache is None:
+            # Unknown section: compute without caching rather than failing —
+            # the tuner may grow new sections before every deployment of the
+            # service learns about them.
+            return builder()
+        return cache.get_or_compute(key, builder)
+
+    def section(self, kind: str) -> ConcurrentLRUCache:
+        return self._caches[kind]
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {kind: cache.stats() for kind, cache in self._caches.items()}
+
+    def clear(self) -> None:
+        for cache in self._caches.values():
+            cache.clear()
+
+
+class SharedGEDCache:
+    """Drop-in replacement for :class:`repro.ged.search.GEDCache`.
+
+    Same public surface (``distance`` / ``within`` / ``hits`` / ``misses``)
+    but both the exact-distance table and the threshold lower bounds live in
+    :class:`ConcurrentLRUCache` stores, so cluster assignment — which calls
+    ``distance`` against every cluster center — is safe from concurrent
+    campaigns and never repeats a pairwise computation.  A cache hit
+    returns exactly the float the first computation produced.
+    """
+
+    def __init__(
+        self,
+        costs: EditCosts = DEFAULT_COSTS,
+        exact_store: ConcurrentLRUCache | None = None,
+        bound_store: ConcurrentLRUCache | None = None,
+    ) -> None:
+        self.costs = costs
+        self._exact = exact_store if exact_store is not None else ConcurrentLRUCache()
+        self._bounds = bound_store if bound_store is not None else ConcurrentLRUCache()
+
+    @property
+    def hits(self) -> int:
+        return self._exact.hits + self._bounds.hits
+
+    @property
+    def misses(self) -> int:
+        return self._exact.misses + self._bounds.misses
+
+    @staticmethod
+    def _key(a, b) -> tuple[str, str]:
+        return (a.signature, b.signature) if a.signature <= b.signature else (
+            b.signature,
+            a.signature,
+        )
+
+    def distance(self, graph1, graph2) -> float:
+        a, b = as_view(graph1), as_view(graph2)
+        key = self._key(a, b)
+
+        def compute() -> float:
+            value = astar_lsa_ged(a, b, costs=self.costs)
+            assert value is not None
+            return value
+
+        return self._exact.get_or_compute(key, compute)
+
+    def within(self, graph1, graph2, threshold: float) -> bool:
+        a, b = as_view(graph1), as_view(graph2)
+        key = self._key(a, b)
+        known = self._exact.get(key, None)
+        if known is not None:
+            self._exact.hits += 1
+            return known <= threshold + 1e-9
+        bound = self._bounds.get(key, None)
+        if bound is not None and bound > threshold:
+            self._bounds.hits += 1
+            return False
+        self._bounds.misses += 1
+        value = astar_lsa_ged(a, b, costs=self.costs, threshold=threshold)
+        if value is None:
+            previous = self._bounds.get(key, 0.0)
+            self._bounds.put(key, max(previous, threshold + 1.0))
+            return False
+        self._exact.put(key, value)
+        return True

@@ -1,0 +1,265 @@
+"""The concurrent multi-query tuning service (see package docstring).
+
+``TuningService`` accepts many :class:`CampaignSpec` objects and executes
+them through a worker pool.  Every campaign owns its engine and its
+:class:`StreamTuneTuner` (the reentrancy unit), while the expensive pure
+computations — cluster assignment GEDs, warm-up datasets, distilled
+operating points, parallelism-agnostic embeddings — flow through one
+shared :class:`TuningCacheSet`.  Campaign results are therefore
+
+* **identical across backends**: ``sequential``, ``thread`` and
+  ``process`` runs of the same specs produce bit-identical
+  ``TuningResult`` step sequences (cache hits return exactly what a
+  recomputation would), and
+* **independent of scheduling**: the backpressure scheduler only decides
+  *when* a campaign runs, never what it computes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.pretrain import PretrainedStreamTune
+from repro.core.tuner import StreamTuneTuner
+from repro.experiments.campaigns import CampaignResult
+from repro.service.cache import SharedGEDCache, TuningCacheSet
+from repro.service.scheduler import BackpressureScheduler, CampaignSpec, FifoScheduler
+
+BACKENDS = ("sequential", "thread", "process")
+
+
+@dataclass
+class CampaignOutcome:
+    """One campaign's result plus service-side accounting."""
+
+    spec_name: str
+    result: CampaignResult
+    wall_seconds: float
+    backend: str
+
+
+def execute_campaign(
+    spec: CampaignSpec,
+    pretrained: PretrainedStreamTune,
+    caches: TuningCacheSet | None,
+    fit_dedup: bool = True,
+) -> CampaignOutcome:
+    """Run one campaign end to end (the unit of work a worker executes)."""
+    started = time.perf_counter()
+    engine = spec.make_engine()
+    tuner = StreamTuneTuner(
+        engine,
+        pretrained,
+        model_kind=spec.model_kind,
+        max_iterations=spec.max_iterations,
+        warmup_rows=spec.warmup_rows,
+        seed=spec.seed,
+        caches=caches,
+        fit_dedup=fit_dedup,
+        # Optimised fitting and batched warm-up encoding travel together:
+        # both deviate from the seed path only in float-level ulps.
+        batch_encode=fit_dedup,
+        **spec.tuner_overrides,
+    )
+    result = CampaignResult(query_name=spec.query.name, method=tuner.name)
+    tuner.prepare(spec.query)
+    flow = spec.query.flow
+    deployment = engine.deploy(
+        flow,
+        dict.fromkeys(flow.operator_names, 1),
+        spec.query.rates_at(spec.multipliers[0]),
+    )
+    for multiplier in spec.multipliers:
+        process = tuner.tune(deployment, spec.query.rates_at(multiplier))
+        result.multipliers.append(multiplier)
+        result.processes.append(process)
+    engine.stop(deployment)
+    return CampaignOutcome(
+        spec_name=spec.name,
+        result=result,
+        wall_seconds=time.perf_counter() - started,
+        backend="worker",
+    )
+
+
+# ----------------------------------------------------------------------
+# process-backend worker state
+# ----------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _init_worker(
+    pretrained: PretrainedStreamTune,
+    fit_dedup: bool,
+    shared_sections: dict | None = None,
+) -> None:
+    """Per-process initialiser: install the model and fresh local caches.
+
+    The pretrained artifact arrives once per worker (pickled or inherited
+    via fork), not once per campaign.  Bulky numpy-laden cache sections
+    are process-local; ``shared_sections`` carries the manager-backed
+    stores (cluster assignment — GED entries travel inside
+    ``pretrained.clustering``'s shared cache) that are cheap enough to
+    share across every worker.
+    """
+    _WORKER["pretrained"] = pretrained
+    caches = TuningCacheSet()
+    for kind, cache in (shared_sections or {}).items():
+        caches._caches[kind] = cache
+    _WORKER["caches"] = caches
+    _WORKER["fit_dedup"] = fit_dedup
+
+
+def _run_in_worker(spec: CampaignSpec) -> CampaignOutcome:
+    return execute_campaign(
+        spec, _WORKER["pretrained"], _WORKER["caches"], _WORKER["fit_dedup"]
+    )
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+
+class TuningService:
+    """Execute many tuning campaigns concurrently over shared caches."""
+
+    def __init__(
+        self,
+        pretrained: PretrainedStreamTune,
+        backend: str = "thread",
+        max_workers: int | None = None,
+        prioritize_backpressure: bool = True,
+        fit_dedup: bool = True,
+        share_ged_cache: bool = True,
+        manager=None,
+    ) -> None:
+        """``backend`` selects the worker pool: ``thread`` (default; shares
+        every cache section in-process), ``process`` (one Python per
+        worker; pass a started ``multiprocessing.Manager`` as ``manager``
+        to share the GED/assignment stores across workers too), or
+        ``sequential`` (no pool — the reference path concurrency must
+        reproduce bit-for-bit).
+
+        ``share_ged_cache=True`` replaces the pretrained clustering's
+        private :class:`~repro.ged.search.GEDCache` with a
+        :class:`SharedGEDCache` seeded from the existing entries — an exact
+        upgrade (same values, now concurrency-safe and shared).
+        """
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.pretrained = pretrained
+        self.backend = backend
+        self.max_workers = max_workers or min(8, (os.cpu_count() or 1) * 2)
+        self.scheduler = BackpressureScheduler() if prioritize_backpressure else FifoScheduler()
+        self.fit_dedup = fit_dedup
+        self._manager = manager
+        if share_ged_cache:
+            self._install_shared_ged_cache()
+        self.caches = self._make_cache_set()
+
+    # -- construction helpers ------------------------------------------
+
+    def _make_cache_set(self) -> TuningCacheSet:
+        if self.backend == "process" and self._manager is not None:
+            # Only the tiny cross-worker-profitable sections go through the
+            # manager (IPC per access); bulky numpy-laden sections stay
+            # worker-local via _init_worker.
+            return TuningCacheSet(
+                sections={"assign": 65536},
+                mapping_factory=self._manager.dict,
+                lock_factory=self._manager.RLock,
+            )
+        return TuningCacheSet()
+
+    def _install_shared_ged_cache(self) -> None:
+        clustering = self.pretrained.clustering
+        old = getattr(clustering, "cache", None)
+        if isinstance(old, SharedGEDCache):
+            return
+        if self.backend == "process" and self._manager is not None:
+            from repro.service.cache import ConcurrentLRUCache
+
+            shared = SharedGEDCache(
+                costs=old.costs,
+                exact_store=ConcurrentLRUCache(
+                    mapping=self._manager.dict(), lock=self._manager.RLock()
+                ),
+                bound_store=ConcurrentLRUCache(
+                    mapping=self._manager.dict(), lock=self._manager.RLock()
+                ),
+            )
+        else:
+            shared = SharedGEDCache(costs=old.costs)
+        # Exact migration: seed the shared store with every distance the
+        # clustering phase already paid for.
+        for key, value in getattr(old, "_exact", {}).items():
+            shared._exact.put(key, value)
+        clustering.cache = shared
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, specs: list[CampaignSpec]) -> list[CampaignOutcome]:
+        """Execute every campaign; outcomes are returned in *input* order.
+
+        Dispatch order follows the scheduler (backpressured queries first),
+        which matters for time-to-first-recommendation under limited
+        workers but never changes any campaign's result.
+        """
+        if not specs:
+            return []
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"campaign names must be unique, got {sorted(names)}")
+        order = self.scheduler.order(list(specs))
+        outcomes: dict[int, CampaignOutcome] = {}
+        if self.backend == "sequential":
+            for index in order:
+                outcomes[index] = execute_campaign(
+                    specs[index], self.pretrained, self.caches, self.fit_dedup
+                )
+        elif self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = {
+                    index: pool.submit(
+                        execute_campaign,
+                        specs[index],
+                        self.pretrained,
+                        self.caches,
+                        self.fit_dedup,
+                    )
+                    for index in order
+                }
+                for index, future in futures.items():
+                    outcomes[index] = future.result()
+        else:
+            shared_sections = None
+            if self._manager is not None:
+                # Manager-backed sections are proxy objects and pickle
+                # cleanly to workers; thread-local sections would not.
+                shared_sections = {"assign": self.caches.section("assign")}
+            with ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker,
+                initargs=(self.pretrained, self.fit_dedup, shared_sections),
+            ) as pool:
+                futures = {
+                    index: pool.submit(_run_in_worker, specs[index])
+                    for index in order
+                }
+                for index, future in futures.items():
+                    outcomes[index] = future.result()
+        for outcome in outcomes.values():
+            outcome.backend = self.backend
+        return [outcomes[index] for index in range(len(specs))]
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counters of the in-process cache sections."""
+        stats = self.caches.stats()
+        ged = getattr(self.pretrained.clustering, "cache", None)
+        if isinstance(ged, SharedGEDCache):
+            stats["ged"] = {"hits": ged.hits, "misses": ged.misses}
+        return stats

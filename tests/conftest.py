@@ -3,9 +3,20 @@
 Expensive artifacts (history, pre-training) are session-scoped and sized
 for speed; correctness-critical behaviour is exercised by the unit tests,
 while these fixtures support integration tests.
+
+Isolation: the suite must pass under ``-p no:randomly`` (any collection
+order) and under ``-n auto``-style parallel collection.  Two module-level
+singletons could leak state between tests — ``repro.experiments.context``'s
+artifact cache and the ``REPRO_SCALE`` environment variable — so autouse
+fixtures below restore both around every test.  Legitimate artifact cache
+entries (keyed by ``(kind, engine, scale, ...)`` tuples) are deliberately
+*kept* across tests: they are deterministic pure values shared for speed,
+and each ``-n`` worker process builds its own copy.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -84,6 +95,38 @@ def build_window_flow(name: str = "window_flow") -> LogicalDataflow:
     )
     flow.validate()
     return flow
+
+
+#: Cache-key kinds the experiment context legitimately persists between
+#: tests (deterministic artifacts rebuilt identically on a miss).
+_ARTIFACT_KINDS = {"history", "pretrained", "campaign", "service-campaign"}
+
+
+@pytest.fixture(autouse=True)
+def _isolate_module_singletons():
+    """Keep module-level singletons from leaking state across tests.
+
+    * ``REPRO_SCALE`` is restored (the CLI's ``experiments`` command and
+      scale-resolution tests write it).
+    * Any key a test adds to ``repro.experiments.context._CACHE`` that is
+      *not* a well-formed artifact key is dropped afterwards, so probe
+      entries can never alias a later test's lookup.
+    """
+    from repro.experiments import context
+
+    saved_scale = os.environ.get("REPRO_SCALE")
+    before = set(context._CACHE)
+    yield
+    if saved_scale is None:
+        os.environ.pop("REPRO_SCALE", None)
+    else:
+        os.environ["REPRO_SCALE"] = saved_scale
+    for key in set(context._CACHE) - before:
+        well_formed = (
+            isinstance(key, tuple) and len(key) >= 2 and key[0] in _ARTIFACT_KINDS
+        )
+        if not well_formed:
+            del context._CACHE[key]
 
 
 @pytest.fixture

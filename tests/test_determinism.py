@@ -1,0 +1,96 @@
+"""Determinism regressions: same seed => identical tuning trajectories.
+
+Covers the plain tuner, the deduplicated/warm-started service fitting
+path, and the concurrent service (per-campaign seeding must make results
+independent of worker interleaving and dispatch order).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuner import StreamTuneTuner
+from repro.engines import FlinkCluster
+from repro.service import CampaignSpec, TuningService
+from repro.workloads import nexmark_query
+
+
+def _step_trace(result):
+    """Everything that must reproduce (timings legitimately vary)."""
+    return [
+        (step.parallelisms, step.reconfigured, step.backpressure_after)
+        for step in result.steps
+    ]
+
+
+def _run_once(pretrained, seed: int, fit_dedup: bool):
+    query = nexmark_query("q5", "flink")
+    engine = FlinkCluster(seed=seed)
+    tuner = StreamTuneTuner(engine, pretrained, seed=seed, fit_dedup=fit_dedup)
+    tuner.prepare(query)
+    deployment = engine.deploy(
+        query.flow, dict.fromkeys(query.flow.operator_names, 1), query.rates_at(3)
+    )
+    results = [tuner.tune(deployment, query.rates_at(m)) for m in (3, 7, 4)]
+    engine.stop(deployment)
+    return [_step_trace(result) for result in results]
+
+
+@pytest.mark.parametrize("fit_dedup", [False, True])
+def test_same_seed_reproduces_step_sequences(tiny_pretrained, fit_dedup):
+    first = _run_once(tiny_pretrained, seed=123, fit_dedup=fit_dedup)
+    second = _run_once(tiny_pretrained, seed=123, fit_dedup=fit_dedup)
+    assert first == second
+
+
+def test_different_engine_seeds_diverge_eventually(tiny_pretrained):
+    # Sanity check that the trace actually depends on the seed (otherwise
+    # the reproducibility assertion above would be vacuous).
+    first = _run_once(tiny_pretrained, seed=123, fit_dedup=False)
+    second = _run_once(tiny_pretrained, seed=321, fit_dedup=False)
+    assert first != second
+
+
+class TestServiceDeterminism:
+    def _specs(self, multipliers=(3, 7)):
+        return [
+            CampaignSpec(
+                query=nexmark_query(name, "flink"),
+                multipliers=multipliers,
+                engine_seed=11,
+                seed=23,
+            )
+            for name in ("q1", "q2", "q5")
+        ]
+
+    def _traces(self, outcomes):
+        return [
+            [_step_trace(process) for process in outcome.result.processes]
+            for outcome in outcomes
+        ]
+
+    def test_concurrent_identical_to_sequential(self, tiny_pretrained):
+        sequential = TuningService(tiny_pretrained, backend="sequential").run(
+            self._specs()
+        )
+        threaded = TuningService(tiny_pretrained, backend="thread", max_workers=3).run(
+            self._specs()
+        )
+        assert self._traces(threaded) == self._traces(sequential)
+
+    def test_repeat_concurrent_runs_identical(self, tiny_pretrained):
+        service = TuningService(tiny_pretrained, backend="thread", max_workers=2)
+        first = service.run(self._specs())
+        second = service.run(self._specs())
+        assert self._traces(first) == self._traces(second)
+
+    def test_dispatch_order_does_not_change_results(self, tiny_pretrained):
+        prioritized = TuningService(
+            tiny_pretrained, backend="thread", max_workers=2,
+            prioritize_backpressure=True,
+        ).run(self._specs())
+        fifo = TuningService(
+            tiny_pretrained, backend="thread", max_workers=2,
+            prioritize_backpressure=False,
+        ).run(self._specs())
+        assert self._traces(prioritized) == self._traces(fifo)

@@ -1,0 +1,139 @@
+"""Batched GNN inference: block-diagonal packing and grid probing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.finetune import build_warmup_dataset, distill_rows
+from repro.dataflow.features import FeatureEncoder
+from repro.gnn.batch import encode_samples, merge_samples
+from repro.gnn.data import build_sample
+from repro.gnn.model import BottleneckGNN, EncoderConfig
+from tests.conftest import build_diamond_flow, build_linear_flow, build_window_flow
+
+
+@pytest.fixture(scope="module")
+def encoder_setup():
+    feature_encoder = FeatureEncoder()
+    flows = [build_linear_flow(), build_diamond_flow(), build_window_flow()]
+    samples = []
+    for flow in flows:
+        rates = {source: 1000.0 for source in flow.sources()}
+        samples.append(
+            build_sample(
+                flow,
+                rates,
+                dict.fromkeys(flow.operator_names, 2),
+                labels={},
+                encoder=feature_encoder,
+                max_parallelism=100,
+            )
+        )
+    config = EncoderConfig(input_dim=samples[0].features.shape[1], seed=3)
+    return BottleneckGNN(config), samples
+
+
+class TestMergeSamples:
+    def test_offsets_and_shapes(self, encoder_setup):
+        _, samples = encoder_setup
+        batch = merge_samples(samples)
+        total = sum(sample.n_nodes for sample in samples)
+        assert batch.merged.n_nodes == total
+        assert batch.offsets == [0, 3, 8, 11]
+        assert batch.merged.agg_in.shape == (total, total)
+
+    def test_block_diagonal_no_cross_edges(self, encoder_setup):
+        _, samples = encoder_setup
+        batch = merge_samples(samples)
+        agg = batch.merged.agg_in + batch.merged.agg_out
+        for i, start in enumerate(batch.offsets[:-1]):
+            stop = batch.offsets[i + 1]
+            outside = agg[start:stop, :].copy()
+            outside[:, start:stop] = 0.0
+            assert not outside.any()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            merge_samples([])
+
+
+class TestEncodeSamples:
+    def test_matches_per_sample_encoding(self, encoder_setup):
+        model, samples = encoder_setup
+        batched = encode_samples(model, samples)
+        for sample, block in zip(samples, batched):
+            solo = model.encode(sample, parallelism_aware=False)
+            assert block.shape == solo.shape
+            np.testing.assert_allclose(block, solo, rtol=1e-10, atol=1e-12)
+
+    def test_respects_max_batch_nodes(self, encoder_setup):
+        model, samples = encoder_setup
+        # Forcing one sample per batch degenerates to the per-sample path.
+        solo_batches = encode_samples(model, samples, max_batch_nodes=1)
+        for sample, block in zip(samples, solo_batches):
+            np.testing.assert_array_equal(
+                block, model.encode(sample, parallelism_aware=False)
+            )
+        with pytest.raises(ValueError):
+            encode_samples(model, samples, max_batch_nodes=0)
+
+
+class TestGridProbing:
+    def test_grid_matches_per_degree_forwards(self, encoder_setup):
+        model, samples = encoder_setup
+        sample = samples[1]
+        p_norms = np.array([0.01, 0.05, 0.2, 0.6, 1.0])
+        grid = model.predict_probabilities_grid(sample, p_norms)
+        assert grid.shape == (len(p_norms), sample.n_nodes)
+        for row, p_norm in zip(grid, p_norms):
+            sample.parallelism = np.full(sample.n_nodes, p_norm)
+            reference = model.predict_probabilities(sample, parallelism_aware=True)
+            np.testing.assert_array_equal(row, reference)
+
+    def test_fuse_per_step_fallback(self, encoder_setup):
+        _, samples = encoder_setup
+        sample = samples[0]
+        config = EncoderConfig(
+            input_dim=sample.features.shape[1], fuse_per_step=True, seed=5
+        )
+        model = BottleneckGNN(config)
+        p_norms = np.array([0.1, 0.5])
+        grid = model.predict_probabilities_grid(sample, p_norms)
+        original = sample.parallelism.copy()
+        for row, p_norm in zip(grid, p_norms):
+            sample.parallelism = np.full(sample.n_nodes, p_norm)
+            reference = model.predict_probabilities(sample, parallelism_aware=True)
+            np.testing.assert_array_equal(row, reference)
+        sample.parallelism = original
+
+
+class TestWarmupBatchEncode:
+    def test_batched_warmup_equivalent_to_sequential(self, tiny_pretrained):
+        sequential = build_warmup_dataset(tiny_pretrained, 0, max_rows=80, seed=9)
+        batched = build_warmup_dataset(
+            tiny_pretrained, 0, max_rows=80, seed=9, batch_encode=True
+        )
+        assert len(batched) == len(sequential)
+        assert batched.labels == sequential.labels
+        np.testing.assert_allclose(
+            np.stack(batched.features),
+            np.stack(sequential.features),
+            rtol=1e-9,
+            atol=1e-11,
+        )
+
+    def test_distill_rows_unchanged_by_grid_batching(self, tiny_pretrained):
+        # distill_rows now uses the one-pass grid probe; its output must be
+        # exactly what the per-degree forwards produced (fuse-after-readout
+        # makes the readout degree-independent).
+        record = tiny_pretrained.records_by_cluster[0][0]
+        encoder = tiny_pretrained.encoders[0]
+        rows = distill_rows(
+            tiny_pretrained, encoder, record.flow, record.source_rates
+        )
+        assert len(rows) > 0
+        grid_degrees = [d for d in (1, 2, 3, 4, 6, 8, 11, 16, 22, 32, 45, 60)
+                        if d <= tiny_pretrained.max_parallelism]
+        n_ops = len(record.flow.operator_names)
+        assert len(rows) == n_ops * len(grid_degrees)

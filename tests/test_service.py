@@ -1,0 +1,221 @@
+"""Tests for the concurrent tuning service: caches, scheduler, service."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import (
+    BackpressureScheduler,
+    CampaignSpec,
+    ConcurrentLRUCache,
+    FifoScheduler,
+    TuningCacheSet,
+    TuningService,
+)
+from repro.service.cache import SharedGEDCache
+from repro.workloads import nexmark_query
+
+
+# ----------------------------------------------------------------------
+# ConcurrentLRUCache
+# ----------------------------------------------------------------------
+
+class TestConcurrentLRUCache:
+    def test_get_or_compute_caches(self):
+        cache = ConcurrentLRUCache(maxsize=4)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute("k", build) == 42
+        assert cache.get_or_compute("k", build) == 42
+        assert len(calls) == 1
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_lru_eviction_order(self):
+        cache = ConcurrentLRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refresh a; b is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrentLRUCache(maxsize=0)
+
+    def test_concurrent_get_or_compute_single_value(self):
+        cache = ConcurrentLRUCache()
+        seen = []
+
+        def worker():
+            seen.append(cache.get_or_compute("key", lambda: 7))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == [7] * 8
+
+    def test_clear(self):
+        cache = ConcurrentLRUCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.stats()["size"] == 0
+
+
+class TestTuningCacheSet:
+    def test_sections_routed_independently(self):
+        caches = TuningCacheSet()
+        assert caches.get_or_compute("distill", ("k",), lambda: "d") == "d"
+        assert caches.get_or_compute("embed", ("k",), lambda: "e") == "e"
+        assert caches.section("distill").stats()["size"] == 1
+        assert caches.section("embed").stats()["size"] == 1
+
+    def test_unknown_section_computes_without_caching(self):
+        caches = TuningCacheSet()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return 1
+
+        caches.get_or_compute("novel-section", "k", build)
+        caches.get_or_compute("novel-section", "k", build)
+        assert len(calls) == 2
+
+
+# ----------------------------------------------------------------------
+# scheduler
+# ----------------------------------------------------------------------
+
+def _spec(name: str, multiplier: float, seed: int = 7) -> CampaignSpec:
+    return CampaignSpec(
+        query=nexmark_query(name, "flink"),
+        multipliers=(multiplier,),
+        engine_seed=seed,
+        seed=seed,
+    )
+
+
+class TestScheduler:
+    def test_backpressured_campaigns_dispatch_first(self):
+        # At parallelism 1, a 10x-Wu rate backpressures while a tiny
+        # fraction of one rate unit cannot.
+        hot = _spec("q5", 10.0)
+        cold = _spec("q1", 0.01)
+        scheduler = BackpressureScheduler()
+        assert scheduler.probe(hot).backpressured
+        assert not scheduler.probe(cold).backpressured
+        order = scheduler.order([cold, hot])
+        assert order[0] == 1
+
+    def test_order_is_deterministic(self):
+        specs = [_spec("q1", 3.0), _spec("q2", 3.0), _spec("q5", 3.0)]
+        scheduler = BackpressureScheduler()
+        assert scheduler.order(specs) == scheduler.order(specs)
+
+    def test_fifo_preserves_submission_order(self):
+        specs = [_spec("q5", 10.0), _spec("q1", 0.01)]
+        assert FifoScheduler().order(specs) == [0, 1]
+
+    def test_empty_multipliers_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(query=nexmark_query("q1", "flink"), multipliers=())
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+
+class TestTuningService:
+    def _specs(self):
+        return [
+            CampaignSpec(
+                query=nexmark_query(name, "flink"),
+                multipliers=(3, 7),
+                engine_seed=31,
+                seed=41,
+            )
+            for name in ("q1", "q5")
+        ]
+
+    def test_outcomes_in_input_order(self, tiny_pretrained):
+        service = TuningService(tiny_pretrained, backend="thread", max_workers=2)
+        outcomes = service.run(self._specs())
+        assert [o.spec_name for o in outcomes] == [
+            "nexmark_q1_flink", "nexmark_q5_flink"
+        ]
+        for outcome in outcomes:
+            assert outcome.backend == "thread"
+            assert outcome.result.n_processes == 2
+            assert outcome.wall_seconds > 0
+
+    def test_duplicate_names_rejected(self, tiny_pretrained):
+        service = TuningService(tiny_pretrained, backend="sequential")
+        specs = self._specs() + self._specs()[:1]
+        with pytest.raises(ValueError, match="unique"):
+            service.run(specs)
+
+    def test_unknown_backend_rejected(self, tiny_pretrained):
+        with pytest.raises(ValueError, match="backend"):
+            TuningService(tiny_pretrained, backend="fibers")
+
+    def test_empty_run(self, tiny_pretrained):
+        assert TuningService(tiny_pretrained, backend="sequential").run([]) == []
+
+    def test_shared_ged_cache_installed_and_counted(self, tiny_pretrained):
+        service = TuningService(tiny_pretrained, backend="sequential")
+        assert isinstance(tiny_pretrained.clustering.cache, SharedGEDCache)
+        service.run(self._specs())
+        stats = service.cache_stats()
+        assert "ged" in stats
+        assert stats["warmup"]["misses"] >= 1
+        # The second campaign's iterations reuse distilled rows/embeddings.
+        assert stats["distill"]["misses"] >= 1
+
+    def test_cache_reuse_across_runs(self, tiny_pretrained):
+        service = TuningService(tiny_pretrained, backend="sequential")
+        service.run(self._specs())
+        warm_misses = service.caches.section("warmup").stats()["misses"]
+        service.run(self._specs())
+        # No new warm-up datasets were built on the repeat run.
+        assert service.caches.section("warmup").stats()["misses"] == warm_misses
+
+
+class TestServiceCampaigns:
+    def test_grid_runs_and_caches(self, tiny_pretrained, monkeypatch):
+        from repro.experiments import context
+        from repro.experiments.campaigns import service_campaigns
+        from repro.experiments.scale import SMOKE
+        from dataclasses import replace
+
+        scale = replace(SMOKE, name="svc-test", n_rate_changes=2)
+        monkeypatch.setattr(
+            context, "pretrained_model", lambda engine, s: tiny_pretrained
+        )
+        results = service_campaigns(
+            "flink", ["q1", "q5"], scale, backend="thread", max_workers=2
+        )
+        assert set(results) == {"q1", "q5"}
+        for group, campaigns in results.items():
+            assert len(campaigns) == 1
+            assert campaigns[0].n_processes == 2
+            assert campaigns[0].method == "StreamTune"
+        # Cached under a service-specific key, not the figures grid.
+        key = ("service-campaign", "flink", ("q1", "q5"), "svc-test", "thread")
+        assert context._CACHE[key] is results
+        assert ("campaign", "flink", "StreamTune", "q1", "svc-test") not in context._CACHE
+        again = service_campaigns(
+            "flink", ["q1", "q5"], scale, backend="thread", max_workers=2
+        )
+        assert again is results
+        del context._CACHE[key]
