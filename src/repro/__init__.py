@@ -1,60 +1,105 @@
 """StreamTune reproduction — adaptive parallelism tuning for stream
 processing systems (ICDE 2025).
 
-Public API quick map:
+Public API quick map — start at :mod:`repro.api`, the declarative front
+door:
 
-* build dataflows / queries    — :mod:`repro.dataflow`, :mod:`repro.workloads`
-* simulated engines            — :class:`repro.engines.FlinkCluster`,
-                                 :class:`repro.engines.TimelyCluster`
-* histories + pre-training     — :class:`repro.core.HistoryGenerator`,
-                                 :func:`repro.core.pretrain`
-* online tuning                — :class:`repro.core.StreamTuneTuner` and the
-                                 baselines in :mod:`repro.baselines`
-* paper experiments            — :mod:`repro.experiments`
+* declare what to tune            — :class:`repro.api.TuningPlan` (one query),
+                                    :class:`repro.api.CampaignPlan` (a fleet);
+                                    both round-trip through dicts/JSON/TOML
+                                    (:func:`repro.api.load_plan`)
+* execute a plan                  — :class:`repro.api.TuningSession` (sync),
+                                    :class:`repro.api.AsyncTuningSession` (awaitable)
+* extend by name                  — the :data:`repro.api.ENGINES` /
+                                    :data:`repro.api.TUNERS` /
+                                    :data:`repro.api.WORKLOADS` /
+                                    :data:`repro.api.MODELS` registries
+
+The building blocks underneath (importable directly when you need them):
+
+* dataflows / queries             — :mod:`repro.dataflow`, :mod:`repro.workloads`
+* simulated engines               — :mod:`repro.engines`
+* histories + pre-training        — :mod:`repro.core`
+* online tuning methods           — :mod:`repro.core.tuner`, :mod:`repro.baselines`
+* concurrent tuning service       — :mod:`repro.service`
+* paper experiments               — :mod:`repro.experiments`
 
 See ``examples/quickstart.py`` for the 60-second tour.
+
+Importing the legacy classes from this top-level package
+(``from repro import StreamTuneTuner``) still works but emits a
+:class:`DeprecationWarning`; import from the canonical module instead.
 """
 
-from repro.dataflow import LogicalDataflow, OperatorSpec, OperatorType
-from repro.dataflow.embeddings import OperatorTaxonomy, SemanticFeatureEncoder
-from repro.engines import (
-    ClusterTopology,
-    FlinkCluster,
-    SchedulingAwareTimely,
-    TimelyCluster,
+from repro.api import (
+    AsyncTuningSession,
+    CampaignPlan,
+    SessionResult,
+    TuningPlan,
+    TuningSession,
+    load_plan,
+    save_plan,
 )
-from repro.core import (
-    ExecutionRecord,
-    HistoryGenerator,
-    PretrainedStreamTune,
-    StreamTuneTuner,
-    pretrain,
-)
-from repro.baselines import ContTuneTuner, DS2Tuner, OracleTuner, ZeroTuneTuner
-from repro.workloads import nexmark_queries, pqp_query_set
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
+
+#: Legacy top-level re-exports, kept working through a lazy deprecation
+#: shim: name -> (module, attribute).
+_DEPRECATED_EXPORTS = {
+    "ClusterTopology": ("repro.engines", "ClusterTopology"),
+    "ContTuneTuner": ("repro.baselines", "ContTuneTuner"),
+    "DS2Tuner": ("repro.baselines", "DS2Tuner"),
+    "ExecutionRecord": ("repro.core", "ExecutionRecord"),
+    "FlinkCluster": ("repro.engines", "FlinkCluster"),
+    "HistoryGenerator": ("repro.core", "HistoryGenerator"),
+    "LogicalDataflow": ("repro.dataflow", "LogicalDataflow"),
+    "OperatorSpec": ("repro.dataflow", "OperatorSpec"),
+    "OperatorTaxonomy": ("repro.dataflow.embeddings", "OperatorTaxonomy"),
+    "OperatorType": ("repro.dataflow", "OperatorType"),
+    "OracleTuner": ("repro.baselines", "OracleTuner"),
+    "PretrainedStreamTune": ("repro.core", "PretrainedStreamTune"),
+    "SchedulingAwareTimely": ("repro.engines", "SchedulingAwareTimely"),
+    "SemanticFeatureEncoder": ("repro.dataflow.embeddings", "SemanticFeatureEncoder"),
+    "StreamTuneTuner": ("repro.core", "StreamTuneTuner"),
+    "TimelyCluster": ("repro.engines", "TimelyCluster"),
+    "ZeroTuneTuner": ("repro.baselines", "ZeroTuneTuner"),
+    "nexmark_queries": ("repro.workloads", "nexmark_queries"),
+    "pqp_query_set": ("repro.workloads", "pqp_query_set"),
+    "pretrain": ("repro.core", "pretrain"),
+}
 
 __all__ = [
-    "ClusterTopology",
-    "ContTuneTuner",
-    "DS2Tuner",
-    "ExecutionRecord",
-    "FlinkCluster",
-    "HistoryGenerator",
-    "LogicalDataflow",
-    "OperatorSpec",
-    "OperatorTaxonomy",
-    "OperatorType",
-    "OracleTuner",
-    "PretrainedStreamTune",
-    "SchedulingAwareTimely",
-    "SemanticFeatureEncoder",
-    "StreamTuneTuner",
-    "TimelyCluster",
-    "ZeroTuneTuner",
+    "AsyncTuningSession",
+    "CampaignPlan",
+    "SessionResult",
+    "TuningPlan",
+    "TuningSession",
     "__version__",
-    "nexmark_queries",
-    "pqp_query_set",
-    "pretrain",
+    "load_plan",
+    "save_plan",
+    *sorted(_DEPRECATED_EXPORTS),
 ]
+
+
+def __getattr__(name: str):
+    """Resolve legacy top-level names lazily, with a deprecation nudge."""
+    try:
+        module_name, attribute = _DEPRECATED_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"importing {name} from 'repro' is deprecated; import it from "
+        f"'{module_name}' (or drive the pipeline through 'repro.api')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value       # cache: warn once per process per name
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DEPRECATED_EXPORTS))

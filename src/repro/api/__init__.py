@@ -1,0 +1,94 @@
+"""``repro.api`` — the declarative front door to the StreamTune pipeline.
+
+Everything the repo can do is reachable through three layers:
+
+* **registries** (:mod:`repro.api.registry`, populated by
+  :mod:`repro.api.components`) — engines, tuners, workloads and
+  prediction models self-register by name with typed parameter specs;
+  adding a scenario component means one ``@REGISTRY.register`` block,
+  not edits to the CLI, the experiments and the service.
+* **plans** (:mod:`repro.api.plans`) — :class:`TuningPlan` (one query)
+  and :class:`CampaignPlan` (a fleet), frozen dataclasses that
+  round-trip through dicts, JSON and TOML and validate eagerly with
+  actionable errors.
+* **sessions** (:mod:`repro.api.session`) — :class:`TuningSession`
+  executes a plan over the existing engines/tuners/service,
+  bit-identically to the legacy entry points; :class:`AsyncTuningSession`
+  is the awaitable facade over the same machinery.
+
+Quick start::
+
+    from repro.api import CampaignPlan, TuningSession
+
+    plan = CampaignPlan(queries=("q1", "q5"), rates=(3, 7, 4, 2),
+                        backend="thread", scale="smoke")
+    result = TuningSession().run(plan)
+    for outcome in result.outcomes:
+        print(outcome.spec_name, outcome.result.average_reconfigurations)
+
+or, from a config file (JSON or TOML)::
+
+    from repro.api import TuningSession, load_plan
+
+    result = TuningSession().run(load_plan("campaign.toml"))
+"""
+
+from repro.api.registry import (
+    ENGINES,
+    MODELS,
+    TUNERS,
+    WORKLOADS,
+    ComponentEntry,
+    ParamSpec,
+    REQUIRED,
+    Registry,
+    RegistryError,
+    UnknownComponentError,
+)
+from repro.api.components import (  # importing populates the registries
+    TunerResources,
+    build_engine,
+    build_prediction_model,
+    build_tuner,
+    engine_family,
+    resolve_query,
+)
+from repro.api.plans import (
+    CampaignPlan,
+    PlanError,
+    TuningPlan,
+    load_plan,
+    plan_from_dict,
+    replace,
+    save_plan,
+)
+from repro.api.session import AsyncTuningSession, SessionResult, TuningSession
+
+__all__ = [
+    "AsyncTuningSession",
+    "CampaignPlan",
+    "ComponentEntry",
+    "ENGINES",
+    "MODELS",
+    "ParamSpec",
+    "PlanError",
+    "REQUIRED",
+    "Registry",
+    "RegistryError",
+    "SessionResult",
+    "TUNERS",
+    "TunerResources",
+    "TuningPlan",
+    "TuningSession",
+    "UnknownComponentError",
+    "WORKLOADS",
+    "build_engine",
+    "build_prediction_model",
+    "build_tuner",
+    "engine_family",
+    "load_plan",
+    "plan_from_dict",
+    "replace",
+    "resolve_query",
+    "save_plan",
+]

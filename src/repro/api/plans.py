@@ -1,0 +1,415 @@
+"""Declarative plans: what to tune, described as data.
+
+A plan is a frozen dataclass that round-trips losslessly through plain
+dicts, JSON and TOML, so a tuning scenario is a config entry rather than
+a code fork:
+
+* :class:`TuningPlan` — one query driven through a rate trace by one
+  tuning method (the ``repro tune`` lifecycle).
+* :class:`CampaignPlan` — a fleet of queries executed concurrently
+  through the :class:`~repro.service.TuningService` (the
+  ``repro serve-campaigns`` lifecycle).
+
+Validation is *eager*: constructing a plan checks every name against its
+registry (engine, tuner, prediction model, query tokens), every numeric
+field against its domain, and the ``rates``/``queries`` shape — so a bad
+config file fails at load time with an error that says what to fix, not
+deep inside a worker pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro.api.components import resolve_query  # noqa: F401  (re-exported)
+from repro.api.registry import ENGINES, MODELS, TUNERS, UnknownComponentError
+from repro.workloads.nexmark import NEXMARK_QUERY_NAMES
+from repro.workloads.pqp import PQP_TEMPLATES, pqp_template_size
+
+#: Worker-pool backends a campaign may request (mirrors
+#: :data:`repro.service.tuning.BACKENDS`, kept literal here so plan
+#: validation never has to import the service layer).
+PLAN_BACKENDS = ("sequential", "thread", "process")
+
+
+class PlanError(ValueError):
+    """A plan failed validation; the message says which field and why."""
+
+
+def _check_query_token(token: str) -> None:
+    """Validate a query token without building the (expensive) query."""
+    if not isinstance(token, str) or not token.strip():
+        raise PlanError(f"query tokens must be non-empty strings, got {token!r}")
+    token = token.strip()
+    if "/" in token:
+        template, _, index = token.rpartition("/")
+        if template not in PQP_TEMPLATES:
+            raise PlanError(
+                f"unknown PQP template {template!r} in query token {token!r} "
+                f"(templates: {', '.join(PQP_TEMPLATES)})"
+            )
+        if not index.lstrip("-").isdigit():
+            raise PlanError(
+                f"malformed query token {token!r}: the part after '/' must be "
+                "an integer index"
+            )
+        size = pqp_template_size(template)
+        if not 0 <= int(index) < size:
+            raise PlanError(
+                f"query token {token!r}: template {template!r} has {size} "
+                f"queries, so the index must be in 0..{size - 1}"
+            )
+        return
+    if token.lower() not in NEXMARK_QUERY_NAMES:
+        raise PlanError(
+            f"unknown query token {token!r}: expected a Nexmark name "
+            f"({', '.join(NEXMARK_QUERY_NAMES)}) or '<template>/<index>' with "
+            f"a PQP template ({', '.join(PQP_TEMPLATES)})"
+        )
+
+
+def _check_registry(kind_label: str, registry, name: str) -> None:
+    try:
+        registry.entry(name)
+    except UnknownComponentError as error:
+        raise PlanError(f"{kind_label}: {error}") from None
+
+
+def _check_scale(name: str | None) -> None:
+    if name is None:
+        return
+    from repro.experiments.scale import resolve_scale
+
+    try:
+        resolve_scale(name)
+    except KeyError as error:
+        raise PlanError(f"scale: {error.args[0]}") from None
+
+
+def _as_rates(value, field_name: str = "rates") -> tuple[float, ...]:
+    if isinstance(value, (str, bytes)):
+        raise PlanError(
+            f"{field_name} must be a sequence of numbers, got the string "
+            f"{value!r} (did you forget to split it?)"
+        )
+    try:
+        rates = tuple(float(rate) for rate in value)
+    except (TypeError, ValueError):
+        raise PlanError(
+            f"{field_name} must be a sequence of numbers, got {value!r}"
+        ) from None
+    if not rates:
+        raise PlanError(f"{field_name} must contain at least one multiplier")
+    for rate in rates:
+        if not rate > 0:
+            raise PlanError(f"{field_name} multipliers must be > 0, got {rate:g}")
+    return rates
+
+
+# ----------------------------------------------------------------------
+# the plans
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TuningPlan:
+    """One query, one tuning method, one source-rate trace."""
+
+    query: str
+    rates: tuple[float, ...] = (3.0, 10.0, 5.0)
+    engine: str = "flink"
+    tuner: str = "streamtune"
+    layer: str = "svm"                 # prediction model (streamtune only)
+    model: str | None = None           # pretrained directory; None = build at `scale`
+    scale: str | None = None           # None = $REPRO_SCALE / 'default'
+    seed: int = 17
+    cache_path: str | None = None      # persisted TuningCacheSet snapshot
+
+    kind = "tuning"
+
+    def __post_init__(self) -> None:
+        _check_query_token(self.query)
+        object.__setattr__(self, "rates", _as_rates(self.rates))
+        _check_registry("engine", ENGINES, self.engine)
+        if self.tuner not in TUNERS:
+            # The only dashed spelling is the legacy 'streamtune-<model>'
+            # ablation form; its model suffix must itself resolve, so a
+            # bad config fails here, not deep inside a session run.
+            base, _, suffix = self.tuner.partition("-")
+            if base.lower() != "streamtune" or not suffix:
+                _check_registry("tuner", TUNERS, self.tuner)
+            _check_registry(f"tuner {self.tuner!r} model suffix", MODELS, suffix)
+        _check_registry("layer", MODELS, self.layer)
+        _check_scale(self.scale)
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise PlanError(f"seed must be an integer, got {self.seed!r}")
+        if (
+            self.cache_path is not None
+            and not self.tuner.lower().startswith("streamtune")
+        ):
+            raise PlanError(
+                f"cache_path only applies to the streamtune tuner (the "
+                f"baselines consult no tuning cache); remove it or drop "
+                f"tuner={self.tuner!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **_plan_fields_dict(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuningPlan":
+        return _plan_from_dict(cls, data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningPlan":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A fleet of queries tuned concurrently through the service."""
+
+    queries: tuple[str, ...]
+    rates: tuple[float, ...] = (3.0, 7.0, 4.0, 2.0)
+    #: When True, ``rates`` is a flattened per-query list: its length must
+    #: be a multiple of ``len(queries)`` and each query receives its own
+    #: contiguous chunk.  When False every query shares the full trace.
+    rates_per_query: bool = False
+    engine: str = "flink"
+    backend: str = "thread"
+    workers: int | None = None
+    layer: str = "svm"
+    prioritize_backpressure: bool = True
+    model: str | None = None
+    scale: str | None = None
+    seed: int = 17
+    cache_path: str | None = None
+
+    kind = "campaign"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.queries, (str, bytes)):
+            raise PlanError(
+                "queries must be a sequence of query tokens, got the string "
+                f"{self.queries!r} (did you forget to split it?)"
+            )
+        object.__setattr__(self, "queries", tuple(self.queries))
+        if not self.queries:
+            raise PlanError("queries must contain at least one query token")
+        for token in self.queries:
+            _check_query_token(token)
+        object.__setattr__(self, "rates", _as_rates(self.rates))
+        if self.rates_per_query and len(self.rates) % len(self.queries) != 0:
+            raise PlanError(
+                f"rates has {len(self.rates)} multipliers for "
+                f"{len(self.queries)} queries; with rates_per_query the count "
+                f"must be a multiple of the query count (e.g. "
+                f"{len(self.queries)} or {2 * len(self.queries)}), so each "
+                "query gets an equal chunk"
+            )
+        _check_registry("engine", ENGINES, self.engine)
+        _check_registry("layer", MODELS, self.layer)
+        if self.backend not in PLAN_BACKENDS:
+            raise PlanError(
+                f"backend must be one of {', '.join(PLAN_BACKENDS)}, got "
+                f"{self.backend!r}"
+            )
+        if self.workers is not None and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            raise PlanError(f"workers must be a positive integer, got {self.workers!r}")
+        if self.cache_path is not None and self.backend == "process":
+            raise PlanError(
+                "cache_path is not supported with the 'process' backend: "
+                "worker processes keep their own cache sets, so a snapshot "
+                "taken in the parent would stay empty — use the 'thread' or "
+                "'sequential' backend for persisted caches"
+            )
+        _check_scale(self.scale)
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise PlanError(f"seed must be an integer, got {self.seed!r}")
+
+    def rates_for(self) -> list[tuple[str, tuple[float, ...]]]:
+        """The rate trace each query token runs, as (token, multipliers).
+
+        A list of pairs rather than a dict so an accidentally duplicated
+        query token still yields one spec per entry — the service then
+        rejects the duplicate with its own clear error instead of one
+        campaign silently vanishing.
+        """
+        if not self.rates_per_query:
+            return [(token, self.rates) for token in self.queries]
+        chunk = len(self.rates) // len(self.queries)
+        return [
+            (token, self.rates[i * chunk : (i + 1) * chunk])
+            for i, token in enumerate(self.queries)
+        ]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **_plan_fields_dict(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignPlan":
+        return _plan_from_dict(cls, data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignPlan":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# dict / file round-tripping
+# ----------------------------------------------------------------------
+
+def _plan_fields_dict(plan) -> dict:
+    data = {}
+    for spec in fields(plan):
+        value = getattr(plan, spec.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        data[spec.name] = value
+    return data
+
+
+def _plan_from_dict(cls, data: dict):
+    if not isinstance(data, dict):
+        raise PlanError(f"a {cls.__name__} must be a mapping, got {type(data).__name__}")
+    data = dict(data)
+    declared_kind = data.pop("kind", None)
+    if declared_kind is not None and declared_kind != cls.kind:
+        raise PlanError(
+            f"this document declares kind {declared_kind!r} but was loaded as "
+            f"a {cls.__name__} (kind {cls.kind!r})"
+        )
+    known = {spec.name for spec in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise PlanError(
+            f"{cls.__name__} does not understand field(s) "
+            f"{', '.join(map(repr, unknown))} (valid fields: "
+            f"{', '.join(sorted(known))})"
+        )
+    return cls(**data)
+
+
+def plan_from_dict(data: dict) -> "TuningPlan | CampaignPlan":
+    """Build either plan type from a dict, inferring the kind.
+
+    An explicit ``kind`` key wins; otherwise ``queries`` selects a
+    campaign and ``query`` a single tuning plan.
+    """
+    if not isinstance(data, dict):
+        raise PlanError(f"a plan must be a mapping, got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind == "tuning":
+        return TuningPlan.from_dict(data)
+    if kind == "campaign":
+        return CampaignPlan.from_dict(data)
+    if kind is not None:
+        raise PlanError(
+            f"unknown plan kind {kind!r} (expected 'tuning' or 'campaign')"
+        )
+    if "queries" in data:
+        return CampaignPlan.from_dict(data)
+    if "query" in data:
+        return TuningPlan.from_dict(data)
+    raise PlanError(
+        "cannot infer the plan kind: provide 'kind', a 'query' (tuning plan) "
+        "or a 'queries' list (campaign plan)"
+    )
+
+
+def _toml_module():
+    """The available TOML parser: stdlib ``tomllib`` (3.11+) or ``tomli``."""
+    try:
+        import tomllib
+
+        return tomllib
+    except ModuleNotFoundError:
+        try:
+            import tomli
+
+            return tomli
+        except ModuleNotFoundError:
+            raise PlanError(
+                "reading TOML plans needs Python 3.11+ (tomllib) or the "
+                "'tomli' package; on this interpreter use a JSON plan instead"
+            ) from None
+
+
+def load_plan(path: str | Path) -> "TuningPlan | CampaignPlan":
+    """Load a plan from a ``.json`` or ``.toml`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise PlanError(f"plan file {path} does not exist")
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise PlanError(f"{path} is not valid JSON: {error}") from None
+    elif suffix == ".toml":
+        toml = _toml_module()
+        try:
+            data = toml.loads(path.read_text())
+        except toml.TOMLDecodeError as error:
+            raise PlanError(f"{path} is not valid TOML: {error}") from None
+    else:
+        raise PlanError(
+            f"unsupported plan file suffix {suffix!r} for {path} "
+            "(expected .json or .toml)"
+        )
+    try:
+        return plan_from_dict(data)
+    except PlanError as error:
+        raise PlanError(f"{path}: {error}") from None
+
+
+def save_plan(plan: "TuningPlan | CampaignPlan", path: str | Path) -> None:
+    """Write a plan to ``.json`` or ``.toml`` (round-trips via :func:`load_plan`)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        path.write_text(plan.to_json() + "\n")
+    elif suffix == ".toml":
+        path.write_text(_to_toml(plan.to_dict()))
+    else:
+        raise PlanError(
+            f"unsupported plan file suffix {suffix!r} for {path} "
+            "(expected .json or .toml)"
+        )
+
+
+def _to_toml(data: dict) -> str:
+    """Serialise a flat plan dict as TOML (``None`` fields are omitted)."""
+    lines = []
+    for key, value in data.items():
+        if value is None:
+            continue
+        lines.append(f"{key} = {_toml_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _toml_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)   # JSON string escaping is valid TOML
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise PlanError(f"cannot serialise {value!r} to TOML")
+
+
+def replace(plan, **changes):
+    """`dataclasses.replace` re-exported: overrides re-validate eagerly."""
+    return dataclasses.replace(plan, **changes)

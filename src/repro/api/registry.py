@@ -1,0 +1,241 @@
+"""Named component registries with typed parameter specs.
+
+The repo grew four parallel construction idioms — ``make_engine`` /
+``make_tuner`` ladders in :mod:`repro.experiments.context`, the
+``make_prediction_model`` factory, ``CampaignSpec.make_engine`` and the
+CLI's hand-rolled query resolution.  Registries collapse all of them into
+one pattern (PDSP-Bench exposes workloads/engines the same way): a
+component self-registers under a name (plus aliases) together with a
+typed :class:`ParamSpec` list, and every consumer resolves it through
+:meth:`Registry.create`, which validates arguments *before* construction
+and turns an unknown name into an error that lists the alternatives.
+
+Built-in components are registered by :mod:`repro.api.components`, which
+``repro.api`` imports eagerly — ``from repro.api import ENGINES`` always
+sees a populated registry.  Third parties extend the system the same way::
+
+    from repro.api import ENGINES, ParamSpec
+
+    @ENGINES.register("myengine", params=(ParamSpec("seed", int, None),))
+    def _build(seed=None):
+        return MyEngineCluster(seed=seed)
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Sentinel for "parameter has no default" (``None`` is a valid default).
+REQUIRED = object()
+
+
+class RegistryError(ValueError):
+    """A component was invoked with invalid parameters."""
+
+
+class UnknownComponentError(KeyError, ValueError):
+    """A name did not resolve in a registry.
+
+    Subclasses both :class:`KeyError` and :class:`ValueError` so legacy
+    call sites (and their tests) that caught either exception from the
+    old if/else ladders keep working, but the message is actionable: it
+    names the registry, suggests the closest match, and lists every
+    alternative.
+    """
+
+    def __init__(self, kind: str, name: str, known: tuple[str, ...]) -> None:
+        suggestions = difflib.get_close_matches(name, known, n=1)
+        hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+        message = (
+            f"unknown {kind} {name!r}{hint} "
+            f"(available: {', '.join(known) if known else 'none registered'})"
+        )
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.known = known
+        self.message = message
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.message
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed, documented parameter of a registered component."""
+
+    name: str
+    annotation: type
+    default: Any = REQUIRED
+    help: str = ""
+    choices: tuple = ()
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    def validate(self, value, kind: str, component: str):
+        """Coerce ``value`` to the spec; raise an actionable error if unfit."""
+        if value is None and not self.required:
+            # None is always accepted for optional parameters (meaning
+            # "use the component's internal default").
+            return value
+        if self.annotation is float and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        if self.annotation is not Any and not isinstance(value, self.annotation):
+            raise RegistryError(
+                f"{kind} {component!r}: parameter {self.name!r} expects "
+                f"{self.annotation.__name__}, got {type(value).__name__} ({value!r})"
+            )
+        if self.choices and value not in self.choices:
+            # An out-of-choices value is an unknown *name*, not a type
+            # error — raise the lookup error so callers get the same
+            # did-you-mean treatment as a registry miss.
+            raise UnknownComponentError(
+                f"{kind} {component!r} {self.name}", str(value), tuple(map(str, self.choices))
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class ComponentEntry:
+    """A registered factory plus its metadata."""
+
+    name: str
+    factory: Callable
+    params: tuple[ParamSpec, ...] = ()
+    aliases: tuple[str, ...] = ()
+    summary: str = ""
+    #: Extra keyword arguments beyond ``params`` are forwarded verbatim
+    #: when True (used by components that proxy ``**overrides`` through).
+    allow_extra: bool = False
+
+    def param(self, name: str) -> ParamSpec | None:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        return None
+
+
+class Registry:
+    """A name -> factory table with typed construction."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, ComponentEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        *,
+        params: tuple[ParamSpec, ...] = (),
+        aliases: tuple[str, ...] = (),
+        summary: str = "",
+        allow_extra: bool = False,
+    ):
+        """Decorator: register ``factory`` under ``name`` (+ ``aliases``)."""
+
+        def decorate(factory: Callable) -> Callable:
+            if name in self._entries or name in self._aliases:
+                raise RegistryError(f"{self.kind} {name!r} is already registered")
+            doc = summary
+            if not doc and factory.__doc__:
+                doc = factory.__doc__.strip().splitlines()[0]
+            entry = ComponentEntry(
+                name=name,
+                factory=factory,
+                params=tuple(params),
+                aliases=tuple(aliases),
+                summary=doc,
+                allow_extra=allow_extra,
+            )
+            self._entries[name] = entry
+            for alias in aliases:
+                if alias in self._entries or alias in self._aliases:
+                    raise RegistryError(
+                        f"{self.kind} alias {alias!r} is already registered"
+                    )
+                self._aliases[alias] = name
+            return factory
+
+        return decorate
+
+    # -- resolution -----------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical component names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        key = name.lower()
+        return key in self._entries or key in self._aliases
+
+    def entry(self, name: str) -> ComponentEntry:
+        key = name.lower()
+        key = self._aliases.get(key, key)
+        try:
+            return self._entries[key]
+        except KeyError:
+            known = tuple(sorted(set(self._entries) | set(self._aliases)))
+            raise UnknownComponentError(self.kind, name, known) from None
+
+    def validate_kwargs(self, name: str, kwargs: dict) -> dict:
+        """Type-check ``kwargs`` against the entry's specs (no construction)."""
+        entry = self.entry(name)
+        validated = {}
+        for key, value in kwargs.items():
+            spec = entry.param(key)
+            if spec is None:
+                if entry.allow_extra:
+                    validated[key] = value
+                    continue
+                accepted = ", ".join(s.name for s in entry.params) or "none"
+                raise RegistryError(
+                    f"{self.kind} {entry.name!r} does not accept parameter "
+                    f"{key!r} (accepted: {accepted})"
+                )
+            validated[key] = spec.validate(value, self.kind, entry.name)
+        for spec in entry.params:
+            if spec.required and spec.name not in validated:
+                raise RegistryError(
+                    f"{self.kind} {entry.name!r} requires parameter {spec.name!r}"
+                )
+        return validated
+
+    def create(self, name: str, /, *args, **kwargs):
+        """Build the component: positional context + validated keywords.
+
+        Positional ``args`` carry contextual objects the caller always
+        supplies (the engine a tuner binds to, for example); ``kwargs``
+        are the declarative surface validated against the entry's
+        :class:`ParamSpec` list.
+        """
+        entry = self.entry(name)
+        return entry.factory(*args, **self.validate_kwargs(name, kwargs))
+
+    def describe(self) -> str:
+        """Human-readable listing (used by docs and ``--help`` epilogs)."""
+        lines = []
+        for name in self.names():
+            entry = self._entries[name]
+            alias_note = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+            lines.append(f"{name}{alias_note}: {entry.summary}")
+            for spec in entry.params:
+                default = "required" if spec.required else f"default {spec.default!r}"
+                lines.append(
+                    f"  - {spec.name} ({spec.annotation.__name__}, {default})"
+                    + (f": {spec.help}" if spec.help else "")
+                )
+        return "\n".join(lines)
+
+
+#: The four component families of the paper's pipeline.
+ENGINES = Registry("engine")
+TUNERS = Registry("tuner")
+WORKLOADS = Registry("workload")
+MODELS = Registry("prediction model")

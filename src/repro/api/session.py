@@ -1,0 +1,233 @@
+"""Plan execution: the :class:`TuningSession` facade and its async twin.
+
+A session turns a declarative plan into the exact computation the legacy
+entry points performed:
+
+* a :class:`~repro.api.plans.TuningPlan` reproduces the ``repro tune``
+  lifecycle — one engine, one tuner, one rate trace — bit-identically;
+* a :class:`~repro.api.plans.CampaignPlan` reproduces the
+  ``repro serve-campaigns`` lifecycle over the concurrent
+  :class:`~repro.service.TuningService`, with the same per-campaign
+  seeding, so sequential/thread/process backends (and the async facade)
+  all return bit-identical :class:`~repro.baselines.api.TuningResult`
+  step sequences.
+
+Sessions are reusable: pre-trained artifacts resolve once per
+``(engine, scale, model-path)`` and are shared across runs, and an
+optional ``cache_path`` plan field round-trips the service's
+:class:`~repro.service.cache.TuningCacheSet` through a versioned on-disk
+snapshot so even separate *processes* never repeat a pure computation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api.components import TunerResources, build_engine, build_tuner, resolve_query
+from repro.api.plans import CampaignPlan, PlanError, TuningPlan
+
+
+@dataclass
+class SessionResult:
+    """Everything one :meth:`TuningSession.run` produced."""
+
+    plan: "TuningPlan | CampaignPlan"
+    outcomes: list                      # list[CampaignOutcome], plan order
+    wall_seconds: float
+    backend: str
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def results(self) -> list:
+        """The :class:`CampaignResult` per query, in plan order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def result(self):
+        """The single campaign result (tuning plans / 1-query campaigns)."""
+        if len(self.outcomes) != 1:
+            raise ValueError(
+                f"session ran {len(self.outcomes)} campaigns; use .results"
+            )
+        return self.outcomes[0].result
+
+    def outcome(self, query_name: str):
+        for outcome in self.outcomes:
+            if outcome.spec_name == query_name:
+                return outcome
+        known = ", ".join(o.spec_name for o in self.outcomes)
+        raise KeyError(f"no campaign named {query_name!r} (have: {known})")
+
+
+class TuningSession:
+    """Execute declarative plans; the single front door to the pipeline.
+
+    Construction is cheap — expensive artifacts (pre-trained models,
+    histories) are resolved lazily per plan and memoised process-wide via
+    :mod:`repro.experiments.context`, so interleaved runs of many plans
+    share everything pure.  Pass ``pretrained=`` to inject an existing
+    artifact (tests and notebooks), and ``manager=`` to share caches
+    across a ``process`` backend's workers.
+    """
+
+    def __init__(self, *, pretrained=None, manager=None) -> None:
+        self._pretrained_override = pretrained
+        self._manager = manager
+
+    # -- artifact resolution -------------------------------------------
+
+    def _scale_for(self, plan):
+        from repro.experiments.scale import resolve_scale
+
+        return resolve_scale(plan.scale)
+
+    def _pretrained_for(self, plan, scale):
+        if self._pretrained_override is not None:
+            return self._pretrained_override
+        if plan.model is not None:
+            from repro.core.persistence import load_pretrained
+
+            return load_pretrained(plan.model)
+        from repro.experiments.context import pretrained_model
+
+        return pretrained_model(plan.engine, scale)
+
+    def _resources_for(self, plan, scale) -> TunerResources:
+        from repro.experiments.context import history
+
+        return TunerResources(
+            scale=scale,
+            pretrained=lambda: self._pretrained_for(plan, scale),
+            history=lambda limit: history(plan.engine, scale)[:limit],
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, plan) -> SessionResult:
+        """Execute ``plan`` synchronously and return its results."""
+        if isinstance(plan, TuningPlan):
+            return self._run_tuning(plan)
+        if isinstance(plan, CampaignPlan):
+            return self._run_campaign(plan)
+        raise PlanError(
+            f"cannot run a {type(plan).__name__}; expected TuningPlan or "
+            "CampaignPlan (build one, or load a plan file via load_plan)"
+        )
+
+    def _run_tuning(self, plan: TuningPlan) -> SessionResult:
+        """The single-query lifecycle (identical to the legacy ``tune``)."""
+        from repro.experiments.campaigns import run_campaign
+        from repro.service.tuning import CampaignOutcome
+
+        started = time.perf_counter()
+        scale = self._scale_for(plan)
+        engine = build_engine(plan.engine, seed=scale.seed)
+        query = resolve_query(plan.query, plan.engine)
+        params = {}
+        caches = None
+        if plan.tuner.lower().startswith("streamtune"):
+            params = {"seed": plan.seed}
+            if "-" not in plan.tuner:
+                # A 'streamtune-<model>' spelling carries its own layer;
+                # build_tuner turns the suffix into model_kind.
+                params["model_kind"] = plan.layer
+            if plan.cache_path is not None:
+                caches = self._load_caches(plan.cache_path)
+                params["caches"] = caches
+        tuner = build_tuner(
+            plan.tuner, engine, self._resources_for(plan, scale), **params
+        )
+        result = run_campaign(engine, tuner, query, list(plan.rates))
+        if caches is not None:
+            caches.save(plan.cache_path)
+        wall = time.perf_counter() - started
+        outcome = CampaignOutcome(
+            spec_name=query.name, result=result, wall_seconds=wall, backend="inline"
+        )
+        return SessionResult(
+            plan=plan, outcomes=[outcome], wall_seconds=wall, backend="inline",
+            cache_stats=caches.stats() if caches is not None else {},
+        )
+
+    def _run_campaign(self, plan: CampaignPlan) -> SessionResult:
+        """The fleet lifecycle (identical to legacy ``serve-campaigns``)."""
+        from repro.service import CampaignSpec, TuningService
+
+        started = time.perf_counter()
+        scale = self._scale_for(plan)
+        pretrained = self._pretrained_for(plan, scale)
+        specs = [
+            CampaignSpec(
+                query=resolve_query(token, plan.engine),
+                multipliers=rates,
+                engine=plan.engine,
+                engine_seed=plan.seed,
+                seed=plan.seed,
+                model_kind=plan.layer,
+            )
+            for token, rates in plan.rates_for()
+        ]
+        manager = self._manager
+        own_manager = False
+        if plan.backend == "process" and manager is None:
+            import multiprocessing
+
+            manager = multiprocessing.Manager()
+            own_manager = True
+        caches = (
+            self._load_caches(plan.cache_path) if plan.cache_path is not None else None
+        )
+        try:
+            service = TuningService(
+                pretrained,
+                backend=plan.backend,
+                max_workers=plan.workers,
+                prioritize_backpressure=plan.prioritize_backpressure,
+                manager=manager,
+                caches=caches,
+            )
+            outcomes = service.run(specs)
+            if caches is not None:
+                caches.save(plan.cache_path)
+            stats = service.cache_stats()
+        finally:
+            if own_manager:
+                manager.shutdown()
+        return SessionResult(
+            plan=plan,
+            outcomes=outcomes,
+            wall_seconds=time.perf_counter() - started,
+            backend=plan.backend,
+            cache_stats=stats,
+        )
+
+    @staticmethod
+    def _load_caches(cache_path: str):
+        from repro.service.cache import TuningCacheSet
+
+        if Path(cache_path).exists():
+            return TuningCacheSet.load(cache_path)
+        return TuningCacheSet()
+
+
+class AsyncTuningSession:
+    """Awaitable facade over :class:`TuningSession`.
+
+    ``await session.run(plan)`` executes the plan on a worker thread —
+    the service's own pool (thread/process backend) keeps doing the heavy
+    lifting, the event loop stays responsive, and results are the same
+    objects the sync session returns.  ``run_all`` drives many plans
+    concurrently with an ``asyncio.gather``.
+    """
+
+    def __init__(self, *, pretrained=None, manager=None) -> None:
+        self._session = TuningSession(pretrained=pretrained, manager=manager)
+
+    async def run(self, plan) -> SessionResult:
+        return await asyncio.to_thread(self._session.run, plan)
+
+    async def run_all(self, plans) -> list[SessionResult]:
+        return list(await asyncio.gather(*(self.run(plan) for plan in plans)))

@@ -1,15 +1,24 @@
 """Command-line interface for the StreamTune reproduction.
 
+Every subcommand is a thin shell over :mod:`repro.api`: flags build a
+declarative :class:`~repro.api.TuningPlan` / :class:`~repro.api.CampaignPlan`
+(or load one from a config file) and a :class:`~repro.api.TuningSession`
+executes it.  Component names — engines, prediction layers, queries —
+resolve through the ``repro.api`` registries, so a newly registered
+component is immediately available to every subcommand.
+
 Subcommands mirror the library's lifecycle::
 
     python -m repro.cli history   --engine flink --records 3000 --output history.jsonl
     python -m repro.cli pretrain  --history history.jsonl --output model_dir
     python -m repro.cli tune      --model model_dir --query q5 --rates 3,10,5
+    python -m repro.cli serve-campaigns --queries q1,q2,q5 --rates 3,7,4,2
+    python -m repro.cli run-plan  campaign.toml
     python -m repro.cli experiments --scale smoke
 
-``history`` and ``pretrain`` persist their outputs, so a tuned model can be
-built once and reused across tuning sessions (the paper's offline/online
-split).
+``history`` and ``pretrain`` persist their outputs, so a tuned model can
+be built once and reused across tuning sessions (the paper's
+offline/online split).
 """
 
 from __future__ import annotations
@@ -17,24 +26,65 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.history import HistoryGenerator
-from repro.core.persistence import (
-    load_history,
-    load_pretrained,
-    save_history,
-    save_pretrained,
+from repro.api import (
+    ENGINES,
+    MODELS,
+    CampaignPlan,
+    PlanError,
+    TuningPlan,
+    TuningSession,
+    UnknownComponentError,
+    build_engine,
+    load_plan,
+    replace,
+    resolve_query,
 )
+from repro.core.history import HistoryGenerator
+from repro.core.persistence import load_history, save_history, save_pretrained
 from repro.core.pretrain import pretrain
-from repro.core.tuner import StreamTuneTuner
-from repro.experiments.context import corpus, make_engine
+from repro.experiments.context import corpus
 from repro.experiments.scale import resolve_scale
 from repro.utils.tables import format_table
-from repro.workloads import nexmark_query, pqp_query_set
 
+
+def _resolve_query(name: str, engine_name: str):
+    """Back-compat alias for :func:`repro.api.resolve_query`."""
+    return resolve_query(name, engine_name)
+
+
+def _parse_rates(raw: str) -> tuple[float, ...]:
+    """Parse a comma-separated multiplier list, failing fast when garbled."""
+    tokens = [token.strip() for token in raw.split(",")]
+    if any(not token for token in tokens):
+        raise PlanError(
+            f"--rates {raw!r} is malformed: empty entry in the "
+            "comma-separated list"
+        )
+    try:
+        return tuple(float(token) for token in tokens)
+    except ValueError:
+        raise PlanError(
+            f"--rates {raw!r} is malformed: every entry must be a number"
+        ) from None
+
+
+def _parse_queries(raw: str) -> tuple[str, ...]:
+    tokens = tuple(token.strip() for token in raw.split(","))
+    if any(not token for token in tokens):
+        raise PlanError(
+            f"--queries {raw!r} is malformed: empty entry in the "
+            "comma-separated list"
+        )
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# offline lifecycle: history + pretrain
+# ----------------------------------------------------------------------
 
 def _cmd_history(args: argparse.Namespace) -> int:
     scale = resolve_scale(args.scale)
-    engine = make_engine(args.engine, scale)
+    engine = build_engine(args.engine, seed=scale.seed)
     generator = HistoryGenerator(engine, seed=args.seed)
     records = generator.generate(corpus(args.engine), args.records)
     save_history(records, args.output)
@@ -50,7 +100,7 @@ def _cmd_history(args: argparse.Namespace) -> int:
 def _cmd_pretrain(args: argparse.Namespace) -> int:
     records = load_history(args.history)
     scale = resolve_scale(args.scale)
-    engine = make_engine(args.engine, scale)
+    engine = build_engine(args.engine, seed=scale.seed)
     artifact = pretrain(
         records,
         max_parallelism=engine.max_parallelism,
@@ -67,85 +117,34 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_query(name: str, engine_name: str):
-    if name.startswith("q"):
-        return nexmark_query(name, engine_name)
-    template, _, index = name.rpartition("/")
-    queries = pqp_query_set()[template]
-    return queries[int(index)]
+# ----------------------------------------------------------------------
+# online lifecycle: tune one query / serve a fleet / run a plan file
+# ----------------------------------------------------------------------
 
-
-def _cmd_tune(args: argparse.Namespace) -> int:
-    scale = resolve_scale(args.scale)
-    artifact = load_pretrained(args.model)
-    engine = make_engine(args.engine, scale)
-    query = _resolve_query(args.query, args.engine)
-    tuner = StreamTuneTuner(engine, artifact, model_kind=args.layer, seed=args.seed)
-    tuner.prepare(query)
-    deployment = engine.deploy(
-        query.flow,
-        dict.fromkeys(query.flow.operator_names, 1),
-        query.rates_at(float(args.rates.split(",")[0])),
-    )
-    rows = []
-    for multiplier in (float(m) for m in args.rates.split(",")):
-        result = tuner.tune(deployment, query.rates_at(multiplier))
-        rows.append(
-            (
-                f"{multiplier:g}",
-                result.final_total_parallelism,
-                result.n_reconfigurations,
-                result.n_backpressure_events,
-                "yes" if result.converged else "no",
-            )
+def _print_tuning_result(outcome) -> None:
+    result = outcome.result
+    rows = [
+        (
+            f"{multiplier:g}",
+            process.final_total_parallelism,
+            process.n_reconfigurations,
+            process.n_backpressure_events,
+            "yes" if process.converged else "no",
         )
-    engine.stop(deployment)
+        for multiplier, process in zip(result.multipliers, result.processes)
+    ]
     print(
         format_table(
             ["rate (xWu)", "total parallelism", "reconfigs", "bp events", "converged"],
             rows,
-            title=f"StreamTune tuning {query.name}",
+            title=f"{result.method} tuning {outcome.spec_name}",
         )
     )
-    return 0
 
 
-def _cmd_serve_campaigns(args: argparse.Namespace) -> int:
-    from repro.experiments.context import pretrained_model
-    from repro.service import CampaignSpec, TuningService
-
-    scale = resolve_scale(args.scale)
-    if args.model:
-        artifact = load_pretrained(args.model)
-    else:
-        artifact = pretrained_model(args.engine, scale)
-    multipliers = tuple(float(m) for m in args.rates.split(","))
-    specs = [
-        CampaignSpec(
-            query=_resolve_query(name.strip(), args.engine),
-            multipliers=multipliers,
-            engine=args.engine,
-            engine_seed=args.seed,
-            seed=args.seed,
-            model_kind=args.layer,
-        )
-        for name in args.queries.split(",")
-    ]
-    manager = None
-    if args.backend == "process":
-        import multiprocessing
-
-        manager = multiprocessing.Manager()
-    service = TuningService(
-        artifact,
-        backend=args.backend,
-        max_workers=args.workers,
-        prioritize_backpressure=not args.no_priority,
-        manager=manager,
-    )
-    outcomes = service.run(specs)
+def _print_campaign_outcomes(session_result) -> None:
     rows = []
-    for outcome in outcomes:
+    for outcome in session_result.outcomes:
         result = outcome.result
         rows.append(
             (
@@ -162,19 +161,79 @@ def _cmd_serve_campaigns(args: argparse.Namespace) -> int:
             ["query", "processes", "avg reconfigs", "bp events",
              "sum final parallelism", "wall"],
             rows,
-            title=f"tuning service ({args.backend}, {service.max_workers} workers)",
+            title=f"tuning service ({session_result.backend})",
         )
     )
-    stats = service.cache_stats()
-    summary = ", ".join(
-        f"{kind}: {values.get('hits', 0)}h/{values.get('misses', 0)}m"
-        for kind, values in stats.items()
+    stats = session_result.cache_stats
+    if stats:
+        summary = ", ".join(
+            f"{kind}: {values.get('hits', 0)}h/{values.get('misses', 0)}m"
+            for kind, values in stats.items()
+        )
+        print(f"cache hits/misses — {summary}")
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    plan = TuningPlan(
+        query=args.query,
+        rates=_parse_rates(args.rates),
+        engine=args.engine,
+        layer=args.layer,
+        model=args.model,
+        scale=args.scale,
+        seed=args.seed,
+        cache_path=args.cache_path,
     )
-    print(f"cache hits/misses — {summary}")
-    if manager is not None:
-        manager.shutdown()
+    result = TuningSession().run(plan)
+    _print_tuning_result(result.outcomes[0])
     return 0
 
+
+def _cmd_serve_campaigns(args: argparse.Namespace) -> int:
+    plan = CampaignPlan(
+        queries=_parse_queries(args.queries),
+        rates=_parse_rates(args.rates),
+        rates_per_query=args.rates_per_query,
+        engine=args.engine,
+        backend=args.backend,
+        workers=args.workers,
+        layer=args.layer,
+        prioritize_backpressure=not args.no_priority,
+        model=args.model,
+        scale=args.scale,
+        seed=args.seed,
+        cache_path=args.cache_path,
+    )
+    _print_campaign_outcomes(TuningSession().run(plan))
+    return 0
+
+
+def _cmd_run_plan(args: argparse.Namespace) -> int:
+    plan = load_plan(args.plan)
+    overrides = {}
+    if args.backend is not None:
+        if isinstance(plan, TuningPlan):
+            raise PlanError("--backend applies to campaign plans only")
+        overrides["backend"] = args.backend
+    if args.workers is not None:
+        if isinstance(plan, TuningPlan):
+            raise PlanError("--workers applies to campaign plans only")
+        overrides["workers"] = args.workers
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if overrides:
+        plan = replace(plan, **overrides)
+    result = TuningSession().run(plan)
+    if isinstance(plan, TuningPlan):
+        _print_tuning_result(result.outcomes[0])
+    else:
+        _print_campaign_outcomes(result)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# experiment harness passthroughs
+# ----------------------------------------------------------------------
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     import os
@@ -192,14 +251,20 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="StreamTune reproduction CLI"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_names = ENGINES.names()
+    layer_names = MODELS.names()
 
     history = sub.add_parser("history", help="generate an execution history")
-    history.add_argument("--engine", choices=("flink", "timely"), default="flink")
+    history.add_argument("--engine", choices=engine_names, default="flink")
     history.add_argument("--records", type=int, default=3000)
     history.add_argument("--output", required=True)
     history.add_argument("--seed", type=int, default=7)
@@ -209,7 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     pre = sub.add_parser("pretrain", help="cluster + pre-train encoders")
     pre.add_argument("--history", required=True)
     pre.add_argument("--output", required=True)
-    pre.add_argument("--engine", choices=("flink", "timely"), default="flink")
+    pre.add_argument("--engine", choices=engine_names, default="flink")
     pre.add_argument("--clusters", type=int, default=None)
     pre.add_argument("--epochs", type=int, default=40)
     pre.add_argument("--seed", type=int, default=7)
@@ -224,12 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="nexmark name (q1..q8) or PQP '<template>/<index>'",
     )
     tune.add_argument("--rates", default="3,10,5", help="comma-separated xWu multipliers")
-    tune.add_argument("--engine", choices=("flink", "timely"), default="flink")
-    tune.add_argument(
-        "--layer", choices=("svm", "xgboost", "isotonic", "nn"), default="svm"
-    )
+    tune.add_argument("--engine", choices=engine_names, default="flink")
+    tune.add_argument("--layer", choices=layer_names, default="svm")
     tune.add_argument("--seed", type=int, default=17)
     tune.add_argument("--scale", default=None)
+    tune.add_argument(
+        "--cache-path", default=None,
+        help="persist the tuning cache set to this snapshot file",
+    )
     tune.set_defaults(func=_cmd_tune)
 
     serve = sub.add_parser(
@@ -245,14 +312,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", default=None, help="directory from `pretrain` (default: build at --scale)"
     )
     serve.add_argument("--rates", default="3,7,4,2", help="comma-separated xWu multipliers")
-    serve.add_argument("--engine", choices=("flink", "timely"), default="flink")
+    serve.add_argument(
+        "--rates-per-query",
+        action="store_true",
+        help="split --rates into one equal chunk per query (its length must "
+        "then be a multiple of the query count) instead of sharing the trace",
+    )
+    serve.add_argument("--engine", choices=engine_names, default="flink")
     serve.add_argument(
         "--backend", choices=("sequential", "thread", "process"), default="thread"
     )
     serve.add_argument("--workers", type=int, default=None)
-    serve.add_argument(
-        "--layer", choices=("svm", "xgboost", "isotonic", "nn"), default="svm"
-    )
+    serve.add_argument("--layer", choices=layer_names, default="svm")
     serve.add_argument(
         "--no-priority",
         action="store_true",
@@ -260,7 +331,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=17)
     serve.add_argument("--scale", default=None)
+    serve.add_argument(
+        "--cache-path", default=None,
+        help="persist the service cache set to this snapshot file",
+    )
     serve.set_defaults(func=_cmd_serve_campaigns)
+
+    run_plan = sub.add_parser(
+        "run-plan", help="execute a TuningPlan/CampaignPlan config file"
+    )
+    run_plan.add_argument("plan", help="path to a .json or .toml plan file")
+    run_plan.add_argument(
+        "--backend", choices=("sequential", "thread", "process"), default=None,
+        help="override the plan's worker-pool backend",
+    )
+    run_plan.add_argument("--workers", type=int, default=None)
+    run_plan.add_argument("--scale", default=None, help="override the plan's scale")
+    run_plan.set_defaults(func=_cmd_run_plan)
 
     experiments = sub.add_parser("experiments", help="run every paper experiment")
     experiments.add_argument("--scale", default="default")
@@ -277,7 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (PlanError, UnknownComponentError) as error:
+        print(f"{parser.prog}: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

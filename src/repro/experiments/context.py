@@ -9,12 +9,17 @@ lifetime of the process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
 
-from repro.baselines import ContTuneTuner, DS2Tuner, OracleTuner, ZeroTuneTuner
-from repro.core import HistoryGenerator, PretrainedStreamTune, StreamTuneTuner, pretrain
+from repro.api.components import (
+    TunerResources,
+    build_engine,
+    build_tuner,
+    engine_family,
+)
+from repro.core import HistoryGenerator, PretrainedStreamTune, pretrain
 from repro.core.history import ExecutionRecord
-from repro.engines import EngineCluster, FlinkCluster, TimelyCluster
+from repro.engines import EngineCluster
 from repro.experiments.scale import ExperimentScale
 from repro.workloads import StreamingQuery, nexmark_queries, pqp_query_set
 
@@ -23,11 +28,18 @@ METHOD_NAMES = ("DS2", "ContTune", "StreamTune", "ZeroTune", "Oracle")
 
 _CACHE: dict = {}
 
+#: Reentrant because builders nest (pretraining builds the history first);
+#: held across the build so concurrent sessions (AsyncTuningSession.run_all
+#: drives this module from worker threads) share one artifact instead of
+#: each paying the minutes-scale construction.
+_CACHE_LOCK = threading.RLock()
+
 
 def _cached(key, builder):
-    if key not in _CACHE:
-        _CACHE[key] = builder()
-    return _CACHE[key]
+    with _CACHE_LOCK:
+        if key not in _CACHE:
+            _CACHE[key] = builder()
+        return _CACHE[key]
 
 
 def clear_cache() -> None:
@@ -40,23 +52,29 @@ def clear_cache() -> None:
 # ----------------------------------------------------------------------
 
 def make_engine(engine_name: str, scale: ExperimentScale) -> EngineCluster:
-    """A fresh engine cluster (not cached: engines carry deployment state)."""
-    if engine_name == "flink":
-        return FlinkCluster(seed=scale.seed)
-    if engine_name == "timely":
-        return TimelyCluster(seed=scale.seed)
-    raise KeyError(f"unknown engine {engine_name!r}")
+    """A fresh engine cluster (not cached: engines carry deployment state).
+
+    Resolution goes through the :data:`repro.api.ENGINES` registry, so any
+    registered engine — including ``timely-scheduled`` and
+    ``flink-faulty`` — is available to every experiment by name.
+    """
+    return build_engine(engine_name, seed=scale.seed)
 
 
 def corpus(engine_name: str) -> list[StreamingQuery]:
-    """The full training corpus for an engine (Fig. 5 distribution)."""
-    if engine_name == "flink":
+    """The full training corpus for an engine (Fig. 5 distribution).
+
+    Engine *variants* (``flink-faulty``, ``timely-scheduled``) train on
+    their base family's corpus — same queries, same rate units.
+    """
+    family = engine_family(engine_name)
+    if family == "flink":
         return nexmark_queries("flink") + [
             query for queries in pqp_query_set().values() for query in queries
         ]
-    if engine_name == "timely":
+    if family == "timely":
         return nexmark_queries("timely")
-    raise KeyError(f"unknown engine {engine_name!r}")
+    raise KeyError(f"engine {engine_name!r} has no workload corpus")
 
 
 def evaluation_queries(
@@ -68,7 +86,7 @@ def evaluation_queries(
     of each PQP template.  Timely: Nexmark Q3/Q5/Q8 (§V-F: the other
     queries run fine at parallelism 1).
     """
-    if engine_name == "timely":
+    if engine_family(engine_name) == "timely":
         timely = {q.name.split("_")[1]: q for q in nexmark_queries("timely")}
         return {key: [timely[key]] for key in ("q3", "q5", "q8")}
     groups: dict[str, list[StreamingQuery]] = {}
@@ -117,27 +135,16 @@ def pretrained_model(engine_name: str, scale: ExperimentScale) -> PretrainedStre
 def make_tuner(method: str, engine: EngineCluster, scale: ExperimentScale):
     """Instantiate a tuning method bound to ``engine``.
 
-    ``method`` is one of :data:`METHOD_NAMES`, or ``StreamTune-<model>``
-    for the Fig. 11a prediction-layer ablation (svm/xgboost/nn).
+    ``method`` is any :data:`repro.api.TUNERS` registry name (one of
+    :data:`METHOD_NAMES`), or ``StreamTune-<model>`` for the Fig. 11a
+    prediction-layer ablation (svm/xgboost/nn).  The registry factories
+    pull whatever shared artifacts they need — the pre-trained model for
+    StreamTune, history records for ZeroTune — lazily from this module's
+    cache, with the scale's seed conventions applied inside the factory.
     """
-    key = method.lower()
-    if key == "ds2":
-        return DS2Tuner(engine)
-    if key == "conttune":
-        return ContTuneTuner(engine)
-    if key == "oracle":
-        return OracleTuner(engine)
-    if key == "zerotune":
-        records = history(engine.name, scale)[: scale.zerotune_history]
-        return ZeroTuneTuner(
-            engine, records, epochs=scale.zerotune_epochs, seed=scale.seed + 3
-        )
-    if key.startswith("streamtune"):
-        _, _, model_kind = key.partition("-")
-        return StreamTuneTuner(
-            engine,
-            pretrained_model(engine.name, scale),
-            model_kind=model_kind or "svm",
-            seed=scale.seed + 4,
-        )
-    raise KeyError(f"unknown tuning method {method!r}")
+    resources = TunerResources(
+        scale=scale,
+        pretrained=lambda: pretrained_model(engine.name, scale),
+        history=lambda limit: history(engine.name, scale)[:limit],
+    )
+    return build_tuner(method, engine, resources)

@@ -24,7 +24,7 @@ from repro.dataflow.operators import (
     WindowPolicy,
     WindowType,
 )
-from repro.engines.flink import FlinkCluster
+from repro.api.components import build_engine
 from repro.experiments.scale import ExperimentScale, resolve_scale
 from repro.utils.tables import format_table
 
@@ -93,7 +93,7 @@ class Fig4Result:
 def run(scale: ExperimentScale | None = None) -> Fig4Result:
     """Sweep each operator's parallelism; find the bottleneck thresholds."""
     del scale  # Fig. 4 is scale-independent
-    engine = FlinkCluster(seed=4)
+    engine = build_engine("flink", seed=4)
     flow = build_job()
     filter_spec = flow.operator("filter")
     window_spec = flow.operator("window")

@@ -37,14 +37,13 @@ __all__ = [
 
 
 def make_prediction_model(kind: str, seed: int = 11):
-    """Factory for the fine-tuning layer: 'svm', 'xgboost', 'isotonic' or 'nn'."""
-    key = kind.lower()
-    if key == "svm":
-        return MonotonicSVM(seed=seed)
-    if key in ("xgboost", "gbdt"):
-        return MonotonicGBDT(seed=seed)
-    if key in ("isotonic", "knn"):
-        return IsotonicKNN(seed=seed)
-    if key in ("nn", "mlp"):
-        return MLPClassifier(seed=seed)
-    raise ValueError(f"unknown prediction model kind {kind!r}")
+    """Factory for the fine-tuning layer: 'svm', 'xgboost', 'isotonic' or 'nn'.
+
+    Delegates to the :data:`repro.api.MODELS` registry (imported lazily —
+    the registry imports this package), so every registered model —
+    including third-party registrations — is constructible here, and an
+    unknown kind fails with the full list of alternatives.
+    """
+    from repro.api.registry import MODELS
+
+    return MODELS.create(kind, seed=seed)

@@ -18,8 +18,10 @@ Architecture (see each module for depth):
 * :mod:`repro.service.cache` — :class:`TuningCacheSet` routes the tuner's
   pure computations (cluster assignment, warm-up dataset construction,
   distilled operating points, operator embeddings) through bounded
-  concurrency-safe LRU caches; :class:`SharedGEDCache` is the
-  thread/process-safe pairwise-GED store behind cluster assignment.
+  concurrency-safe LRU caches, and persists them between service runs via
+  versioned snapshots (``TuningCacheSet.save`` / ``load``);
+  :class:`SharedGEDCache` is the thread/process-safe pairwise-GED store
+  behind cluster assignment.
 * :mod:`repro.service.tuning` — :class:`TuningService` executes campaigns
   over a ``sequential`` / ``thread`` / ``process`` worker pool.  Every
   campaign owns its engine and tuner (per-campaign seeding), all share the

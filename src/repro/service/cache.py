@@ -23,9 +23,11 @@ reproducible no matter which worker populated an entry first.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from collections import OrderedDict
 from collections.abc import MutableMapping
+from pathlib import Path
 
 from repro.ged.astar_lsa import astar_lsa_ged
 from repro.ged.costs import DEFAULT_COSTS, EditCosts
@@ -196,6 +198,67 @@ class TuningCacheSet:
     def clear(self) -> None:
         for cache in self._caches.values():
             cache.clear()
+
+    # -- persistence ----------------------------------------------------
+    #
+    # Every cached value is a pure function of its key, so a snapshot
+    # taken after one service run warms the next run *exactly*: a loaded
+    # entry returns bit-identically what a recomputation would.
+
+    #: On-disk snapshot format version; bump on incompatible layout change.
+    SNAPSHOT_VERSION = 1
+    _SNAPSHOT_FORMAT = "repro.service.TuningCacheSet"
+
+    def save(self, path: str | Path) -> None:
+        """Write a versioned snapshot of every section's entries.
+
+        The write is atomic (temp file + rename), so a crash mid-save
+        never corrupts an existing snapshot.  Hit/miss counters are
+        service-run accounting and are deliberately not persisted.
+        """
+        sections = {}
+        for kind, cache in self._caches.items():
+            with cache._lock:
+                entries = list(cache._data.items())
+            sections[kind] = {"maxsize": cache.maxsize, "entries": entries}
+        payload = {
+            "format": self._SNAPSHOT_FORMAT,
+            "version": self.SNAPSHOT_VERSION,
+            "sections": sections,
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(path.name + ".tmp")
+        with open(temp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        temp.replace(path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningCacheSet":
+        """Rebuild a cache set from a :meth:`save` snapshot."""
+        path = Path(path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != cls._SNAPSHOT_FORMAT
+        ):
+            raise ValueError(f"{path} is not a TuningCacheSet snapshot")
+        version = payload.get("version")
+        if version != cls.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"{path} has snapshot version {version!r}; this build reads "
+                f"version {cls.SNAPSHOT_VERSION} — regenerate the cache file"
+            )
+        sections = payload["sections"]
+        caches = cls(
+            sections={kind: meta["maxsize"] for kind, meta in sections.items()}
+        )
+        for kind, meta in sections.items():
+            section = caches._caches[kind]
+            for key, value in meta["entries"]:
+                section.put(key, value)
+        return caches
 
 
 class SharedGEDCache:

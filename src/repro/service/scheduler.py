@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engines import FlinkCluster, TimelyCluster
 from repro.engines.base import EngineCluster
 from repro.workloads.query import StreamingQuery
 
@@ -46,11 +45,12 @@ class CampaignSpec:
         return self.query.name
 
     def make_engine(self) -> EngineCluster:
-        if self.engine == "flink":
-            return FlinkCluster(seed=self.engine_seed)
-        if self.engine == "timely":
-            return TimelyCluster(seed=self.engine_seed)
-        raise KeyError(f"unknown engine {self.engine!r}")
+        # Resolved through the engine registry (imported lazily: specs are
+        # pickled into worker processes, and the registry population should
+        # happen on first use, not at unpickle time).
+        from repro.api.components import build_engine
+
+        return build_engine(self.engine, seed=self.engine_seed)
 
 
 @dataclass(frozen=True)

@@ -136,6 +136,7 @@ class TuningService:
         fit_dedup: bool = True,
         share_ged_cache: bool = True,
         manager=None,
+        caches: TuningCacheSet | None = None,
     ) -> None:
         """``backend`` selects the worker pool: ``thread`` (default; shares
         every cache section in-process), ``process`` (one Python per
@@ -148,6 +149,11 @@ class TuningService:
         private :class:`~repro.ged.search.GEDCache` with a
         :class:`SharedGEDCache` seeded from the existing entries — an exact
         upgrade (same values, now concurrency-safe and shared).
+
+        ``caches`` injects a pre-populated :class:`TuningCacheSet` (for
+        example one loaded from a ``TuningCacheSet.load`` snapshot) so
+        warm-up datasets, distilled rows and embeddings survive between
+        service runs; ``None`` builds a fresh set for this service.
         """
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -159,7 +165,7 @@ class TuningService:
         self._manager = manager
         if share_ged_cache:
             self._install_shared_ged_cache()
-        self.caches = self._make_cache_set()
+        self.caches = caches if caches is not None else self._make_cache_set()
 
     # -- construction helpers ------------------------------------------
 

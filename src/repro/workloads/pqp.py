@@ -237,6 +237,21 @@ def _build_three_way(index: int, n_nodes: int, rng: np.random.Generator) -> Logi
     return flow
 
 
+_NODE_PLANS = {
+    "linear": _LINEAR_NODE_PLAN,
+    "2-way-join": _TWO_WAY_NODE_PLAN,
+    "3-way-join": _THREE_WAY_NODE_PLAN,
+}
+
+
+def pqp_template_size(template: str) -> int:
+    """How many queries :func:`pqp_queries` generates for ``template``
+    (without building them — cheap enough for eager plan validation)."""
+    if template not in _NODE_PLANS:
+        raise KeyError(f"unknown PQP template {template!r}; have {PQP_TEMPLATES}")
+    return len(_NODE_PLANS[template])
+
+
 def pqp_queries(template: str, seed: int = _PQP_SEED) -> list[StreamingQuery]:
     """Generate the paper's query set for one PQP template (Flink only)."""
     if template not in PQP_TEMPLATES:

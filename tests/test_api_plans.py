@@ -1,0 +1,242 @@
+"""Tests for the declarative plan layer (dict/JSON/TOML round-trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+try:
+    import tomllib  # noqa: F401  (Python 3.11+)
+
+    HAS_TOML = True
+except ModuleNotFoundError:
+    try:
+        import tomli  # noqa: F401
+
+        HAS_TOML = True
+    except ModuleNotFoundError:
+        HAS_TOML = False
+
+requires_toml = pytest.mark.skipif(
+    not HAS_TOML, reason="no TOML parser on this interpreter (Python < 3.11)"
+)
+
+from repro.api import (
+    CampaignPlan,
+    PlanError,
+    TuningPlan,
+    load_plan,
+    plan_from_dict,
+    replace,
+    save_plan,
+)
+
+
+class TestTuningPlanValidation:
+    def test_defaults_validate(self):
+        plan = TuningPlan(query="q5")
+        assert plan.rates == (3.0, 10.0, 5.0)
+        assert plan.engine == "flink"
+
+    def test_rates_normalised_to_float_tuple(self):
+        plan = TuningPlan(query="q1", rates=[3, 7])
+        assert plan.rates == (3.0, 7.0)
+        assert isinstance(plan.rates, tuple)
+
+    def test_unknown_query_token(self):
+        with pytest.raises(PlanError, match="q7"):
+            TuningPlan(query="q7")
+
+    def test_unknown_engine_names_alternatives(self):
+        with pytest.raises(PlanError, match="flink"):
+            TuningPlan(query="q1", engine="spark")
+
+    def test_unknown_layer(self):
+        with pytest.raises(PlanError, match="svm"):
+            TuningPlan(query="q1", layer="forest")
+
+    def test_unknown_tuner(self):
+        with pytest.raises(PlanError, match="streamtune"):
+            TuningPlan(query="q1", tuner="autoscale")
+
+    def test_ablation_tuner_spelling_accepted(self):
+        assert TuningPlan(query="q1", tuner="streamtune-xgboost").tuner
+
+    def test_ablation_tuner_bad_model_suffix_fails_at_plan_time(self):
+        with pytest.raises(PlanError, match="model suffix"):
+            TuningPlan(query="q1", tuner="streamtune-forest")
+
+    def test_dashed_garbage_tuner_fails_at_plan_time(self):
+        with pytest.raises(PlanError, match="ds2-foo"):
+            TuningPlan(query="q1", tuner="ds2-foo")
+
+    def test_ablation_tuner_spelling_is_case_insensitive(self):
+        assert TuningPlan(query="q1", tuner="StreamTune-xgboost").tuner
+
+    def test_pqp_index_out_of_range_fails_at_plan_time(self):
+        with pytest.raises(PlanError, match="0..7"):
+            TuningPlan(query="linear/99")
+        with pytest.raises(PlanError, match="0..7"):
+            CampaignPlan(queries=("q1", "linear/-1"))
+
+    def test_cache_path_with_baseline_tuner_rejected(self):
+        with pytest.raises(PlanError, match="streamtune"):
+            TuningPlan(query="q1", tuner="ds2", cache_path="caches.pkl")
+
+    def test_unknown_scale(self):
+        with pytest.raises(PlanError, match="smoke"):
+            TuningPlan(query="q1", scale="tiny")
+
+    def test_empty_rates(self):
+        with pytest.raises(PlanError, match="at least one"):
+            TuningPlan(query="q1", rates=())
+
+    def test_nonpositive_rate(self):
+        with pytest.raises(PlanError, match="> 0"):
+            TuningPlan(query="q1", rates=(3, 0))
+
+    def test_rates_string_rejected_with_hint(self):
+        with pytest.raises(PlanError, match="split"):
+            TuningPlan(query="q1", rates="3,7")
+
+
+class TestCampaignPlanValidation:
+    def test_defaults_validate(self):
+        plan = CampaignPlan(queries=("q1", "q5"))
+        assert plan.backend == "thread"
+        assert plan.rates_for() == [
+            ("q1", (3.0, 7.0, 4.0, 2.0)),
+            ("q5", (3.0, 7.0, 4.0, 2.0)),
+        ]
+
+    def test_queries_string_rejected_with_hint(self):
+        with pytest.raises(PlanError, match="split"):
+            CampaignPlan(queries="q1,q5")
+
+    def test_empty_queries(self):
+        with pytest.raises(PlanError, match="at least one"):
+            CampaignPlan(queries=())
+
+    def test_unknown_backend(self):
+        with pytest.raises(PlanError, match="sequential"):
+            CampaignPlan(queries=("q1",), backend="fibers")
+
+    def test_bad_workers(self):
+        with pytest.raises(PlanError, match="workers"):
+            CampaignPlan(queries=("q1",), workers=0)
+
+    def test_rates_per_query_requires_multiple(self):
+        with pytest.raises(PlanError) as exc_info:
+            CampaignPlan(queries=("q1", "q5"), rates=(3, 7, 4), rates_per_query=True)
+        message = str(exc_info.value)
+        assert "3 multipliers" in message
+        assert "2 queries" in message
+        assert "multiple" in message
+
+    def test_cache_path_with_process_backend_rejected(self):
+        with pytest.raises(PlanError, match="process"):
+            CampaignPlan(
+                queries=("q1",), backend="process", cache_path="caches.pkl"
+            )
+
+    def test_rates_per_query_chunks_in_order(self):
+        plan = CampaignPlan(
+            queries=("q1", "q5"), rates=(3, 7, 4, 2), rates_per_query=True
+        )
+        assert plan.rates_for() == [("q1", (3.0, 7.0)), ("q5", (4.0, 2.0))]
+
+
+class TestRoundTrips:
+    def _campaign(self) -> CampaignPlan:
+        return CampaignPlan(
+            queries=("q1", "2-way-join/3"),
+            rates=(3, 7, 4, 2),
+            backend="sequential",
+            workers=2,
+            scale="smoke",
+            seed=23,
+            cache_path="caches.pkl",
+        )
+
+    def test_dict_round_trip_equality(self):
+        plan = self._campaign()
+        assert CampaignPlan.from_dict(plan.to_dict()) == plan
+        tuning = TuningPlan(query="q5", rates=(2, 9), scale="smoke")
+        assert TuningPlan.from_dict(tuning.to_dict()) == tuning
+
+    def test_json_round_trip_equality(self):
+        plan = self._campaign()
+        assert CampaignPlan.from_json(plan.to_json()) == plan
+
+    def test_kind_inference(self):
+        assert isinstance(plan_from_dict({"query": "q1"}), TuningPlan)
+        assert isinstance(plan_from_dict({"queries": ["q1"]}), CampaignPlan)
+        with pytest.raises(PlanError, match="kind"):
+            plan_from_dict({"rates": [1, 2]})
+        with pytest.raises(PlanError, match="campaign"):
+            plan_from_dict({"kind": "fleet"})
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(PlanError, match="declares kind"):
+            TuningPlan.from_dict({"kind": "campaign", "query": "q1"})
+
+    def test_unknown_field_lists_valid_fields(self):
+        with pytest.raises(PlanError, match="'ratez'"):
+            CampaignPlan.from_dict({"queries": ["q1"], "ratez": [1]})
+
+    def test_json_file_round_trip(self, tmp_path):
+        plan = self._campaign()
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        assert load_plan(path) == plan
+
+    @requires_toml
+    def test_toml_file_round_trip(self, tmp_path):
+        plan = self._campaign()
+        path = tmp_path / "plan.toml"
+        save_plan(plan, path)
+        assert load_plan(path) == plan
+
+    @requires_toml
+    def test_toml_written_by_hand(self, tmp_path):
+        path = tmp_path / "plan.toml"
+        path.write_text(
+            'kind = "campaign"\n'
+            'queries = ["q1", "q5"]\n'
+            "rates = [3, 7]\n"
+            'backend = "sequential"\n'
+            'scale = "smoke"\n'
+        )
+        plan = load_plan(path)
+        assert isinstance(plan, CampaignPlan)
+        assert plan.rates == (3.0, 7.0)
+        assert plan.scale == "smoke"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(PlanError, match="does not exist"):
+            load_plan(tmp_path / "nope.json")
+
+    def test_load_bad_suffix(self, tmp_path):
+        path = tmp_path / "plan.yaml"
+        path.write_text("queries: [q1]\n")
+        with pytest.raises(PlanError, match="suffix"):
+            load_plan(path)
+
+    def test_load_invalid_json_names_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{queries: [q1]}")
+        with pytest.raises(PlanError, match="plan.json"):
+            load_plan(path)
+
+    def test_load_validation_error_names_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"queries": ["q1"], "backend": "fibers"}))
+        with pytest.raises(PlanError, match="plan.json"):
+            load_plan(path)
+
+    def test_replace_revalidates(self):
+        plan = self._campaign()
+        assert replace(plan, backend="thread").backend == "thread"
+        with pytest.raises(PlanError):
+            replace(plan, backend="fibers")

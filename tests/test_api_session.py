@@ -1,0 +1,275 @@
+"""Tests for TuningSession / AsyncTuningSession and the CLI plan shell."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import (
+    AsyncTuningSession,
+    CampaignPlan,
+    PlanError,
+    SessionResult,
+    TuningPlan,
+    TuningSession,
+)
+from repro.service import CampaignSpec, TuningService
+from repro.service.cache import TuningCacheSet
+from repro.workloads import nexmark_query
+
+
+def _canonical(step) -> tuple:
+    """A TuningStep minus ``recommendation_seconds`` (wall-clock, not
+    deterministic); everything else must be bit-identical."""
+    return (
+        step.parallelisms,
+        step.reconfigured,
+        step.backpressure_after,
+        step.mean_cpu_utilisation,
+    )
+
+
+def _steps(result: SessionResult) -> list:
+    """Flatten every TuningStep of every process of every campaign."""
+    return [
+        _canonical(step)
+        for campaign in result.results
+        for process in campaign.processes
+        for step in process.steps
+    ]
+
+
+def _smoke_plan(**overrides) -> CampaignPlan:
+    defaults = dict(
+        queries=("q1", "q5"),
+        rates=(3, 7),
+        backend="sequential",
+        scale="smoke",
+        seed=41,
+    )
+    defaults.update(overrides)
+    return CampaignPlan(**defaults)
+
+
+class TestTuningSessionCampaigns:
+    def test_smoke_campaign_runs(self, tiny_pretrained):
+        session = TuningSession(pretrained=tiny_pretrained)
+        result = session.run(_smoke_plan())
+        assert [o.spec_name for o in result.outcomes] == [
+            "nexmark_q1_flink", "nexmark_q5_flink"
+        ]
+        assert result.backend == "sequential"
+        for campaign in result.results:
+            assert campaign.n_processes == 2
+        assert result.cache_stats["warmup"]["misses"] >= 1
+        assert result.outcome("nexmark_q5_flink").result.method == "StreamTune"
+        with pytest.raises(KeyError, match="nexmark_q1_flink"):
+            result.outcome("nope")
+
+    def test_matches_pre_redesign_service_invocation(self, tiny_pretrained):
+        """A CampaignPlan must reproduce the legacy construction bit-for-bit."""
+        plan = _smoke_plan(backend="thread", workers=2)
+        session_result = TuningSession(pretrained=tiny_pretrained).run(plan)
+
+        # The pre-redesign path: hand-built specs straight into the service
+        # (exactly what the old `serve-campaigns` command did).
+        specs = [
+            CampaignSpec(
+                query=nexmark_query(name, "flink"),
+                multipliers=(3.0, 7.0),
+                engine="flink",
+                engine_seed=41,
+                seed=41,
+                model_kind="svm",
+            )
+            for name in ("q1", "q5")
+        ]
+        service = TuningService(tiny_pretrained, backend="thread", max_workers=2)
+        legacy = service.run(specs)
+
+        for ours, theirs in zip(session_result.outcomes, legacy):
+            assert ours.spec_name == theirs.spec_name
+            assert ours.result.multipliers == theirs.result.multipliers
+            for mine, reference in zip(ours.result.processes, theirs.result.processes):
+                assert list(map(_canonical, mine.steps)) == list(
+                    map(_canonical, reference.steps)
+                )
+                assert mine.converged == reference.converged
+
+    def test_backend_identity_sequential_vs_thread(self, tiny_pretrained):
+        sequential = TuningSession(pretrained=tiny_pretrained).run(_smoke_plan())
+        threaded = TuningSession(pretrained=tiny_pretrained).run(
+            _smoke_plan(backend="thread", workers=2)
+        )
+        assert _steps(sequential) == _steps(threaded)
+
+    def test_rates_per_query_traces(self, tiny_pretrained):
+        plan = _smoke_plan(rates=(3, 7, 4, 2), rates_per_query=True)
+        result = TuningSession(pretrained=tiny_pretrained).run(plan)
+        assert result.outcomes[0].result.multipliers == [3.0, 7.0]
+        assert result.outcomes[1].result.multipliers == [4.0, 2.0]
+
+    def test_run_rejects_non_plans(self, tiny_pretrained):
+        with pytest.raises(PlanError, match="TuningPlan or"):
+            TuningSession(pretrained=tiny_pretrained).run({"queries": ["q1"]})
+
+    def test_ablation_tuner_spelling_selects_the_model(self, tiny_pretrained):
+        plan = TuningPlan(
+            query="q1", rates=(3,), tuner="streamtune-isotonic",
+            scale="smoke", seed=5,
+        )
+        session = TuningSession(pretrained=tiny_pretrained)
+        captured = {}
+        import repro.api.components as components
+
+        original = components.StreamTuneTuner
+
+        class Spy(original):
+            def __init__(self, *args, **kwargs):
+                captured["model_kind"] = kwargs.get("model_kind")
+                super().__init__(*args, **kwargs)
+
+        components.StreamTuneTuner = Spy
+        try:
+            session.run(plan)
+        finally:
+            components.StreamTuneTuner = original
+        assert captured["model_kind"] == "isotonic"
+
+
+class TestAsyncSession:
+    def test_async_results_identical_to_sync(self, tiny_pretrained):
+        plan = _smoke_plan(backend="thread", workers=2)
+        sync_result = TuningSession(pretrained=tiny_pretrained).run(plan)
+
+        async def drive():
+            session = AsyncTuningSession(pretrained=tiny_pretrained)
+            return await session.run(plan)
+
+        async_result = asyncio.run(drive())
+        assert _steps(async_result) == _steps(sync_result)
+        assert [o.spec_name for o in async_result.outcomes] == [
+            o.spec_name for o in sync_result.outcomes
+        ]
+
+    def test_run_all_gathers_in_order(self, tiny_pretrained):
+        plans = [_smoke_plan(), _smoke_plan(queries=("q5",))]
+
+        async def drive():
+            session = AsyncTuningSession(pretrained=tiny_pretrained)
+            return await session.run_all(plans)
+
+        results = asyncio.run(drive())
+        assert len(results) == 2
+        assert results[1].outcomes[0].spec_name == "nexmark_q5_flink"
+
+
+class TestCachePersistence:
+    def test_snapshot_round_trip(self, tmp_path):
+        caches = TuningCacheSet()
+        caches.get_or_compute("assign", ("sig",), lambda: 3)
+        caches.get_or_compute("embed", ("k",), lambda: [1.0, 2.0])
+        path = tmp_path / "caches.pkl"
+        caches.save(path)
+        loaded = TuningCacheSet.load(path)
+        assert loaded.get_or_compute("assign", ("sig",), lambda: 99) == 3
+        assert loaded.get_or_compute("embed", ("k",), lambda: None) == [1.0, 2.0]
+        # counters are run-local accounting, not persisted state
+        assert loaded.section("warmup").stats()["misses"] == 0
+
+    def test_snapshot_rejects_garbage_and_bad_version(self, tmp_path):
+        import pickle
+
+        garbage = tmp_path / "garbage.pkl"
+        garbage.write_bytes(pickle.dumps({"anything": 1}))
+        with pytest.raises(ValueError, match="not a TuningCacheSet"):
+            TuningCacheSet.load(garbage)
+
+        stale = tmp_path / "stale.pkl"
+        stale.write_bytes(
+            pickle.dumps(
+                {
+                    "format": "repro.service.TuningCacheSet",
+                    "version": 999,
+                    "sections": {},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="version"):
+            TuningCacheSet.load(stale)
+
+    def test_session_cache_path_warms_next_run(self, tiny_pretrained, tmp_path):
+        path = tmp_path / "service-caches.pkl"
+        plan = _smoke_plan(cache_path=str(path))
+        first = TuningSession(pretrained=tiny_pretrained).run(plan)
+        assert path.exists()
+        assert first.cache_stats["warmup"]["misses"] >= 1
+        # A brand-new session (fresh service, fresh cache set) starts from
+        # the snapshot: nothing is recomputed, results are identical.
+        second = TuningSession(pretrained=tiny_pretrained).run(plan)
+        assert second.cache_stats["warmup"]["misses"] == 0
+        assert second.cache_stats["distill"]["misses"] == 0
+        assert _steps(second) == _steps(first)
+
+
+class TestCliPlanShell:
+    def test_serve_campaigns_rates_not_multiple_fails_fast(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve-campaigns", "--queries", "q1,q5",
+            "--rates", "3,7,4", "--rates-per-query",
+            "--backend", "sequential", "--scale", "smoke",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "3 multipliers" in err and "2 queries" in err and "multiple" in err
+
+    def test_serve_campaigns_malformed_rates_fails_fast(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve-campaigns", "--queries", "q1", "--rates", "3,,7",
+        ])
+        assert code == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_serve_campaigns_unknown_query_fails_fast(self, capsys):
+        from repro.cli import main
+
+        code = main(["serve-campaigns", "--queries", "q1,q9", "--rates", "3"])
+        assert code == 2
+        assert "q9" in capsys.readouterr().err
+
+    def test_run_plan_campaign_file(self, tiny_pretrained, tmp_path, capsys, monkeypatch):
+        from repro import cli
+        from repro.experiments import context
+
+        monkeypatch.setattr(
+            context, "pretrained_model", lambda engine, scale: tiny_pretrained
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "queries": ["q1", "q5"],
+            "rates": [3, 7],
+            "backend": "sequential",
+            "scale": "smoke",
+            "seed": 41,
+        }))
+        assert cli.main(["run-plan", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "nexmark_q1_flink" in out and "nexmark_q5_flink" in out
+        assert "cache hits/misses" in out
+
+    def test_run_plan_backend_override_rejected_for_tuning_plans(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"query": "q1", "scale": "smoke"}))
+        code = main(["run-plan", str(path), "--backend", "thread"])
+        assert code == 2
+        assert "campaign plans only" in capsys.readouterr().err
