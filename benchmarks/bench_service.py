@@ -34,6 +34,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.api.events import CampaignFinished, MetricsAggregator
 from repro.experiments import context
 from repro.experiments.campaigns import run_campaign
 from repro.experiments.scale import resolve_scale
@@ -92,10 +93,19 @@ def run_bench(
         )
         for query in queries
     ]
+    # The service path runs through the observable event stream (run() is a
+    # thin wrapper over the same stream); the aggregator doubles as a check
+    # that streaming a fleet costs nothing measurable over running it blind.
     service = TuningService(pretrained, backend=backend, max_workers=max_workers)
+    metrics = MetricsAggregator()
+    concurrent_by_index: dict[int, object] = {}
     started = time.perf_counter()
-    concurrent = service.run(specs)
+    for event in service.stream(specs):
+        metrics(event)
+        if isinstance(event, CampaignFinished):
+            concurrent_by_index[event.index] = event.outcome
     service_seconds = time.perf_counter() - started
+    concurrent = [concurrent_by_index[index] for index in range(len(specs))]
 
     # -- determinism: concurrency must not change any recommendation -------
     reference = TuningService(pretrained, backend="sequential").run(specs)
@@ -123,6 +133,12 @@ def run_bench(
     )
     print(f"speedup: {speedup:.2f}x")
     print(f"concurrent == sequential service (bit-identical steps): {identical}")
+    summary = metrics.summary()
+    print(
+        f"event stream: {metrics.n_events} events "
+        f"({summary['steps']} steps, {summary['reconfigurations']} reconfigs "
+        f"across {summary['campaigns']} campaigns)"
+    )
     stats = service.cache_stats()
     print(
         "cache hits/misses — "
@@ -133,6 +149,9 @@ def run_bench(
     )
 
     assert identical, "concurrent service diverged from its sequential execution"
+    assert metrics.counts.get("CampaignStarted") == len(specs), metrics.counts
+    assert metrics.counts.get("CampaignFinished") == len(specs), metrics.counts
+    assert summary["steps"] == len(specs) * len(multipliers), summary
     # Recommendation parity with the plain baseline: the weighted fit solves
     # the same optimisation problem, so per-query tuning outcomes must agree
     # on everything decision-relevant (convergence, backpressure burden,

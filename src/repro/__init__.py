@@ -34,14 +34,17 @@ Importing the legacy classes from this top-level package
 from repro.api import (
     AsyncTuningSession,
     CampaignPlan,
+    EventBus,
     SessionResult,
+    SweepPlan,
+    SweepResult,
     TuningPlan,
     TuningSession,
     load_plan,
     save_plan,
 )
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 #: Legacy top-level re-exports, kept working through a lazy deprecation
 #: shim: name -> (module, attribute).
@@ -71,7 +74,10 @@ _DEPRECATED_EXPORTS = {
 __all__ = [
     "AsyncTuningSession",
     "CampaignPlan",
+    "EventBus",
     "SessionResult",
+    "SweepPlan",
+    "SweepResult",
     "TuningPlan",
     "TuningSession",
     "__version__",

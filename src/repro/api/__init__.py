@@ -53,29 +53,61 @@ from repro.api.components import (  # importing populates the registries
     engine_family,
     resolve_query,
 )
+from repro.api.events import (
+    CacheStats,
+    CampaignFinished,
+    CampaignStarted,
+    Event,
+    EventBus,
+    JsonlRecorder,
+    MetricsAggregator,
+    ProgressPrinter,
+    Reconfigured,
+    StepCompleted,
+    SweepFinished,
+)
 from repro.api.plans import (
     CampaignPlan,
     PlanError,
+    SweepPlan,
     TuningPlan,
     load_plan,
     plan_from_dict,
     replace,
     save_plan,
 )
-from repro.api.session import AsyncTuningSession, SessionResult, TuningSession
+from repro.api.session import (
+    AsyncTuningSession,
+    SessionResult,
+    SweepResult,
+    TuningSession,
+)
 
 __all__ = [
     "AsyncTuningSession",
+    "CacheStats",
+    "CampaignFinished",
     "CampaignPlan",
+    "CampaignStarted",
     "ComponentEntry",
     "ENGINES",
+    "Event",
+    "EventBus",
+    "JsonlRecorder",
     "MODELS",
+    "MetricsAggregator",
     "ParamSpec",
     "PlanError",
+    "ProgressPrinter",
     "REQUIRED",
+    "Reconfigured",
     "Registry",
     "RegistryError",
     "SessionResult",
+    "StepCompleted",
+    "SweepFinished",
+    "SweepPlan",
+    "SweepResult",
     "TUNERS",
     "TunerResources",
     "TuningPlan",

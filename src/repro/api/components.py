@@ -277,6 +277,7 @@ def _build_oracle(engine, resources=None):
 
 @TUNERS.register(
     "zerotune",
+    needs_history=True,
     params=(
         ParamSpec("epochs", int, None, help="cost-model epochs (None = scale preset)"),
         ParamSpec("n_history", int, None, help="history records (None = scale preset)"),
@@ -295,6 +296,22 @@ def _build_zerotune(engine, resources: TunerResources, epochs=None, n_history=No
     return ZeroTuneTuner(engine, records, epochs=epochs, seed=seed)
 
 
+def streamtune_variant(method: str) -> "tuple[bool, str | None]":
+    """Parse a tuner name's StreamTune spelling, case-insensitively.
+
+    The single source of truth for the naming convention: returns
+    ``(True, None)`` for the plain name, ``(True, '<model>')`` for the
+    legacy ``streamtune-<model>`` ablation spelling (suffix
+    lower-cased), and ``(False, None)`` for every other method — including
+    names that merely *start* with "streamtune" ("streamtune2" is not a
+    StreamTune variant).
+    """
+    base, _, suffix = method.partition("-")
+    if base.lower() != "streamtune":
+        return False, None
+    return True, (suffix.lower() or None)
+
+
 def build_tuner(method: str, engine, resources: TunerResources | None = None, **params):
     """Resolve + construct a tuning method bound to ``engine``.
 
@@ -303,9 +320,9 @@ def build_tuner(method: str, engine, resources: TunerResources | None = None, **
     ``model_kind`` parameter.
     """
     key = method.lower()
-    if key.startswith("streamtune-"):
-        _, _, model_kind = key.partition("-")
-        params.setdefault("model_kind", model_kind)
+    is_streamtune, model_suffix = streamtune_variant(method)
+    if is_streamtune and model_suffix is not None:
+        params.setdefault("model_kind", model_suffix)
         key = "streamtune"
     return TUNERS.create(key, engine, resources or TunerResources(), **params)
 

@@ -1,0 +1,323 @@
+"""Typed execution events and the bus that distributes them.
+
+The execution layer is observable: a streaming run (``TuningSession.stream``
+or ``TuningService.stream``) yields a sequence of frozen event records as
+campaigns progress, instead of going dark until a barrier join.  Events are
+plain data — every consumer sees the same stream, and recording a run is
+just writing the events down:
+
+* :class:`CampaignStarted` / :class:`CampaignFinished` — exactly one pair
+  per campaign, in completion order;
+* :class:`StepCompleted` — one per tuning process (one source-rate change),
+  with a per-campaign ``step_index`` that increases monotonically;
+* :class:`Reconfigured` — one per stop-and-restart redeployment inside a
+  step, emitted before its step's :class:`StepCompleted`;
+* :class:`CacheStats` — one per service run, after the last campaign;
+* :class:`SweepFinished` — one per :class:`~repro.api.plans.SweepPlan`
+  execution, after the last scenario.
+
+Every event carries a stream-wide monotonic ``seq`` and, when produced by a
+sweep, the ``scenario`` label of the grid cell that produced it.
+
+:class:`EventBus` fans one stream out to many subscribers (progress
+printer, JSONL recorder, metrics aggregator — or anything callable).  A
+subscriber raising never breaks the run: the error is recorded on
+``bus.errors`` and the remaining subscribers still see the event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "CacheStats",
+    "CampaignFinished",
+    "CampaignStarted",
+    "Event",
+    "EventBus",
+    "JsonlRecorder",
+    "MetricsAggregator",
+    "ProgressPrinter",
+    "Reconfigured",
+    "StepCompleted",
+    "SweepFinished",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base record: stream position plus the sweep cell that produced it."""
+
+    #: Stream-wide monotonic sequence number, stamped by the producer.
+    seq: int = field(default=-1, kw_only=True)
+    #: Grid-cell label when the event belongs to a sweep, else ``None``.
+    scenario: str | None = field(default=None, kw_only=True)
+
+    @property
+    def kind(self) -> str:
+        """The event's type name (``"CampaignStarted"``, ...)."""
+        return type(self).__name__
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view (non-serialisable fields omitted)."""
+        data: dict = {"event": self.kind}
+        for spec in dataclasses.fields(self):
+            if not spec.metadata.get("serialise", True):
+                continue
+            data[spec.name] = getattr(self, spec.name)
+        return data
+
+
+@dataclass(frozen=True)
+class CampaignStarted(Event):
+    """A campaign's first tuning process is about to run."""
+
+    campaign: str = ""
+    index: int = 0                     # position in the submitted spec list
+    engine: str = "flink"
+    tuner: str = "streamtune"
+    backend: str = "sequential"
+    n_steps: int = 0                   # rate changes this campaign will tune
+    shards: int = 1                    # trace shards the campaign is split into
+
+
+@dataclass(frozen=True)
+class StepCompleted(Event):
+    """One tuning process (one source-rate change) finished."""
+
+    campaign: str = ""
+    step_index: int = 0                # 0-based position in the rate trace
+    n_steps: int = 0
+    multiplier: float = 0.0
+    parallelisms: dict = field(default_factory=dict)   # final per-operator map
+    reconfigurations: int = 0
+    backpressure_events: int = 0
+    converged: bool = False
+    recommendation_seconds: float = 0.0
+
+    @property
+    def total_parallelism(self) -> int:
+        return sum(self.parallelisms.values())
+
+
+@dataclass(frozen=True)
+class Reconfigured(Event):
+    """The engine stop-and-restarted the job with a new parallelism map."""
+
+    campaign: str = ""
+    step_index: int = 0
+    iteration: int = 0                 # tuner iteration within the step
+    parallelisms: dict = field(default_factory=dict)
+    backpressure_after: bool = False
+
+
+@dataclass(frozen=True)
+class CampaignFinished(Event):
+    """A campaign's last tuning process finished (always follows its steps)."""
+
+    campaign: str = ""
+    index: int = 0
+    backend: str = "sequential"
+    n_steps: int = 0
+    converged_steps: int = 0
+    wall_seconds: float = 0.0
+    #: The full :class:`~repro.service.CampaignOutcome`; carried for
+    #: programmatic consumers, omitted from ``to_dict`` (not JSON data).
+    outcome: object = field(default=None, repr=False, compare=False,
+                            metadata={"serialise": False})
+
+
+@dataclass(frozen=True)
+class CacheStats(Event):
+    """Hit/miss counters of the run's shared cache sections."""
+
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepFinished(Event):
+    """Every scenario of a sweep has run."""
+
+    n_scenarios: int = 0
+    n_campaigns: int = 0
+    wall_seconds: float = 0.0
+
+
+class EventBus:
+    """Fan one event stream out to pluggable subscribers.
+
+    Subscribers are callables taking one event.  ``publish`` never raises
+    on a subscriber's behalf: failures are appended to :attr:`errors` as
+    ``(subscriber, event, exception)`` so a broken progress printer cannot
+    kill a half-finished fleet.
+    """
+
+    def __init__(self, *subscribers) -> None:
+        self._subscribers: list = list(subscribers)
+        self.errors: list[tuple] = []
+
+    def subscribe(self, subscriber):
+        """Register ``subscriber`` and return it (usable as a decorator)."""
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber) -> None:
+        self._subscribers.remove(subscriber)
+
+    def publish(self, event: Event) -> None:
+        for subscriber in list(self._subscribers):
+            try:
+                subscriber(event)
+            except Exception as error:  # noqa: BLE001 — isolation by design
+                self.errors.append((subscriber, event, error))
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+
+# ----------------------------------------------------------------------
+# built-in subscribers
+# ----------------------------------------------------------------------
+
+class ProgressPrinter:
+    """One human-readable line per event (``--follow`` in the CLI).
+
+    ``verbose=False`` (default) skips per-reconfiguration lines, which
+    dominate the stream but rarely matter when following a fleet.
+    """
+
+    def __init__(self, stream=None, verbose: bool = False) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.verbose = verbose
+
+    def _write(self, line: str, scenario: str | None) -> None:
+        prefix = f"[{scenario}] " if scenario else ""
+        print(f"{prefix}{line}", file=self.stream, flush=True)
+
+    def __call__(self, event: Event) -> None:
+        if isinstance(event, CampaignStarted):
+            self._write(
+                f"> {event.campaign}: {event.n_steps} rate change(s) via "
+                f"{event.tuner}@{event.engine} ({event.backend}"
+                + (f", {event.shards} shards)" if event.shards > 1 else ")"),
+                event.scenario,
+            )
+        elif isinstance(event, StepCompleted):
+            note = "" if event.converged else ", not converged"
+            self._write(
+                f"  . {event.campaign} step {event.step_index + 1}/"
+                f"{event.n_steps}: rate x{event.multiplier:g} -> "
+                f"parallelism {event.total_parallelism} "
+                f"({event.reconfigurations} reconfig(s){note})",
+                event.scenario,
+            )
+        elif isinstance(event, Reconfigured):
+            if self.verbose:
+                self._write(
+                    f"    ~ {event.campaign} step {event.step_index + 1} "
+                    f"iteration {event.iteration}: redeployed "
+                    f"{sum(event.parallelisms.values())} tasks",
+                    event.scenario,
+                )
+        elif isinstance(event, CampaignFinished):
+            self._write(
+                f"< {event.campaign} done: {event.converged_steps}/"
+                f"{event.n_steps} converged in {event.wall_seconds:.2f}s",
+                event.scenario,
+            )
+        elif isinstance(event, CacheStats):
+            summary = ", ".join(
+                f"{kind}: {values.get('hits', 0)}h/{values.get('misses', 0)}m"
+                for kind, values in event.stats.items()
+            )
+            self._write(f"caches: {summary or 'none'}", event.scenario)
+        elif isinstance(event, SweepFinished):
+            self._write(
+                f"sweep done: {event.n_scenarios} scenario(s), "
+                f"{event.n_campaigns} campaign(s) in {event.wall_seconds:.2f}s",
+                event.scenario,
+            )
+
+
+class JsonlRecorder:
+    """Write every event to ``path`` as one JSON object per line.
+
+    The file opens lazily on the first event (truncating any previous
+    log — one recorder, one run) and flushes per line, so a crash
+    mid-run leaves a readable prefix.  Usable as a context manager;
+    otherwise call :meth:`close` (or let the interpreter do it).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.n_events = 0
+
+    def __call__(self, event: Event) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+        self.n_events += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        self.close()
+
+
+class MetricsAggregator:
+    """Reduce a stream into per-campaign and stream-wide counters."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.steps: dict[str, int] = {}
+        self.reconfigurations: dict[str, int] = {}
+        self.wall_seconds: dict[str, float] = {}
+        self.cache_stats: dict = {}
+
+    def __call__(self, event: Event) -> None:
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        if isinstance(event, StepCompleted):
+            key = self._key(event)
+            self.steps[key] = self.steps.get(key, 0) + 1
+            self.reconfigurations[key] = (
+                self.reconfigurations.get(key, 0) + event.reconfigurations
+            )
+        elif isinstance(event, CampaignFinished):
+            self.wall_seconds[self._key(event)] = event.wall_seconds
+        elif isinstance(event, CacheStats):
+            self.cache_stats = dict(event.stats)
+
+    @staticmethod
+    def _key(event) -> str:
+        if event.scenario:
+            return f"{event.scenario}/{event.campaign}"
+        return event.campaign
+
+    @property
+    def n_events(self) -> int:
+        return sum(self.counts.values())
+
+    def summary(self) -> dict:
+        return {
+            "events": dict(self.counts),
+            "campaigns": len(self.wall_seconds),
+            "steps": sum(self.steps.values()),
+            "reconfigurations": sum(self.reconfigurations.values()),
+            "wall_seconds": dict(self.wall_seconds),
+        }

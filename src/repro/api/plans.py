@@ -9,6 +9,9 @@ a code fork:
 * :class:`CampaignPlan` — a fleet of queries executed concurrently
   through the :class:`~repro.service.TuningService` (the
   ``repro serve-campaigns`` lifecycle).
+* :class:`SweepPlan` — a parameter grid (engines x tuners x rate traces,
+  each over the same query fleet) that expands into one
+  :class:`CampaignPlan` per cell (the ``repro sweep`` lifecycle).
 
 Validation is *eager*: constructing a plan checks every name against its
 registry (engine, tuner, prediction model, query tokens), every numeric
@@ -25,6 +28,7 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 
 from repro.api.components import resolve_query  # noqa: F401  (re-exported)
+from repro.api.components import streamtune_variant
 from repro.api.registry import ENGINES, MODELS, TUNERS, UnknownComponentError
 from repro.workloads.nexmark import NEXMARK_QUERY_NAMES
 from repro.workloads.pqp import PQP_TEMPLATES, pqp_template_size
@@ -76,6 +80,36 @@ def _check_registry(kind_label: str, registry, name: str) -> None:
         registry.entry(name)
     except UnknownComponentError as error:
         raise PlanError(f"{kind_label}: {error}") from None
+
+
+def _check_tuner(name: str) -> None:
+    """Validate a tuner name, accepting the ``streamtune-<model>`` spelling."""
+    if name in TUNERS:
+        return
+    # The only dashed spelling is the legacy 'streamtune-<model>' ablation
+    # form; its model suffix must itself resolve, so a bad config fails
+    # here, not deep inside a session run.
+    is_streamtune, model_suffix = streamtune_variant(name)
+    if not is_streamtune or model_suffix is None:
+        _check_registry("tuner", TUNERS, name)
+    _check_registry(f"tuner {name!r} model suffix", MODELS, model_suffix)
+
+
+def _check_campaign_tuner(name: str) -> None:
+    """Campaign/sweep tuners: any registered method the service can host.
+
+    The service builds every campaign's tuner from its spec alone, so
+    methods registered with ``needs_history=True`` (their factory pulls
+    an execution history from its resources, e.g. zerotune) cannot run
+    as campaigns — a :class:`TuningPlan` per query can.
+    """
+    _check_tuner(name)
+    if name in TUNERS and TUNERS.entry(name).needs_history:
+        raise PlanError(
+            f"tuner {TUNERS.entry(name).name!r} needs an execution history "
+            "at construction time, which the tuning service does not carry; "
+            "run it through a TuningPlan (kind = \"tuning\") instead"
+        )
 
 
 def _check_scale(name: str | None) -> None:
@@ -133,21 +167,14 @@ class TuningPlan:
         _check_query_token(self.query)
         object.__setattr__(self, "rates", _as_rates(self.rates))
         _check_registry("engine", ENGINES, self.engine)
-        if self.tuner not in TUNERS:
-            # The only dashed spelling is the legacy 'streamtune-<model>'
-            # ablation form; its model suffix must itself resolve, so a
-            # bad config fails here, not deep inside a session run.
-            base, _, suffix = self.tuner.partition("-")
-            if base.lower() != "streamtune" or not suffix:
-                _check_registry("tuner", TUNERS, self.tuner)
-            _check_registry(f"tuner {self.tuner!r} model suffix", MODELS, suffix)
+        _check_tuner(self.tuner)
         _check_registry("layer", MODELS, self.layer)
         _check_scale(self.scale)
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise PlanError(f"seed must be an integer, got {self.seed!r}")
         if (
             self.cache_path is not None
-            and not self.tuner.lower().startswith("streamtune")
+            and not streamtune_variant(self.tuner)[0]
         ):
             raise PlanError(
                 f"cache_path only applies to the streamtune tuner (the "
@@ -181,6 +208,7 @@ class CampaignPlan:
     #: contiguous chunk.  When False every query shares the full trace.
     rates_per_query: bool = False
     engine: str = "flink"
+    tuner: str = "streamtune"
     backend: str = "thread"
     workers: int | None = None
     layer: str = "svm"
@@ -189,6 +217,10 @@ class CampaignPlan:
     scale: str | None = None
     seed: int = 17
     cache_path: str | None = None
+    #: Split every campaign's rate trace into this many contiguous shards,
+    #: each dispatched as its own worker unit; merged results stay
+    #: bit-identical to the unsharded run (shards replay their prefix).
+    trace_shards: int = 1
 
     kind = "campaign"
 
@@ -213,6 +245,7 @@ class CampaignPlan:
                 "query gets an equal chunk"
             )
         _check_registry("engine", ENGINES, self.engine)
+        _check_campaign_tuner(self.tuner)
         _check_registry("layer", MODELS, self.layer)
         if self.backend not in PLAN_BACKENDS:
             raise PlanError(
@@ -229,6 +262,22 @@ class CampaignPlan:
                 "worker processes keep their own cache sets, so a snapshot "
                 "taken in the parent would stay empty — use the 'thread' or "
                 "'sequential' backend for persisted caches"
+            )
+        if (
+            self.cache_path is not None
+            and not streamtune_variant(self.tuner)[0]
+        ):
+            raise PlanError(
+                f"cache_path only applies to the streamtune tuner (the "
+                f"baselines consult no tuning cache); remove it or drop "
+                f"tuner={self.tuner!r}"
+            )
+        if not isinstance(self.trace_shards, int) or isinstance(
+            self.trace_shards, bool
+        ) or self.trace_shards < 1:
+            raise PlanError(
+                f"trace_shards must be a positive integer, got "
+                f"{self.trace_shards!r}"
             )
         _check_scale(self.scale)
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
@@ -265,18 +314,152 @@ class CampaignPlan:
         return cls.from_dict(json.loads(text))
 
 
+@dataclass(frozen=True)
+class SweepPlan:
+    """A scenario grid: engines x tuners x rate traces over one query fleet.
+
+    Each grid cell expands into a :class:`CampaignPlan` running every
+    query of ``queries`` under that cell's (engine, tuner, rate-trace)
+    combination — the PDSP-Bench-style enumeration of parallelism studies
+    as one config file.  Validation is eager per axis, so a bad entry
+    fails naming the axis at load time, and :meth:`expand` is
+    deterministic: engines vary slowest, rate traces fastest.
+    """
+
+    queries: tuple[str, ...]
+    tuners: tuple[str, ...] = ("streamtune",)
+    engines: tuple[str, ...] = ("flink",)
+    #: One entry per rate trace (a list of multiplier lists in config files).
+    rate_traces: tuple[tuple[float, ...], ...] = ((3.0, 7.0, 4.0, 2.0),)
+    rates_per_query: bool = False
+    backend: str = "thread"
+    workers: int | None = None
+    layer: str = "svm"
+    prioritize_backpressure: bool = True
+    model: str | None = None
+    scale: str | None = None
+    seed: int = 17
+    trace_shards: int = 1
+
+    kind = "sweep"
+
+    def __post_init__(self) -> None:
+        for axis, values in (
+            ("queries", self.queries),
+            ("tuners", self.tuners),
+            ("engines", self.engines),
+        ):
+            if isinstance(values, (str, bytes)):
+                raise PlanError(
+                    f"{axis} must be a sequence of names, got the string "
+                    f"{values!r} (did you forget to split it?)"
+                )
+            object.__setattr__(self, axis, tuple(values))
+            if not getattr(self, axis):
+                raise PlanError(f"{axis} must contain at least one entry")
+        # Duplicate grid-axis entries would expand into indistinguishable
+        # cells (same scenario label, merged metrics) — reject them here.
+        for axis in ("tuners", "engines"):
+            values = getattr(self, axis)
+            if len(set(values)) != len(values):
+                raise PlanError(
+                    f"{axis} contains duplicate entries ({', '.join(values)}); "
+                    "each grid-axis entry must be unique"
+                )
+        for token in self.queries:
+            _check_query_token(token)
+        for tuner in self.tuners:
+            _check_campaign_tuner(tuner)
+        for engine in self.engines:
+            _check_registry("engine", ENGINES, engine)
+        if isinstance(self.rate_traces, (str, bytes)) or not isinstance(
+            self.rate_traces, (list, tuple)
+        ):
+            raise PlanError(
+                f"rate_traces must be a list of rate lists, got "
+                f"{self.rate_traces!r}"
+            )
+        if not self.rate_traces:
+            raise PlanError("rate_traces must contain at least one rate trace")
+        object.__setattr__(
+            self,
+            "rate_traces",
+            tuple(
+                _as_rates(trace, field_name=f"rate_traces[{index}]")
+                for index, trace in enumerate(self.rate_traces)
+            ),
+        )
+        if len(set(self.rate_traces)) != len(self.rate_traces):
+            raise PlanError(
+                "rate_traces contains duplicate traces; each grid-axis "
+                "entry must be unique"
+            )
+        # Delegate the remaining field checks (and rates_per_query shape,
+        # per trace) to the cells themselves: a SweepPlan is valid exactly
+        # when every expanded CampaignPlan is.
+        self.expand()
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.engines) * len(self.tuners) * len(self.rate_traces)
+
+    def scenario_label(self, plan: "CampaignPlan") -> str:
+        """The human label of one expanded cell (stamped on its events)."""
+        trace = "-".join(f"{rate:g}" for rate in plan.rates)
+        return f"{plan.tuner}@{plan.engine}/x{trace}"
+
+    def expand(self) -> "list[CampaignPlan]":
+        """One validated :class:`CampaignPlan` per grid cell, grid order."""
+        cells = []
+        for engine in self.engines:
+            for tuner in self.tuners:
+                for trace in self.rate_traces:
+                    cells.append(
+                        CampaignPlan(
+                            queries=self.queries,
+                            rates=trace,
+                            rates_per_query=self.rates_per_query,
+                            engine=engine,
+                            tuner=tuner,
+                            backend=self.backend,
+                            workers=self.workers,
+                            layer=self.layer,
+                            prioritize_backpressure=self.prioritize_backpressure,
+                            model=self.model,
+                            scale=self.scale,
+                            seed=self.seed,
+                            trace_shards=self.trace_shards,
+                        )
+                    )
+        return cells
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **_plan_fields_dict(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepPlan":
+        return _plan_from_dict(cls, data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepPlan":
+        return cls.from_dict(json.loads(text))
+
+
 # ----------------------------------------------------------------------
 # dict / file round-tripping
 # ----------------------------------------------------------------------
 
+def _listify(value):
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
+    return value
+
+
 def _plan_fields_dict(plan) -> dict:
-    data = {}
-    for spec in fields(plan):
-        value = getattr(plan, spec.name)
-        if isinstance(value, tuple):
-            value = list(value)
-        data[spec.name] = value
-    return data
+    return {spec.name: _listify(getattr(plan, spec.name)) for spec in fields(plan)}
 
 
 def _plan_from_dict(cls, data: dict):
@@ -300,11 +483,12 @@ def _plan_from_dict(cls, data: dict):
     return cls(**data)
 
 
-def plan_from_dict(data: dict) -> "TuningPlan | CampaignPlan":
-    """Build either plan type from a dict, inferring the kind.
+def plan_from_dict(data: dict) -> "TuningPlan | CampaignPlan | SweepPlan":
+    """Build any plan type from a dict, inferring the kind.
 
-    An explicit ``kind`` key wins; otherwise ``queries`` selects a
-    campaign and ``query`` a single tuning plan.
+    An explicit ``kind`` key wins; otherwise a sweep-only axis
+    (``tuners`` / ``engines`` / ``rate_traces``) selects a sweep,
+    ``queries`` a campaign, and ``query`` a single tuning plan.
     """
     if not isinstance(data, dict):
         raise PlanError(f"a plan must be a mapping, got {type(data).__name__}")
@@ -313,17 +497,23 @@ def plan_from_dict(data: dict) -> "TuningPlan | CampaignPlan":
         return TuningPlan.from_dict(data)
     if kind == "campaign":
         return CampaignPlan.from_dict(data)
+    if kind == "sweep":
+        return SweepPlan.from_dict(data)
     if kind is not None:
         raise PlanError(
-            f"unknown plan kind {kind!r} (expected 'tuning' or 'campaign')"
+            f"unknown plan kind {kind!r} (expected 'tuning', 'campaign' or "
+            "'sweep')"
         )
+    if any(axis in data for axis in ("tuners", "engines", "rate_traces")):
+        return SweepPlan.from_dict(data)
     if "queries" in data:
         return CampaignPlan.from_dict(data)
     if "query" in data:
         return TuningPlan.from_dict(data)
     raise PlanError(
-        "cannot infer the plan kind: provide 'kind', a 'query' (tuning plan) "
-        "or a 'queries' list (campaign plan)"
+        "cannot infer the plan kind: provide 'kind', a 'query' (tuning plan), "
+        "a 'queries' list (campaign plan) or a grid axis like 'tuners' "
+        "(sweep plan)"
     )
 
 
@@ -345,7 +535,7 @@ def _toml_module():
             ) from None
 
 
-def load_plan(path: str | Path) -> "TuningPlan | CampaignPlan":
+def load_plan(path: str | Path) -> "TuningPlan | CampaignPlan | SweepPlan":
     """Load a plan from a ``.json`` or ``.toml`` file."""
     path = Path(path)
     if not path.exists():
@@ -373,7 +563,7 @@ def load_plan(path: str | Path) -> "TuningPlan | CampaignPlan":
         raise PlanError(f"{path}: {error}") from None
 
 
-def save_plan(plan: "TuningPlan | CampaignPlan", path: str | Path) -> None:
+def save_plan(plan: "TuningPlan | CampaignPlan | SweepPlan", path: str | Path) -> None:
     """Write a plan to ``.json`` or ``.toml`` (round-trips via :func:`load_plan`)."""
     path = Path(path)
     suffix = path.suffix.lower()

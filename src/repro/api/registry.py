@@ -111,6 +111,10 @@ class ComponentEntry:
     #: Extra keyword arguments beyond ``params`` are forwarded verbatim
     #: when True (used by components that proxy ``**overrides`` through).
     allow_extra: bool = False
+    #: True for tuners whose factory pulls an execution history from its
+    #: resources; such methods cannot run as service campaigns (plan
+    #: validation consults this flag instead of hardcoding names).
+    needs_history: bool = False
 
     def param(self, name: str) -> ParamSpec | None:
         for spec in self.params:
@@ -137,6 +141,7 @@ class Registry:
         aliases: tuple[str, ...] = (),
         summary: str = "",
         allow_extra: bool = False,
+        needs_history: bool = False,
     ):
         """Decorator: register ``factory`` under ``name`` (+ ``aliases``)."""
 
@@ -153,6 +158,7 @@ class Registry:
                 aliases=tuple(aliases),
                 summary=doc,
                 allow_extra=allow_extra,
+                needs_history=needs_history,
             )
             self._entries[name] = entry
             for alias in aliases:

@@ -10,7 +10,17 @@ entry points performed:
   :class:`~repro.service.TuningService`, with the same per-campaign
   seeding, so sequential/thread/process backends (and the async facade)
   all return bit-identical :class:`~repro.baselines.api.TuningResult`
-  step sequences.
+  step sequences;
+* a :class:`~repro.api.plans.SweepPlan` runs its grid cells in order,
+  each as a campaign, and returns one :class:`SweepResult`.
+
+Execution is **streaming**: :meth:`TuningSession.stream` yields the typed
+:mod:`repro.api.events` of the run as they happen (optionally fanning
+them out through an :class:`~repro.api.events.EventBus`), and the
+blocking :meth:`TuningSession.run` is a thin wrapper that drains the
+stream — so observing a run can never change its results.
+:class:`AsyncTuningSession` exposes the same stream as an async iterator
+(``async for event in session.stream(plan)``).
 
 Sessions are reusable: pre-trained artifacts resolve once per
 ``(engine, scale, model-path)`` and are shared across runs, and an
@@ -22,12 +32,25 @@ snapshot so even separate *processes* never repeat a pure computation.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.api.components import TunerResources, build_engine, build_tuner, resolve_query
-from repro.api.plans import CampaignPlan, PlanError, TuningPlan
+from repro.api.components import (
+    TunerResources,
+    build_engine,
+    build_tuner,
+    resolve_query,
+    streamtune_variant,
+)
+from repro.api.events import (
+    CacheStats,
+    CampaignFinished,
+    CampaignStarted,
+    SweepFinished,
+)
+from repro.api.plans import CampaignPlan, PlanError, SweepPlan, TuningPlan
 
 
 @dataclass
@@ -60,6 +83,34 @@ class SessionResult:
                 return outcome
         known = ", ".join(o.spec_name for o in self.outcomes)
         raise KeyError(f"no campaign named {query_name!r} (have: {known})")
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced: a :class:`SessionResult` per cell."""
+
+    plan: "SweepPlan"
+    results: list                       # list[SessionResult], grid order
+    wall_seconds: float
+
+    @property
+    def scenarios(self) -> list[tuple[str, "SessionResult"]]:
+        """``(scenario label, cell result)`` pairs in grid order."""
+        return [
+            (self.plan.scenario_label(result.plan), result)
+            for result in self.results
+        ]
+
+    @property
+    def n_campaigns(self) -> int:
+        return sum(len(result.outcomes) for result in self.results)
+
+    def scenario(self, label: str) -> "SessionResult":
+        for cell_label, result in self.scenarios:
+            if cell_label == label:
+                return result
+        known = ", ".join(cell_label for cell_label, _ in self.scenarios)
+        raise KeyError(f"no scenario labelled {label!r} (have: {known})")
 
 
 class TuningSession:
@@ -106,31 +157,79 @@ class TuningSession:
 
     # -- execution ------------------------------------------------------
 
-    def run(self, plan) -> SessionResult:
-        """Execute ``plan`` synchronously and return its results."""
-        if isinstance(plan, TuningPlan):
-            return self._run_tuning(plan)
-        if isinstance(plan, CampaignPlan):
-            return self._run_campaign(plan)
-        raise PlanError(
-            f"cannot run a {type(plan).__name__}; expected TuningPlan or "
-            "CampaignPlan (build one, or load a plan file via load_plan)"
-        )
+    def run(self, plan, *, bus=None) -> "SessionResult | SweepResult":
+        """Execute ``plan`` synchronously and return its results.
 
-    def _run_tuning(self, plan: TuningPlan) -> SessionResult:
+        A thin wrapper that drains :meth:`stream` — observing a run and
+        running it blind compute exactly the same thing.  ``bus``
+        publishes every event to an :class:`~repro.api.events.EventBus`
+        on the way.
+        """
+        stream = self.stream(plan, bus=bus)
+        while True:
+            try:
+                next(stream)
+            except StopIteration as stop:
+                return stop.value
+
+    def stream(self, plan, *, bus=None):
+        """Execute ``plan``, yielding typed events as work completes.
+
+        Returns a generator whose ``StopIteration.value`` (the ``return``
+        of a ``yield from``) is the :class:`SessionResult` /
+        :class:`SweepResult`, so callers that want both the stream and
+        the result can ``result = yield from session.stream(plan)``.
+        """
+        if isinstance(plan, TuningPlan):
+            inner = self._stream_tuning(plan)
+        elif isinstance(plan, CampaignPlan):
+            inner = self._stream_campaign(plan)
+        elif isinstance(plan, SweepPlan):
+            inner = self._stream_sweep(plan)
+        else:
+            raise PlanError(
+                f"cannot run a {type(plan).__name__}; expected TuningPlan, "
+                "CampaignPlan or SweepPlan (build one, or load a plan file "
+                "via load_plan)"
+            )
+        if bus is None:
+            return inner
+        return self._published(inner, bus)
+
+    @staticmethod
+    def _published(inner, bus):
+        """Re-yield ``inner`` publishing every event to ``bus``."""
+        while True:
+            try:
+                event = next(inner)
+            except StopIteration as stop:
+                return stop.value
+            bus.publish(event)
+            yield event
+
+    def _stream_tuning(self, plan: TuningPlan):
         """The single-query lifecycle (identical to the legacy ``tune``)."""
-        from repro.experiments.campaigns import run_campaign
-        from repro.service.tuning import CampaignOutcome
+        from repro.experiments.campaigns import iter_campaign
+        from repro.service.tuning import CampaignOutcome, _step_events
 
         started = time.perf_counter()
+        seq = 0
+
+        def stamped(event):
+            nonlocal seq
+            event = dataclasses.replace(event, seq=seq)
+            seq += 1
+            return event
+
         scale = self._scale_for(plan)
         engine = build_engine(plan.engine, seed=scale.seed)
         query = resolve_query(plan.query, plan.engine)
         params = {}
         caches = None
-        if plan.tuner.lower().startswith("streamtune"):
+        is_streamtune, model_suffix = streamtune_variant(plan.tuner)
+        if is_streamtune:
             params = {"seed": plan.seed}
-            if "-" not in plan.tuner:
+            if model_suffix is None:
                 # A 'streamtune-<model>' spelling carries its own layer;
                 # build_tuner turns the suffix into model_kind.
                 params["model_kind"] = plan.layer
@@ -140,25 +239,59 @@ class TuningSession:
         tuner = build_tuner(
             plan.tuner, engine, self._resources_for(plan, scale), **params
         )
-        result = run_campaign(engine, tuner, query, list(plan.rates))
+        yield stamped(CampaignStarted(
+            campaign=query.name,
+            index=0,
+            engine=plan.engine,
+            tuner=plan.tuner,
+            backend="inline",
+            n_steps=len(plan.rates),
+        ))
+        # The canonical campaign loop, one event block per tuning process.
+        iterator = iter_campaign(engine, tuner, query, list(plan.rates))
+        while True:
+            try:
+                index, multiplier, process = next(iterator)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            for event in _step_events(
+                query.name, len(plan.rates), index, multiplier, process
+            ):
+                yield stamped(event)
         if caches is not None:
             caches.save(plan.cache_path)
         wall = time.perf_counter() - started
         outcome = CampaignOutcome(
             spec_name=query.name, result=result, wall_seconds=wall, backend="inline"
         )
+        yield stamped(CampaignFinished(
+            campaign=query.name,
+            index=0,
+            backend="inline",
+            n_steps=len(result.processes),
+            converged_steps=sum(1 for p in result.processes if p.converged),
+            wall_seconds=wall,
+            outcome=outcome,
+        ))
+        stats = caches.stats() if caches is not None else {}
+        yield stamped(CacheStats(stats=stats))
         return SessionResult(
             plan=plan, outcomes=[outcome], wall_seconds=wall, backend="inline",
-            cache_stats=caches.stats() if caches is not None else {},
+            cache_stats=stats,
         )
 
-    def _run_campaign(self, plan: CampaignPlan) -> SessionResult:
+    def _stream_campaign(self, plan: CampaignPlan):
         """The fleet lifecycle (identical to legacy ``serve-campaigns``)."""
         from repro.service import CampaignSpec, TuningService
 
         started = time.perf_counter()
         scale = self._scale_for(plan)
-        pretrained = self._pretrained_for(plan, scale)
+        is_streamtune, model_suffix = streamtune_variant(plan.tuner)
+        # Baseline fleets never touch the pre-trained artifact; skipping
+        # it keeps e.g. a ds2 sweep cell from triggering a training run.
+        pretrained = self._pretrained_for(plan, scale) if is_streamtune else None
+        model_kind = model_suffix if model_suffix else plan.layer
         specs = [
             CampaignSpec(
                 query=resolve_query(token, plan.engine),
@@ -166,7 +299,8 @@ class TuningSession:
                 engine=plan.engine,
                 engine_seed=plan.seed,
                 seed=plan.seed,
-                model_kind=plan.layer,
+                tuner=plan.tuner,
+                model_kind=model_kind,
             )
             for token, rates in plan.rates_for()
         ]
@@ -180,6 +314,8 @@ class TuningSession:
         caches = (
             self._load_caches(plan.cache_path) if plan.cache_path is not None else None
         )
+        outcomes: dict[int, object] = {}
+        stats: dict = {}
         try:
             service = TuningService(
                 pretrained,
@@ -189,20 +325,49 @@ class TuningSession:
                 manager=manager,
                 caches=caches,
             )
-            outcomes = service.run(specs)
+            for event in service.stream(specs, trace_shards=plan.trace_shards):
+                if isinstance(event, CampaignFinished):
+                    outcomes[event.index] = event.outcome
+                elif isinstance(event, CacheStats):
+                    stats = event.stats
+                yield event
             if caches is not None:
                 caches.save(plan.cache_path)
-            stats = service.cache_stats()
         finally:
             if own_manager:
                 manager.shutdown()
         return SessionResult(
             plan=plan,
-            outcomes=outcomes,
+            outcomes=[outcomes[index] for index in range(len(specs))],
             wall_seconds=time.perf_counter() - started,
             backend=plan.backend,
             cache_stats=stats,
         )
+
+    def _stream_sweep(self, plan: SweepPlan):
+        """Run the grid cell by cell, labelling every event with its cell."""
+        started = time.perf_counter()
+        results = []
+        seq = 0                 # cell streams restart their counters; the
+        for cell in plan.expand():  # sweep re-stamps one stream-wide order
+            label = plan.scenario_label(cell)
+            inner = self._stream_campaign(cell)
+            while True:
+                try:
+                    event = next(inner)
+                except StopIteration as stop:
+                    results.append(stop.value)
+                    break
+                yield dataclasses.replace(event, scenario=label, seq=seq)
+                seq += 1
+        wall = time.perf_counter() - started
+        yield SweepFinished(
+            n_scenarios=len(results),
+            n_campaigns=sum(len(result.outcomes) for result in results),
+            wall_seconds=wall,
+            seq=seq,
+        )
+        return SweepResult(plan=plan, results=results, wall_seconds=wall)
 
     @staticmethod
     def _load_caches(cache_path: str):
@@ -220,14 +385,70 @@ class AsyncTuningSession:
     the service's own pool (thread/process backend) keeps doing the heavy
     lifting, the event loop stays responsive, and results are the same
     objects the sync session returns.  ``run_all`` drives many plans
-    concurrently with an ``asyncio.gather``.
+    concurrently with an ``asyncio.gather``, and ``stream`` surfaces the
+    worker pool's event stream as an async iterator::
+
+        async for event in session.stream(plan):
+            ...
     """
 
     def __init__(self, *, pretrained=None, manager=None) -> None:
         self._session = TuningSession(pretrained=pretrained, manager=manager)
+        #: Result of the most recently exhausted :meth:`stream` iteration.
+        self.last_result: "SessionResult | SweepResult | None" = None
 
-    async def run(self, plan) -> SessionResult:
-        return await asyncio.to_thread(self._session.run, plan)
+    async def run(self, plan, *, bus=None) -> SessionResult:
+        return await asyncio.to_thread(self._session.run, plan, bus=bus)
 
     async def run_all(self, plans) -> list[SessionResult]:
         return list(await asyncio.gather(*(self.run(plan) for plan in plans)))
+
+    async def stream(self, plan, *, bus=None):
+        """Async-iterate the plan's event stream.
+
+        The sync stream runs on a worker thread; events hop to the event
+        loop through an ``asyncio.Queue``.  After exhaustion the stream's
+        :class:`SessionResult`/:class:`SweepResult` is available on
+        :attr:`last_result`.  Abandoning the iteration early (``break`` /
+        ``aclose``) closes the underlying sync stream, which cancels
+        work not yet dispatched; only units already running are awaited.
+        """
+        import threading
+
+        loop = asyncio.get_running_loop()
+        events: asyncio.Queue = asyncio.Queue()
+        stopping = threading.Event()
+        _END = object()
+
+        def produce():
+            stream = self._session.stream(plan, bus=bus)
+            try:
+                while True:
+                    if stopping.is_set():
+                        # Consumer walked away: run the generator's
+                        # cleanup (pool shutdown w/ cancel_futures) from
+                        # the thread that owns it, then stop producing.
+                        stream.close()
+                        return
+                    try:
+                        event = next(stream)
+                    except StopIteration as stop:
+                        loop.call_soon_threadsafe(events.put_nowait, (_END, stop.value))
+                        return
+                    loop.call_soon_threadsafe(events.put_nowait, ("event", event))
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                loop.call_soon_threadsafe(events.put_nowait, ("error", error))
+
+        producer = loop.run_in_executor(None, produce)
+        try:
+            while True:
+                tag, payload = await events.get()
+                if tag is _END:
+                    self.last_result = payload
+                    return
+                if tag == "error":
+                    raise payload
+                yield payload
+        finally:
+            stopping.set()
+            await producer

@@ -13,12 +13,16 @@ Subcommands mirror the library's lifecycle::
     python -m repro.cli pretrain  --history history.jsonl --output model_dir
     python -m repro.cli tune      --model model_dir --query q5 --rates 3,10,5
     python -m repro.cli serve-campaigns --queries q1,q2,q5 --rates 3,7,4,2
-    python -m repro.cli run-plan  campaign.toml
+    python -m repro.cli run-plan  campaign.toml --follow
+    python -m repro.cli sweep     sweep.toml --record events.jsonl
     python -m repro.cli experiments --scale smoke
 
 ``history`` and ``pretrain`` persist their outputs, so a tuned model can
 be built once and reused across tuning sessions (the paper's
-offline/online split).
+offline/online split).  ``run-plan`` and ``sweep`` execute through the
+streaming session: ``--follow`` prints one line per execution event as
+campaigns progress and ``--record`` writes the full typed event stream
+to a JSONL file.
 """
 
 from __future__ import annotations
@@ -30,7 +34,11 @@ from repro.api import (
     ENGINES,
     MODELS,
     CampaignPlan,
+    EventBus,
+    JsonlRecorder,
     PlanError,
+    ProgressPrinter,
+    SweepPlan,
     TuningPlan,
     TuningSession,
     UnknownComponentError,
@@ -39,6 +47,7 @@ from repro.api import (
     replace,
     resolve_query,
 )
+from repro.service.cache import SnapshotError
 from repro.core.history import HistoryGenerator
 from repro.core.persistence import load_history, save_history, save_pretrained
 from repro.core.pretrain import pretrain
@@ -208,26 +217,115 @@ def _cmd_serve_campaigns(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run_plan(args: argparse.Namespace) -> int:
-    plan = load_plan(args.plan)
+def _event_bus(args: argparse.Namespace) -> tuple[EventBus | None, JsonlRecorder | None]:
+    """The subscriber set ``--follow`` / ``--record`` asked for."""
+    recorder = None
+    subscribers = []
+    if getattr(args, "follow", False):
+        subscribers.append(ProgressPrinter())
+    if getattr(args, "record", None):
+        recorder = JsonlRecorder(args.record)
+        subscribers.append(recorder)
+    if not subscribers:
+        return None, None
+    return EventBus(*subscribers), recorder
+
+
+def _print_sweep_result(sweep_result) -> None:
+    rows = []
+    for label, cell in sweep_result.scenarios:
+        for outcome in cell.outcomes:
+            result = outcome.result
+            rows.append(
+                (
+                    label,
+                    outcome.spec_name,
+                    f"{result.average_reconfigurations:.2f}",
+                    result.total_backpressure_events,
+                    sum(p.final_total_parallelism for p in result.processes),
+                    f"{outcome.wall_seconds:.2f}s",
+                )
+            )
+    print(
+        format_table(
+            ["scenario", "query", "avg reconfigs", "bp events",
+             "sum final parallelism", "wall"],
+            rows,
+            title=(
+                f"sweep: {sweep_result.plan.n_scenarios} scenario(s), "
+                f"{sweep_result.n_campaigns} campaign(s) in "
+                f"{sweep_result.wall_seconds:.2f}s"
+            ),
+        )
+    )
+
+
+def _run_with_events(plan, args: argparse.Namespace):
+    """Execute a plan through the streaming session, honouring
+    ``--follow``/``--record``, and return its result."""
+    bus, recorder = _event_bus(args)
+    try:
+        result = TuningSession().run(plan, bus=bus)
+    finally:
+        if recorder is not None:
+            recorder.close()
+    # Subscriber failures are isolated by the bus so they never kill a
+    # fleet, but the operator must still hear about them — a broken
+    # --record target would otherwise fail silently.
+    if bus is not None and bus.errors:
+        _, _, first_error = bus.errors[0]
+        print(
+            f"warning: {len(bus.errors)} event subscriber failure(s); "
+            f"first: {first_error}",
+            file=sys.stderr,
+        )
+    if recorder is not None:
+        if recorder.n_events:
+            print(f"recorded {recorder.n_events} events -> {recorder.path}")
+        else:
+            print(f"warning: no events were recorded to {recorder.path}", file=sys.stderr)
+    return result
+
+
+def _apply_plan_overrides(plan, args: argparse.Namespace):
     overrides = {}
-    if args.backend is not None:
+    if getattr(args, "backend", None) is not None:
         if isinstance(plan, TuningPlan):
-            raise PlanError("--backend applies to campaign plans only")
+            raise PlanError("--backend applies to campaign and sweep plans only")
         overrides["backend"] = args.backend
-    if args.workers is not None:
+    if getattr(args, "workers", None) is not None:
         if isinstance(plan, TuningPlan):
-            raise PlanError("--workers applies to campaign plans only")
+            raise PlanError("--workers applies to campaign and sweep plans only")
         overrides["workers"] = args.workers
-    if args.scale is not None:
+    if getattr(args, "scale", None) is not None:
         overrides["scale"] = args.scale
     if overrides:
         plan = replace(plan, **overrides)
-    result = TuningSession().run(plan)
+    return plan
+
+
+def _cmd_run_plan(args: argparse.Namespace) -> int:
+    plan = _apply_plan_overrides(load_plan(args.plan), args)
+    result = _run_with_events(plan, args)
     if isinstance(plan, TuningPlan):
         _print_tuning_result(result.outcomes[0])
+    elif isinstance(plan, SweepPlan):
+        _print_sweep_result(result)
     else:
         _print_campaign_outcomes(result)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    plan = load_plan(args.plan)
+    if not isinstance(plan, SweepPlan):
+        raise PlanError(
+            f"{args.plan} holds a {type(plan).__name__} (kind "
+            f"{plan.kind!r}); the sweep command needs kind = \"sweep\" — "
+            "use run-plan for single plans"
+        )
+    plan = _apply_plan_overrides(plan, args)
+    _print_sweep_result(_run_with_events(plan, args))
     return 0
 
 
@@ -337,8 +435,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=_cmd_serve_campaigns)
 
+    def add_stream_flags(command) -> None:
+        command.add_argument(
+            "--follow", action="store_true",
+            help="print one line per execution event as campaigns progress",
+        )
+        command.add_argument(
+            "--record", default=None, metavar="PATH",
+            help="write the typed event stream to PATH as JSON lines "
+                 "(overwrites an existing file)",
+        )
+
     run_plan = sub.add_parser(
-        "run-plan", help="execute a TuningPlan/CampaignPlan config file"
+        "run-plan", help="execute a TuningPlan/CampaignPlan/SweepPlan config file"
     )
     run_plan.add_argument("plan", help="path to a .json or .toml plan file")
     run_plan.add_argument(
@@ -347,7 +456,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_plan.add_argument("--workers", type=int, default=None)
     run_plan.add_argument("--scale", default=None, help="override the plan's scale")
+    add_stream_flags(run_plan)
     run_plan.set_defaults(func=_cmd_run_plan)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a SweepPlan scenario grid (engines x tuners x rate traces)",
+    )
+    sweep.add_argument("plan", help="path to a .json or .toml sweep-plan file")
+    sweep.add_argument(
+        "--backend", choices=("sequential", "thread", "process"), default=None,
+        help="override the sweep's worker-pool backend",
+    )
+    sweep.add_argument("--workers", type=int, default=None)
+    sweep.add_argument("--scale", default=None, help="override the sweep's scale")
+    add_stream_flags(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     experiments = sub.add_parser("experiments", help="run every paper experiment")
     experiments.add_argument("--scale", default="default")
@@ -366,7 +490,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (PlanError, UnknownComponentError) as error:
+    except (PlanError, UnknownComponentError, SnapshotError) as error:
+        # Operator errors (bad plan file, unknown component, stale cache
+        # snapshot) exit non-zero with one line, never a traceback.
         print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
 

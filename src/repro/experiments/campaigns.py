@@ -88,6 +88,33 @@ class CampaignResult:
         return boundaries
 
 
+def iter_campaign(
+    engine,
+    tuner,
+    query: StreamingQuery,
+    multipliers: list[int],
+):
+    """The canonical campaign loop, one tuning process at a time.
+
+    A generator yielding ``(index, multiplier, process)`` after each
+    source-rate change and returning the full :class:`CampaignResult`
+    (via ``StopIteration.value``).  Every execution path — the blocking
+    :func:`run_campaign`, the streaming session, the service's campaign
+    workers — drives this one loop, so they cannot drift apart.
+    """
+    result = CampaignResult(query_name=query.name, method=tuner.name)
+    tuner.prepare(query)
+    initial = dict.fromkeys(query.flow.operator_names, 1)
+    deployment = engine.deploy(query.flow, initial, query.rates_at(multipliers[0]))
+    for index, multiplier in enumerate(multipliers):
+        process = tuner.tune(deployment, query.rates_at(multiplier))
+        result.multipliers.append(multiplier)
+        result.processes.append(process)
+        yield index, multiplier, process
+    engine.stop(deployment)
+    return result
+
+
 def run_campaign(
     engine,
     tuner,
@@ -95,16 +122,12 @@ def run_campaign(
     multipliers: list[int],
 ) -> CampaignResult:
     """Drive ``query`` through ``multipliers``, tuning after each change."""
-    result = CampaignResult(query_name=query.name, method=tuner.name)
-    tuner.prepare(query)
-    initial = dict.fromkeys(query.flow.operator_names, 1)
-    deployment = engine.deploy(query.flow, initial, query.rates_at(multipliers[0]))
-    for multiplier in multipliers:
-        process = tuner.tune(deployment, query.rates_at(multiplier))
-        result.multipliers.append(multiplier)
-        result.processes.append(process)
-    engine.stop(deployment)
-    return result
+    iterator = iter_campaign(engine, tuner, query, multipliers)
+    while True:
+        try:
+            next(iterator)
+        except StopIteration as stop:
+            return stop.value
 
 
 def campaign(
@@ -147,6 +170,7 @@ def service_campaigns(
     scale: ExperimentScale,
     backend: str = "thread",
     max_workers: int | None = None,
+    on_event=None,
 ) -> dict[str, list[CampaignResult]]:
     """StreamTune campaigns for many query groups via the tuning service.
 
@@ -154,11 +178,15 @@ def service_campaigns(
     query of every group becomes one :class:`~repro.service.CampaignSpec`
     and the whole fleet runs through a single
     :class:`~repro.service.TuningService` (shared GED/embedding caches,
-    backpressure-first dispatch).  Results are cached under dedicated
-    ``service-campaign`` keys — the service's deduplicated fitting path is
-    deterministic but not bit-identical to the sequential figures grid, so
-    the two grids never mix.
+    backpressure-first dispatch).  The fleet executes through the
+    service's event stream; ``on_event`` (any callable or an
+    :class:`~repro.api.events.EventBus`'s ``publish``) observes campaigns
+    as they complete instead of waiting for the barrier.  Results are
+    cached under dedicated ``service-campaign`` keys — the service's
+    deduplicated fitting path is deterministic but not bit-identical to
+    the sequential figures grid, so the two grids never mix.
     """
+    from repro.api.events import CampaignFinished
     from repro.service import CampaignSpec, TuningService
 
     key = ("service-campaign", engine_name, tuple(groups), scale.name, backend)
@@ -188,7 +216,12 @@ def service_campaigns(
         backend=backend,
         max_workers=max_workers,
     )
-    outcomes = {outcome.spec_name: outcome for outcome in service.run(specs)}
+    outcomes = {}
+    for event in service.stream(specs):
+        if on_event is not None:
+            on_event(event)
+        if isinstance(event, CampaignFinished):
+            outcomes[event.campaign] = event.outcome
     results: dict[str, list[CampaignResult]] = {
         group: [outcomes[query.name].result for query in evaluation[group]]
         for group in groups

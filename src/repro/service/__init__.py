@@ -41,14 +41,25 @@ concurrent campaign against the plain sequential loop (same seeds) and
 checks backend-identity; ``--smoke`` runs a seconds-scale variant for CI.
 """
 
-from repro.service.cache import ConcurrentLRUCache, SharedGEDCache, TuningCacheSet
+from repro.service.cache import (
+    ConcurrentLRUCache,
+    SharedGEDCache,
+    SnapshotError,
+    TuningCacheSet,
+)
 from repro.service.scheduler import (
     BackpressureScheduler,
     CampaignPriority,
     CampaignSpec,
     FifoScheduler,
 )
-from repro.service.tuning import BACKENDS, CampaignOutcome, TuningService, execute_campaign
+from repro.service.tuning import (
+    BACKENDS,
+    CampaignOutcome,
+    TuningService,
+    execute_campaign,
+    shard_bounds,
+)
 
 __all__ = [
     "BACKENDS",
@@ -59,7 +70,9 @@ __all__ = [
     "ConcurrentLRUCache",
     "FifoScheduler",
     "SharedGEDCache",
+    "SnapshotError",
     "TuningCacheSet",
     "TuningService",
     "execute_campaign",
+    "shard_bounds",
 ]

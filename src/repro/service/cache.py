@@ -36,6 +36,16 @@ from repro.ged.view import as_view
 _LOCAL_RLOCK_TYPE = type(threading.RLock())
 
 
+class SnapshotError(ValueError):
+    """A :meth:`TuningCacheSet.load` snapshot is unreadable or incompatible.
+
+    A ``ValueError`` subclass so existing ``except ValueError`` callers
+    keep working; the message always names the file and — for version
+    mismatches — both the snapshot's version and the version this build
+    reads.
+    """
+
+
 class ConcurrentLRUCache:
     """A bounded key/value cache with ``get_or_compute`` semantics.
 
@@ -235,18 +245,35 @@ class TuningCacheSet:
 
     @classmethod
     def load(cls, path: str | Path) -> "TuningCacheSet":
-        """Rebuild a cache set from a :meth:`save` snapshot."""
+        """Rebuild a cache set from a :meth:`save` snapshot.
+
+        Raises :class:`SnapshotError` (a ``ValueError``) with the file
+        named when the bytes are not a snapshot at all, and — on a
+        version mismatch — a message naming *both* the snapshot's version
+        and the version this build reads, checked before any section
+        entry is touched so an incompatible layout never fails deep in
+        unpickling.
+        """
         path = Path(path)
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+                IndexError) as error:
+            # Everything the pickle machinery throws on corrupt/foreign
+            # bytes, surfaced as one clear error naming the file.
+            raise SnapshotError(
+                f"{path} is not a TuningCacheSet snapshot (unreadable "
+                f"pickle: {error})"
+            ) from None
         if (
             not isinstance(payload, dict)
             or payload.get("format") != cls._SNAPSHOT_FORMAT
         ):
-            raise ValueError(f"{path} is not a TuningCacheSet snapshot")
+            raise SnapshotError(f"{path} is not a TuningCacheSet snapshot")
         version = payload.get("version")
         if version != cls.SNAPSHOT_VERSION:
-            raise ValueError(
+            raise SnapshotError(
                 f"{path} has snapshot version {version!r}; this build reads "
                 f"version {cls.SNAPSHOT_VERSION} — regenerate the cache file"
             )

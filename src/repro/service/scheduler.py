@@ -31,6 +31,11 @@ class CampaignSpec:
     engine: str = "flink"
     engine_seed: int = 20250711
     seed: int = 17
+    #: Tuning method by registry name.  ``streamtune`` (the default) runs
+    #: the paper's system through the shared caches; any other registered
+    #: method that needs no execution history (ds2, conttune, oracle) is
+    #: built per campaign from the registry.
+    tuner: str = "streamtune"
     model_kind: str = "svm"
     max_iterations: int = 8
     warmup_rows: int = 300
@@ -39,6 +44,14 @@ class CampaignSpec:
     def __post_init__(self) -> None:
         if not self.multipliers:
             raise ValueError(f"{self.query.name}: campaign needs >= 1 multiplier")
+
+    @property
+    def is_streamtune(self) -> bool:
+        # Resolved through the shared spelling parser (imported lazily,
+        # like make_engine, so pickled specs never import at unpickle time).
+        from repro.api.components import streamtune_variant
+
+        return streamtune_variant(self.tuner)[0]
 
     @property
     def name(self) -> str:

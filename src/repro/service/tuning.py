@@ -2,10 +2,10 @@
 
 ``TuningService`` accepts many :class:`CampaignSpec` objects and executes
 them through a worker pool.  Every campaign owns its engine and its
-:class:`StreamTuneTuner` (the reentrancy unit), while the expensive pure
-computations — cluster assignment GEDs, warm-up datasets, distilled
-operating points, parallelism-agnostic embeddings — flow through one
-shared :class:`TuningCacheSet`.  Campaign results are therefore
+tuner (the reentrancy unit), while the expensive pure computations —
+cluster assignment GEDs, warm-up datasets, distilled operating points,
+parallelism-agnostic embeddings — flow through one shared
+:class:`TuningCacheSet`.  Campaign results are therefore
 
 * **identical across backends**: ``sequential``, ``thread`` and
   ``process`` runs of the same specs produce bit-identical
@@ -13,18 +13,42 @@ shared :class:`TuningCacheSet`.  Campaign results are therefore
   recomputation would), and
 * **independent of scheduling**: the backpressure scheduler only decides
   *when* a campaign runs, never what it computes.
+
+Execution is **observable**: :meth:`TuningService.stream` yields typed
+:mod:`repro.api.events` as campaigns progress — live per-step on the
+thread backend, per completed campaign elsewhere — and
+:meth:`TuningService.run` is a thin wrapper that drains the stream and
+returns outcomes in input order, so the legacy blocking call stays
+bit-identical.
+
+A campaign's rate trace can additionally be **sharded** across workers
+(``trace_shards``): each shard replays the trace prefix on a fresh
+engine/tuner (deterministic, so the replayed state matches the unsharded
+run exactly) and keeps only its own contiguous chunk; the merged result
+is bit-identical to the unsharded campaign.  Replay work shrinks as the
+shared caches warm, which is what makes sharding profitable on long
+traces.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import queue
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 
+from repro.api.events import (
+    CacheStats,
+    CampaignFinished,
+    CampaignStarted,
+    Reconfigured,
+    StepCompleted,
+)
 from repro.core.pretrain import PretrainedStreamTune
 from repro.core.tuner import StreamTuneTuner
-from repro.experiments.campaigns import CampaignResult
+from repro.experiments.campaigns import CampaignResult, iter_campaign
 from repro.service.cache import SharedGEDCache, TuningCacheSet
 from repro.service.scheduler import BackpressureScheduler, CampaignSpec, FifoScheduler
 
@@ -41,47 +65,186 @@ class CampaignOutcome:
     backend: str
 
 
+def _build_campaign_tuner(
+    spec: CampaignSpec,
+    engine,
+    pretrained: PretrainedStreamTune | None,
+    caches: TuningCacheSet | None,
+    fit_dedup: bool,
+):
+    """The campaign's tuner: StreamTune through the shared caches, or any
+    history-free registry method built from the spec alone."""
+    from repro.api.components import streamtune_variant
+
+    is_streamtune, model_suffix = streamtune_variant(spec.tuner)
+    if is_streamtune:
+        if pretrained is None:
+            raise ValueError(
+                f"campaign {spec.name!r} tunes with {spec.tuner!r} but the "
+                "service has no pre-trained artifact (pass pretrained=...)"
+            )
+        # The 'streamtune-<model>' spelling carries its own layer.
+        model_kind = model_suffix if model_suffix else spec.model_kind
+        return StreamTuneTuner(
+            engine,
+            pretrained,
+            model_kind=model_kind,
+            max_iterations=spec.max_iterations,
+            warmup_rows=spec.warmup_rows,
+            seed=spec.seed,
+            caches=caches,
+            fit_dedup=fit_dedup,
+            # Optimised fitting and batched warm-up encoding travel together:
+            # both deviate from the seed path only in float-level ulps.
+            batch_encode=fit_dedup,
+            **spec.tuner_overrides,
+        )
+    from repro.api.components import TunerResources, build_tuner
+
+    return build_tuner(spec.tuner, engine, TunerResources(), **spec.tuner_overrides)
+
+
+def _step_events(campaign: str, n_steps: int, step_index: int, multiplier, process):
+    """The event block one tuning process contributes to the stream."""
+    for iteration, step in enumerate(process.steps):
+        if step.reconfigured:
+            yield Reconfigured(
+                campaign=campaign,
+                step_index=step_index,
+                iteration=iteration,
+                parallelisms=dict(step.parallelisms),
+                backpressure_after=step.backpressure_after,
+            )
+    yield StepCompleted(
+        campaign=campaign,
+        step_index=step_index,
+        n_steps=n_steps,
+        multiplier=float(multiplier),
+        parallelisms=dict(process.final_parallelisms),
+        reconfigurations=process.n_reconfigurations,
+        backpressure_events=process.n_backpressure_events,
+        converged=process.converged,
+        recommendation_seconds=process.recommendation_seconds,
+    )
+
+
 def execute_campaign(
     spec: CampaignSpec,
-    pretrained: PretrainedStreamTune,
+    pretrained: PretrainedStreamTune | None,
     caches: TuningCacheSet | None,
     fit_dedup: bool = True,
+    *,
+    sink=None,
+    keep_from: int = 0,
+    stop_at: int | None = None,
 ) -> CampaignOutcome:
-    """Run one campaign end to end (the unit of work a worker executes)."""
+    """Run one campaign end to end (the unit of work a worker executes).
+
+    ``keep_from``/``stop_at`` select a contiguous shard of the rate trace:
+    the campaign executes multipliers ``[0:stop_at)`` — replaying the
+    prefix so tuner/engine state at ``keep_from`` matches the unsharded
+    run bit-for-bit — and records only ``[keep_from:stop_at)``.  ``sink``
+    receives a :class:`~repro.api.events.Reconfigured` /
+    :class:`~repro.api.events.StepCompleted` block after each recorded
+    tuning process (event construction never touches the tuner, so
+    observing a campaign cannot change its results).
+    """
     started = time.perf_counter()
     engine = spec.make_engine()
-    tuner = StreamTuneTuner(
-        engine,
-        pretrained,
-        model_kind=spec.model_kind,
-        max_iterations=spec.max_iterations,
-        warmup_rows=spec.warmup_rows,
-        seed=spec.seed,
-        caches=caches,
-        fit_dedup=fit_dedup,
-        # Optimised fitting and batched warm-up encoding travel together:
-        # both deviate from the seed path only in float-level ulps.
-        batch_encode=fit_dedup,
-        **spec.tuner_overrides,
+    tuner = _build_campaign_tuner(spec, engine, pretrained, caches, fit_dedup)
+    multipliers = (
+        spec.multipliers if stop_at is None else spec.multipliers[:stop_at]
     )
+    iterator = iter_campaign(engine, tuner, spec.query, list(multipliers))
+    while True:
+        try:
+            index, multiplier, process = next(iterator)
+        except StopIteration as stop:
+            executed = stop.value
+            break
+        if index < keep_from:
+            continue
+        if sink is not None:
+            for event in _step_events(
+                spec.name, len(spec.multipliers), index, multiplier, process
+            ):
+                sink(event)
+    # The shard's view: only the kept chunk of the executed trace.
     result = CampaignResult(query_name=spec.query.name, method=tuner.name)
-    tuner.prepare(spec.query)
-    flow = spec.query.flow
-    deployment = engine.deploy(
-        flow,
-        dict.fromkeys(flow.operator_names, 1),
-        spec.query.rates_at(spec.multipliers[0]),
-    )
-    for multiplier in spec.multipliers:
-        process = tuner.tune(deployment, spec.query.rates_at(multiplier))
-        result.multipliers.append(multiplier)
-        result.processes.append(process)
-    engine.stop(deployment)
+    result.multipliers = executed.multipliers[keep_from:]
+    result.processes = executed.processes[keep_from:]
     return CampaignOutcome(
         spec_name=spec.name,
         result=result,
         wall_seconds=time.perf_counter() - started,
         backend="worker",
+    )
+
+
+# ----------------------------------------------------------------------
+# trace sharding
+# ----------------------------------------------------------------------
+
+def shard_bounds(n_steps: int, n_shards: int) -> list[tuple[int, int]]:
+    """Split ``n_steps`` into at most ``n_shards`` contiguous chunks.
+
+    Earlier chunks take the remainder so no shard is empty and sizes
+    differ by at most one.
+    """
+    if n_steps < 1:
+        raise ValueError("n_steps must be >= 1")
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    n_shards = min(n_shards, n_steps)
+    base, extra = divmod(n_steps, n_shards)
+    bounds = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+@dataclass(frozen=True)
+class _Unit:
+    """One worker work item: a contiguous shard of one campaign's trace."""
+
+    spec_index: int
+    shard_index: int
+    n_shards: int
+    keep_from: int
+    stop_at: int
+
+    @property
+    def live(self) -> bool:
+        """Whole-campaign units can emit step events live; shards cannot
+        (their steps would interleave out of order)."""
+        return self.n_shards == 1
+
+
+def _merge_outcomes(
+    spec: CampaignSpec, parts: dict[int, CampaignOutcome], backend: str
+) -> CampaignOutcome:
+    """Concatenate shard outcomes (shard order) into one campaign outcome."""
+    if len(parts) == 1:
+        return parts[0]
+    result = CampaignResult(
+        query_name=spec.query.name, method=parts[0].result.method
+    )
+    for shard_index in sorted(parts):
+        part = parts[shard_index].result
+        result.multipliers.extend(part.multipliers)
+        result.processes.extend(part.processes)
+    walls = [part.wall_seconds for part in parts.values()]
+    return CampaignOutcome(
+        spec_name=spec.name,
+        result=result,
+        # On a pool the campaign is as slow as its slowest shard; on the
+        # sequential backend shards run one after another, so the honest
+        # figure is their sum (prefix replay included).
+        wall_seconds=sum(walls) if backend == "sequential" else max(walls),
+        backend=backend,
     )
 
 
@@ -93,7 +256,7 @@ _WORKER: dict = {}
 
 
 def _init_worker(
-    pretrained: PretrainedStreamTune,
+    pretrained: PretrainedStreamTune | None,
     fit_dedup: bool,
     shared_sections: dict | None = None,
 ) -> None:
@@ -114,9 +277,16 @@ def _init_worker(
     _WORKER["fit_dedup"] = fit_dedup
 
 
-def _run_in_worker(spec: CampaignSpec) -> CampaignOutcome:
+def _run_in_worker(
+    spec: CampaignSpec, keep_from: int = 0, stop_at: int | None = None
+) -> CampaignOutcome:
     return execute_campaign(
-        spec, _WORKER["pretrained"], _WORKER["caches"], _WORKER["fit_dedup"]
+        spec,
+        _WORKER["pretrained"],
+        _WORKER["caches"],
+        _WORKER["fit_dedup"],
+        keep_from=keep_from,
+        stop_at=stop_at,
     )
 
 
@@ -129,7 +299,7 @@ class TuningService:
 
     def __init__(
         self,
-        pretrained: PretrainedStreamTune,
+        pretrained: PretrainedStreamTune | None,
         backend: str = "thread",
         max_workers: int | None = None,
         prioritize_backpressure: bool = True,
@@ -144,6 +314,10 @@ class TuningService:
         to share the GED/assignment stores across workers too), or
         ``sequential`` (no pool — the reference path concurrency must
         reproduce bit-for-bit).
+
+        ``pretrained`` may be ``None`` when every campaign tunes with a
+        history-free baseline method (ds2, conttune, oracle); StreamTune
+        campaigns then fail with a clear error.
 
         ``share_ged_cache=True`` replaces the pretrained clustering's
         private :class:`~repro.ged.search.GEDCache` with a
@@ -163,7 +337,7 @@ class TuningService:
         self.scheduler = BackpressureScheduler() if prioritize_backpressure else FifoScheduler()
         self.fit_dedup = fit_dedup
         self._manager = manager
-        if share_ged_cache:
+        if share_ged_cache and pretrained is not None:
             self._install_shared_ged_cache()
         self.caches = caches if caches is not None else self._make_cache_set()
 
@@ -208,64 +382,238 @@ class TuningService:
 
     # -- execution ------------------------------------------------------
 
-    def run(self, specs: list[CampaignSpec]) -> list[CampaignOutcome]:
-        """Execute every campaign; outcomes are returned in *input* order.
+    def _plan_units(
+        self, specs: list[CampaignSpec], trace_shards: int
+    ) -> list[_Unit]:
+        """Work units in dispatch order: scheduler order over campaigns,
+        shard order within a campaign."""
+        order = self.scheduler.order(list(specs))
+        units = []
+        for spec_index in order:
+            bounds = shard_bounds(len(specs[spec_index].multipliers), trace_shards)
+            for shard_index, (keep_from, stop_at) in enumerate(bounds):
+                units.append(
+                    _Unit(
+                        spec_index=spec_index,
+                        shard_index=shard_index,
+                        n_shards=len(bounds),
+                        keep_from=keep_from,
+                        stop_at=stop_at,
+                    )
+                )
+        return units
 
-        Dispatch order follows the scheduler (backpressured queries first),
-        which matters for time-to-first-recommendation under limited
-        workers but never changes any campaign's result.
-        """
-        if not specs:
-            return []
+    def _started_event(self, spec, index, n_shards) -> CampaignStarted:
+        return CampaignStarted(
+            campaign=spec.name,
+            index=index,
+            engine=spec.engine,
+            tuner=spec.tuner,
+            backend=self.backend,
+            n_steps=len(spec.multipliers),
+            shards=n_shards,
+        )
+
+    def _finished_event(self, spec, index, outcome) -> CampaignFinished:
+        outcome.backend = self.backend
+        return CampaignFinished(
+            campaign=spec.name,
+            index=index,
+            backend=self.backend,
+            n_steps=len(outcome.result.processes),
+            converged_steps=sum(
+                1 for process in outcome.result.processes if process.converged
+            ),
+            wall_seconds=outcome.wall_seconds,
+            outcome=outcome,
+        )
+
+    def _replay_campaign(self, spec, index, outcome, n_shards):
+        """The full event block of a completed campaign (steps re-derived
+        from the recorded result — identical to live emission)."""
+        yield self._started_event(spec, index, n_shards)
+        for step_index, (multiplier, process) in enumerate(
+            zip(outcome.result.multipliers, outcome.result.processes)
+        ):
+            yield from _step_events(
+                spec.name, len(spec.multipliers), step_index, multiplier, process
+            )
+        yield self._finished_event(spec, index, outcome)
+
+    @staticmethod
+    def _check_specs(specs: list[CampaignSpec]) -> None:
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ValueError(f"campaign names must be unique, got {sorted(names)}")
-        order = self.scheduler.order(list(specs))
+
+    def run(
+        self, specs: list[CampaignSpec], trace_shards: int = 1
+    ) -> list[CampaignOutcome]:
+        """Execute every campaign; outcomes are returned in *input* order.
+
+        A thin wrapper that drains :meth:`stream` — dispatch order follows
+        the scheduler (backpressured queries first), which matters for
+        time-to-first-recommendation under limited workers but never
+        changes any campaign's result.
+        """
         outcomes: dict[int, CampaignOutcome] = {}
-        if self.backend == "sequential":
-            for index in order:
-                outcomes[index] = execute_campaign(
-                    specs[index], self.pretrained, self.caches, self.fit_dedup
-                )
-        elif self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = {
-                    index: pool.submit(
-                        execute_campaign,
-                        specs[index],
-                        self.pretrained,
-                        self.caches,
-                        self.fit_dedup,
-                    )
-                    for index in order
-                }
-                for index, future in futures.items():
-                    outcomes[index] = future.result()
-        else:
-            shared_sections = None
-            if self._manager is not None:
-                # Manager-backed sections are proxy objects and pickle
-                # cleanly to workers; thread-local sections would not.
-                shared_sections = {"assign": self.caches.section("assign")}
-            with ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                initializer=_init_worker,
-                initargs=(self.pretrained, self.fit_dedup, shared_sections),
-            ) as pool:
-                futures = {
-                    index: pool.submit(_run_in_worker, specs[index])
-                    for index in order
-                }
-                for index, future in futures.items():
-                    outcomes[index] = future.result()
-        for outcome in outcomes.values():
-            outcome.backend = self.backend
+        for event in self.stream(specs, trace_shards=trace_shards):
+            if isinstance(event, CampaignFinished):
+                outcomes[event.index] = event.outcome
         return [outcomes[index] for index in range(len(specs))]
+
+    def stream(self, specs: list[CampaignSpec], trace_shards: int = 1):
+        """Execute every campaign, yielding typed events as work completes.
+
+        The stream contains exactly one :class:`CampaignStarted` /
+        :class:`CampaignFinished` pair per campaign (completion order
+        across campaigns), every campaign's :class:`StepCompleted` events
+        in monotonically increasing ``step_index`` order between its pair,
+        and one final :class:`CacheStats`.  On the thread backend,
+        unsharded campaigns emit their step events live as each tuning
+        process completes; sharded campaigns and the sequential/process
+        backends emit a campaign's block when it completes.
+        """
+        if not isinstance(trace_shards, int) or trace_shards < 1:
+            raise ValueError(f"trace_shards must be a positive integer, got {trace_shards!r}")
+        self._check_specs(specs)
+        seq = 0
+
+        def stamped(event):
+            nonlocal seq
+            event = dataclasses.replace(event, seq=seq)
+            seq += 1
+            return event
+
+        if specs:
+            units = self._plan_units(specs, trace_shards)
+            if self.backend == "sequential":
+                emitter = self._stream_sequential(specs, units)
+            elif self.backend == "thread":
+                emitter = self._stream_threaded(specs, units)
+            else:
+                emitter = self._stream_processes(specs, units)
+            for event in emitter:
+                yield stamped(event)
+        yield stamped(CacheStats(stats=self.cache_stats()))
+
+    # -- backend-specific emitters -------------------------------------
+
+    def _stream_sequential(self, specs, units):
+        parts: dict[int, dict[int, CampaignOutcome]] = {}
+        for unit in units:
+            spec = specs[unit.spec_index]
+            outcome = execute_campaign(
+                spec,
+                self.pretrained,
+                self.caches,
+                self.fit_dedup,
+                keep_from=unit.keep_from,
+                stop_at=unit.stop_at,
+            )
+            shard_parts = parts.setdefault(unit.spec_index, {})
+            shard_parts[unit.shard_index] = outcome
+            if len(shard_parts) == unit.n_shards:
+                merged = _merge_outcomes(spec, shard_parts, self.backend)
+                yield from self._replay_campaign(
+                    spec, unit.spec_index, merged, unit.n_shards
+                )
+
+    def _stream_threaded(self, specs, units):
+        events: queue.SimpleQueue = queue.SimpleQueue()
+        parts: dict[int, dict[int, CampaignOutcome]] = {}
+
+        def run_unit(unit: _Unit):
+            spec = specs[unit.spec_index]
+            if unit.live:
+                events.put(("event", self._started_event(spec, unit.spec_index, 1)))
+            sink = (lambda event: events.put(("event", event))) if unit.live else None
+            try:
+                outcome = execute_campaign(
+                    spec,
+                    self.pretrained,
+                    self.caches,
+                    self.fit_dedup,
+                    sink=sink,
+                    keep_from=unit.keep_from,
+                    stop_at=unit.stop_at,
+                )
+            except BaseException as error:  # noqa: BLE001 — repropagated below
+                events.put(("error", unit, error))
+                raise
+            events.put(("done", unit, outcome))
+
+        pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        try:
+            for unit in units:
+                pool.submit(run_unit, unit)
+            pending = len(units)
+            while pending:
+                item = events.get()
+                if item[0] == "event":
+                    yield item[1]
+                    continue
+                pending -= 1
+                if item[0] == "error":
+                    raise item[2]
+                _, unit, outcome = item
+                spec = specs[unit.spec_index]
+                shard_parts = parts.setdefault(unit.spec_index, {})
+                shard_parts[unit.shard_index] = outcome
+                if len(shard_parts) < unit.n_shards:
+                    continue
+                merged = _merge_outcomes(spec, shard_parts, self.backend)
+                if unit.live:
+                    # Started and steps were emitted live by the worker.
+                    yield self._finished_event(spec, unit.spec_index, merged)
+                else:
+                    yield from self._replay_campaign(
+                        spec, unit.spec_index, merged, unit.n_shards
+                    )
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _stream_processes(self, specs, units):
+        shared_sections = None
+        if self._manager is not None:
+            # Manager-backed sections are proxy objects and pickle
+            # cleanly to workers; thread-local sections would not.
+            shared_sections = {"assign": self.caches.section("assign")}
+        parts: dict[int, dict[int, CampaignOutcome]] = {}
+        pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_init_worker,
+            initargs=(self.pretrained, self.fit_dedup, shared_sections),
+        )
+        try:
+            futures = {
+                pool.submit(
+                    _run_in_worker,
+                    specs[unit.spec_index],
+                    unit.keep_from,
+                    unit.stop_at,
+                ): unit
+                for unit in units
+            }
+            for future in as_completed(futures):
+                unit = futures[future]
+                spec = specs[unit.spec_index]
+                shard_parts = parts.setdefault(unit.spec_index, {})
+                shard_parts[unit.shard_index] = future.result()
+                if len(shard_parts) < unit.n_shards:
+                    continue
+                merged = _merge_outcomes(spec, shard_parts, self.backend)
+                yield from self._replay_campaign(
+                    spec, unit.spec_index, merged, unit.n_shards
+                )
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Hit/miss counters of the in-process cache sections."""
         stats = self.caches.stats()
-        ged = getattr(self.pretrained.clustering, "cache", None)
-        if isinstance(ged, SharedGEDCache):
-            stats["ged"] = {"hits": ged.hits, "misses": ged.misses}
+        if self.pretrained is not None:
+            ged = getattr(self.pretrained.clustering, "cache", None)
+            if isinstance(ged, SharedGEDCache):
+                stats["ged"] = {"hits": ged.hits, "misses": ged.misses}
         return stats

@@ -1,0 +1,254 @@
+"""Tests for repro.api.events and the streaming execution contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.events import (
+    CacheStats,
+    CampaignFinished,
+    CampaignStarted,
+    EventBus,
+    JsonlRecorder,
+    MetricsAggregator,
+    ProgressPrinter,
+    Reconfigured,
+    StepCompleted,
+    SweepFinished,
+)
+
+
+class TestEventRecords:
+    def test_kind_is_class_name(self):
+        assert CampaignStarted(campaign="c").kind == "CampaignStarted"
+        assert SweepFinished().kind == "SweepFinished"
+
+    def test_to_dict_is_json_serialisable(self):
+        event = StepCompleted(
+            campaign="c", step_index=1, n_steps=2, multiplier=3.0,
+            parallelisms={"src": 2, "sink": 1}, reconfigurations=1,
+            converged=True, seq=7,
+        )
+        data = event.to_dict()
+        assert data["event"] == "StepCompleted"
+        assert data["seq"] == 7
+        assert json.loads(json.dumps(data)) == data
+
+    def test_finished_outcome_not_serialised(self):
+        event = CampaignFinished(campaign="c", outcome=object())
+        assert "outcome" not in event.to_dict()
+        assert event.outcome is not None
+
+    def test_step_total_parallelism(self):
+        event = StepCompleted(parallelisms={"a": 2, "b": 3})
+        assert event.total_parallelism == 5
+
+    def test_events_are_frozen(self):
+        event = CampaignStarted(campaign="c")
+        with pytest.raises(AttributeError):
+            event.campaign = "other"
+
+
+class TestEventBus:
+    def test_publishes_to_every_subscriber(self):
+        bus = EventBus()
+        seen_a, seen_b = [], []
+        bus.subscribe(seen_a.append)
+        bus.subscribe(seen_b.append)
+        event = CampaignStarted(campaign="c")
+        bus.publish(event)
+        assert seen_a == [event] and seen_b == [event]
+
+    def test_broken_subscriber_is_isolated(self):
+        bus = EventBus()
+
+        def broken(event):
+            raise RuntimeError("printer on fire")
+
+        seen = []
+        bus.subscribe(broken)
+        bus.subscribe(seen.append)
+        event = CacheStats(stats={})
+        bus.publish(event)                    # must not raise
+        assert seen == [event]
+        assert len(bus.errors) == 1
+        assert bus.errors[0][1] is event
+        assert isinstance(bus.errors[0][2], RuntimeError)
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.publish(CacheStats())
+        assert seen == [] and len(bus) == 0
+
+    def test_constructor_subscribers(self):
+        seen = []
+        EventBus(seen.append).publish(SweepFinished())
+        assert len(seen) == 1
+
+
+class TestJsonlRecorder:
+    def test_records_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlRecorder(path) as recorder:
+            recorder(CampaignStarted(campaign="c", seq=0))
+            recorder(StepCompleted(campaign="c", seq=1, parallelisms={"a": 1}))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2 and recorder.n_events == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["event"] == "CampaignStarted"
+        assert second["parallelisms"] == {"a": 1}
+
+    def test_lazy_open(self, tmp_path):
+        recorder = JsonlRecorder(tmp_path / "sub" / "events.jsonl")
+        assert not recorder.path.exists()
+        recorder(CacheStats(stats={"warmup": {"hits": 1}}))
+        recorder.close()
+        assert recorder.path.exists()
+
+
+class TestMetricsAggregator:
+    def test_aggregates_steps_and_walls(self):
+        metrics = MetricsAggregator()
+        metrics(CampaignStarted(campaign="c"))
+        metrics(StepCompleted(campaign="c", reconfigurations=2))
+        metrics(StepCompleted(campaign="c", reconfigurations=1))
+        metrics(CampaignFinished(campaign="c", wall_seconds=1.5))
+        metrics(CacheStats(stats={"warmup": {"hits": 3}}))
+        summary = metrics.summary()
+        assert summary["steps"] == 2
+        assert summary["reconfigurations"] == 3
+        assert summary["campaigns"] == 1
+        assert metrics.cache_stats == {"warmup": {"hits": 3}}
+        assert metrics.n_events == 5
+
+    def test_scenario_scopes_campaign_keys(self):
+        metrics = MetricsAggregator()
+        metrics(StepCompleted(campaign="c", scenario="a"))
+        metrics(StepCompleted(campaign="c", scenario="b"))
+        assert set(metrics.steps) == {"a/c", "b/c"}
+
+
+class TestProgressPrinter:
+    def test_one_line_per_event(self, capsys):
+        printer = ProgressPrinter(stream=None)
+        import sys
+
+        printer.stream = sys.stderr
+        for event in (
+            CampaignStarted(campaign="c", n_steps=2, tuner="ds2"),
+            StepCompleted(campaign="c", step_index=0, n_steps=2,
+                          multiplier=3.0, parallelisms={"a": 4}),
+            CampaignFinished(campaign="c", n_steps=2, converged_steps=2),
+            CacheStats(stats={"warmup": {"hits": 1, "misses": 2}}),
+            SweepFinished(n_scenarios=2, n_campaigns=4),
+        ):
+            printer(event)
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 5
+        assert "ds2" in err and "1h/2m" in err
+
+    def test_reconfigured_only_when_verbose(self, capsys):
+        event = Reconfigured(campaign="c", parallelisms={"a": 2})
+        import sys
+
+        ProgressPrinter(stream=sys.stderr)(event)
+        assert capsys.readouterr().err == ""
+        ProgressPrinter(stream=sys.stderr, verbose=True)(event)
+        assert "redeployed" in capsys.readouterr().err
+
+    def test_scenario_prefix(self, capsys):
+        import sys
+
+        printer = ProgressPrinter(stream=sys.stderr)
+        printer(CampaignStarted(campaign="c", scenario="ds2@flink/x3-7"))
+        assert capsys.readouterr().err.startswith("[ds2@flink/x3-7] ")
+
+
+# ----------------------------------------------------------------------
+# the streaming contract on a real (smoke-sized) fleet
+# ----------------------------------------------------------------------
+
+def _contract(events, expected_campaigns, expected_steps):
+    """Assert the documented stream shape and return events per campaign."""
+    seqs = [event.seq for event in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    assert isinstance(events[-1], CacheStats)
+    started = [e for e in events if isinstance(e, CampaignStarted)]
+    finished = [e for e in events if isinstance(e, CampaignFinished)]
+    assert sorted(e.campaign for e in started) == sorted(expected_campaigns)
+    assert sorted(e.campaign for e in finished) == sorted(expected_campaigns)
+    for name in expected_campaigns:
+        scoped = [e for e in events if getattr(e, "campaign", None) == name]
+        assert isinstance(scoped[0], CampaignStarted)
+        assert isinstance(scoped[-1], CampaignFinished)
+        steps = [e for e in scoped if isinstance(e, StepCompleted)]
+        assert [e.step_index for e in steps] == list(range(expected_steps))
+    return started, finished
+
+
+@pytest.mark.parametrize("backend", ["sequential", "thread"])
+def test_service_stream_contract(tiny_pretrained, backend):
+    from repro.service import CampaignSpec, TuningService
+    from repro.workloads import nexmark_query
+
+    specs = [
+        CampaignSpec(
+            query=nexmark_query(name, "flink"),
+            multipliers=(3.0, 7.0),
+            engine_seed=41,
+            seed=41,
+        )
+        for name in ("q1", "q5")
+    ]
+    service = TuningService(tiny_pretrained, backend=backend, max_workers=2)
+    events = list(service.stream(specs))
+    names = [spec.name for spec in specs]
+    started, finished = _contract(events, names, expected_steps=2)
+    assert all(event.backend == backend for event in started + finished)
+    # every finished event carries the outcome run() would have returned
+    assert {event.outcome.spec_name for event in finished} == set(names)
+
+
+def test_stream_results_match_run(tiny_pretrained):
+    from repro.service import CampaignSpec, TuningService
+    from repro.workloads import nexmark_query
+
+    specs = [
+        CampaignSpec(
+            query=nexmark_query(name, "flink"),
+            multipliers=(3.0, 7.0),
+            engine_seed=41,
+            seed=41,
+        )
+        for name in ("q1", "q5")
+    ]
+    via_run = TuningService(tiny_pretrained, backend="sequential").run(specs)
+    events = TuningService(tiny_pretrained, backend="sequential").stream(specs)
+    via_stream = {
+        event.index: event.outcome
+        for event in events
+        if isinstance(event, CampaignFinished)
+    }
+    for index, outcome in enumerate(via_run):
+        streamed = via_stream[index]
+        assert streamed.spec_name == outcome.spec_name
+        assert [
+            [step.parallelisms for step in process.steps]
+            for process in streamed.result.processes
+        ] == [
+            [step.parallelisms for step in process.steps]
+            for process in outcome.result.processes
+        ]
+
+
+def test_empty_spec_list_streams_only_cache_stats(tiny_pretrained):
+    from repro.service import TuningService
+
+    events = list(TuningService(tiny_pretrained, backend="sequential").stream([]))
+    assert len(events) == 1 and isinstance(events[0], CacheStats)
+    assert TuningService(tiny_pretrained, backend="sequential").run([]) == []

@@ -25,6 +25,7 @@ requires_toml = pytest.mark.skipif(
 from repro.api import (
     CampaignPlan,
     PlanError,
+    SweepPlan,
     TuningPlan,
     load_plan,
     plan_from_dict,
@@ -240,3 +241,137 @@ class TestRoundTrips:
         assert replace(plan, backend="thread").backend == "thread"
         with pytest.raises(PlanError):
             replace(plan, backend="fibers")
+
+
+class TestSweepPlan:
+    def _sweep(self, **overrides):
+        defaults = dict(
+            queries=("q1", "q5"),
+            tuners=("streamtune", "ds2"),
+            engines=("flink",),
+            rate_traces=((3, 7), (4, 2)),
+            backend="sequential",
+            scale="smoke",
+            seed=23,
+        )
+        defaults.update(overrides)
+        return SweepPlan(**defaults)
+
+    def test_defaults_validate(self):
+        plan = SweepPlan(queries=("q1",))
+        assert plan.tuners == ("streamtune",)
+        assert plan.rate_traces == ((3.0, 7.0, 4.0, 2.0),)
+        assert plan.kind == "sweep"
+
+    def test_expansion_grid_order_and_size(self):
+        plan = self._sweep(engines=("flink", "timely"))
+        cells = plan.expand()
+        assert plan.n_scenarios == len(cells) == 2 * 2 * 2
+        # engines slowest, rate traces fastest
+        assert [c.engine for c in cells[:4]] == ["flink"] * 4
+        assert [c.tuner for c in cells[:4]] == [
+            "streamtune", "streamtune", "ds2", "ds2"
+        ]
+        assert cells[0].rates == (3.0, 7.0) and cells[1].rates == (4.0, 2.0)
+        for cell in cells:
+            assert isinstance(cell, CampaignPlan)
+            assert cell.queries == ("q1", "q5")
+            assert cell.seed == 23 and cell.scale == "smoke"
+
+    def test_scenario_labels_unique(self):
+        plan = self._sweep()
+        labels = [plan.scenario_label(cell) for cell in plan.expand()]
+        assert len(set(labels)) == len(labels)
+        assert "ds2@flink/x3-7" in labels
+
+    def test_unknown_tuner_named(self):
+        with pytest.raises(PlanError, match="tuner"):
+            self._sweep(tuners=("streamtune", "dsz"))
+
+    def test_zerotune_rejected_with_guidance(self):
+        with pytest.raises(PlanError, match="zerotune.*TuningPlan"):
+            self._sweep(tuners=("zerotune",))
+
+    def test_unknown_engine_named(self):
+        with pytest.raises(PlanError, match="engine"):
+            self._sweep(engines=("spark",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(PlanError, match="tuners"):
+            self._sweep(tuners=())
+        with pytest.raises(PlanError, match="rate_traces"):
+            self._sweep(rate_traces=())
+
+    def test_duplicate_axis_entries_rejected(self):
+        with pytest.raises(PlanError, match="tuners.*unique"):
+            self._sweep(tuners=("streamtune", "streamtune"))
+        with pytest.raises(PlanError, match="engines.*unique"):
+            self._sweep(engines=("flink", "flink"))
+        with pytest.raises(PlanError, match="rate_traces.*unique"):
+            self._sweep(rate_traces=((3, 7), (3.0, 7.0)))
+
+    def test_string_axis_rejected_with_hint(self):
+        with pytest.raises(PlanError, match="split"):
+            self._sweep(tuners="streamtune,ds2")
+
+    def test_bad_trace_names_its_index(self):
+        with pytest.raises(PlanError, match=r"rate_traces\[1\]"):
+            self._sweep(rate_traces=((3, 7), (0,)))
+
+    def test_dict_round_trip_equality(self):
+        plan = self._sweep()
+        assert SweepPlan.from_dict(plan.to_dict()) == plan
+        data = plan.to_dict()
+        assert data["rate_traces"] == [[3.0, 7.0], [4.0, 2.0]]
+
+    def test_kind_inference(self):
+        assert isinstance(
+            plan_from_dict({"queries": ["q1"], "tuners": ["ds2"]}), SweepPlan
+        )
+        assert isinstance(plan_from_dict({"kind": "sweep", "queries": ["q1"]}), SweepPlan)
+
+    @requires_toml
+    def test_toml_file_round_trip(self, tmp_path):
+        plan = self._sweep()
+        path = tmp_path / "sweep.toml"
+        save_plan(plan, path)
+        assert load_plan(path) == plan
+
+    @requires_toml
+    def test_example_sweep_smoke_loads(self):
+        from pathlib import Path
+
+        plan = load_plan(Path(__file__).parent.parent / "examples" / "sweep_smoke.toml")
+        assert isinstance(plan, SweepPlan)
+        assert len(plan.queries) >= 2 and len(plan.tuners) >= 2
+        assert plan.n_scenarios == len(plan.expand())
+
+
+class TestCampaignPlanTunerAndShards:
+    def test_defaults(self):
+        plan = CampaignPlan(queries=("q1",), scale="smoke")
+        assert plan.tuner == "streamtune" and plan.trace_shards == 1
+
+    def test_baseline_tuner_accepted(self):
+        plan = CampaignPlan(queries=("q1",), tuner="ds2", scale="smoke")
+        assert plan.tuner == "ds2"
+
+    def test_zerotune_rejected(self):
+        with pytest.raises(PlanError, match="zerotune"):
+            CampaignPlan(queries=("q1",), tuner="zerotune", scale="smoke")
+
+    def test_cache_path_with_baseline_tuner_rejected(self):
+        with pytest.raises(PlanError, match="cache_path"):
+            CampaignPlan(
+                queries=("q1",), tuner="ds2", backend="sequential",
+                cache_path="x.pkl", scale="smoke",
+            )
+
+    def test_bad_trace_shards_rejected(self):
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(PlanError, match="trace_shards"):
+                CampaignPlan(queries=("q1",), trace_shards=bad, scale="smoke")
+
+    def test_trace_shards_round_trips(self):
+        plan = CampaignPlan(queries=("q1",), trace_shards=3, scale="smoke")
+        assert CampaignPlan.from_dict(plan.to_dict()).trace_shards == 3

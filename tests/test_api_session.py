@@ -112,7 +112,7 @@ class TestTuningSessionCampaigns:
         assert result.outcomes[1].result.multipliers == [4.0, 2.0]
 
     def test_run_rejects_non_plans(self, tiny_pretrained):
-        with pytest.raises(PlanError, match="TuningPlan or"):
+        with pytest.raises(PlanError, match="TuningPlan, "):
             TuningSession(pretrained=tiny_pretrained).run({"queries": ["q1"]})
 
     def test_ablation_tuner_spelling_selects_the_model(self, tiny_pretrained):
@@ -272,4 +272,166 @@ class TestCliPlanShell:
         path.write_text(json.dumps({"query": "q1", "scale": "smoke"}))
         code = main(["run-plan", str(path), "--backend", "thread"])
         assert code == 2
-        assert "campaign plans only" in capsys.readouterr().err
+        assert "campaign and sweep plans only" in capsys.readouterr().err
+
+
+class TestSessionStreaming:
+    def test_stream_contract_and_result_identity(self, tiny_pretrained):
+        from repro.api import CacheStats, CampaignFinished, CampaignStarted, StepCompleted
+
+        session = TuningSession(pretrained=tiny_pretrained)
+        plan = _smoke_plan(backend="thread", workers=2)
+        stream = session.stream(plan)
+        events = []
+        while True:
+            try:
+                events.append(next(stream))
+            except StopIteration as stop:
+                streamed_result = stop.value
+                break
+        seqs = [event.seq for event in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        names = ("nexmark_q1_flink", "nexmark_q5_flink")
+        for name in names:
+            scoped = [e for e in events if getattr(e, "campaign", None) == name]
+            assert isinstance(scoped[0], CampaignStarted)
+            assert isinstance(scoped[-1], CampaignFinished)
+            steps = [e for e in scoped if isinstance(e, StepCompleted)]
+            assert [e.step_index for e in steps] == [0, 1]
+        assert sum(isinstance(e, CacheStats) for e in events) == 1
+        # the stream's return value is the same result run() produces
+        assert _steps(streamed_result) == _steps(
+            TuningSession(pretrained=tiny_pretrained).run(_smoke_plan())
+        )
+        assert [o.spec_name for o in streamed_result.outcomes] == list(names)
+
+    def test_run_publishes_to_bus(self, tiny_pretrained):
+        from repro.api import EventBus, MetricsAggregator
+
+        metrics = MetricsAggregator()
+        bus = EventBus(metrics)
+        result = TuningSession(pretrained=tiny_pretrained).run(_smoke_plan(), bus=bus)
+        assert metrics.counts["CampaignStarted"] == 2
+        assert metrics.counts["CampaignFinished"] == 2
+        assert metrics.summary()["steps"] == 4
+        assert not bus.errors
+        assert len(result.outcomes) == 2
+
+    def test_tuning_plan_streams_events(self, tiny_pretrained):
+        from repro.api import CampaignFinished, CampaignStarted, StepCompleted
+
+        plan = TuningPlan(query="q1", rates=(3, 8), scale="smoke", seed=5)
+        events = list(TuningSession(pretrained=tiny_pretrained).stream(plan))
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "CampaignStarted" and kinds[-1] == "CacheStats"
+        assert [event.seq for event in events] == list(range(len(events)))
+        steps = [e for e in events if isinstance(e, StepCompleted)]
+        assert [e.step_index for e in steps] == [0, 1]
+        assert [e for e in events if isinstance(e, CampaignStarted)][0].backend == "inline"
+        finished = [e for e in events if isinstance(e, CampaignFinished)]
+        assert len(finished) == 1 and finished[0].outcome is not None
+
+    def test_trace_shards_results_identical(self, tiny_pretrained):
+        unsharded = TuningSession(pretrained=tiny_pretrained).run(
+            _smoke_plan(rates=(3, 7, 4))
+        )
+        sharded = TuningSession(pretrained=tiny_pretrained).run(
+            _smoke_plan(rates=(3, 7, 4), backend="thread", workers=4, trace_shards=3)
+        )
+        assert _steps(sharded) == _steps(unsharded)
+        assert [o.spec_name for o in sharded.outcomes] == [
+            o.spec_name for o in unsharded.outcomes
+        ]
+
+
+class TestSweepExecution:
+    def _sweep_plan(self, **overrides):
+        from repro.api import SweepPlan
+
+        defaults = dict(
+            queries=("q1", "q5"),
+            tuners=("streamtune", "ds2"),
+            rate_traces=((3, 7),),
+            backend="sequential",
+            scale="smoke",
+            seed=41,
+        )
+        defaults.update(overrides)
+        return SweepPlan(**defaults)
+
+    def test_sweep_runs_every_cell(self, tiny_pretrained):
+        from repro.api import SweepResult
+
+        result = TuningSession(pretrained=tiny_pretrained).run(self._sweep_plan())
+        assert isinstance(result, SweepResult)
+        assert len(result.results) == 2 and result.n_campaigns == 4
+        labels = [label for label, _ in result.scenarios]
+        assert labels == ["streamtune@flink/x3-7", "ds2@flink/x3-7"]
+        streamtune_cell = result.scenario("streamtune@flink/x3-7")
+        ds2_cell = result.scenario("ds2@flink/x3-7")
+        assert streamtune_cell.outcomes[0].result.method == "StreamTune"
+        assert ds2_cell.outcomes[0].result.method == "DS2"
+        with pytest.raises(KeyError, match="streamtune@flink"):
+            result.scenario("nope")
+
+    def test_sweep_events_are_scenario_labelled(self, tiny_pretrained):
+        from repro.api import SweepFinished
+
+        events = list(
+            TuningSession(pretrained=tiny_pretrained).stream(self._sweep_plan())
+        )
+        assert isinstance(events[-1], SweepFinished)
+        assert events[-1].n_scenarios == 2 and events[-1].n_campaigns == 4
+        labelled = [e for e in events if not isinstance(e, SweepFinished)]
+        assert all(e.scenario for e in labelled)
+        assert {e.scenario for e in labelled} == {
+            "streamtune@flink/x3-7", "ds2@flink/x3-7"
+        }
+        seqs = [e.seq for e in labelled]
+        assert seqs == sorted(seqs)
+
+    def test_sweep_streamtune_matches_plain_campaign(self, tiny_pretrained):
+        """A sweep's streamtune cell is bit-identical to the same CampaignPlan."""
+        sweep = TuningSession(pretrained=tiny_pretrained).run(
+            self._sweep_plan(tuners=("streamtune",))
+        )
+        direct = TuningSession(pretrained=tiny_pretrained).run(_smoke_plan())
+        assert _steps(sweep.results[0]) == _steps(direct)
+
+
+class TestAsyncStreaming:
+    def test_early_exit_does_not_hang(self, tiny_pretrained):
+        plan = _smoke_plan(backend="thread", workers=2)
+
+        async def drive():
+            session = AsyncTuningSession(pretrained=tiny_pretrained)
+            async for event in session.stream(plan):
+                return event.kind          # abandon after the first event
+
+        import time
+
+        started = time.perf_counter()
+        first = asyncio.run(drive())
+        assert first == "CampaignStarted"
+        # generously below a full-fleet drain, which takes seconds
+        assert time.perf_counter() - started < 30
+
+    def test_async_stream_yields_same_events(self, tiny_pretrained):
+        plan = _smoke_plan()
+        sync_events = list(TuningSession(pretrained=tiny_pretrained).stream(plan))
+
+        async def drive():
+            session = AsyncTuningSession(pretrained=tiny_pretrained)
+            collected = []
+            async for event in session.stream(plan):
+                collected.append(event)
+            return collected, session.last_result
+
+        async_events, result = asyncio.run(drive())
+        assert [e.kind for e in async_events] == [e.kind for e in sync_events]
+        assert [getattr(e, "campaign", None) for e in async_events] == [
+            getattr(e, "campaign", None) for e in sync_events
+        ]
+        assert result is not None and _steps(result) == _steps(
+            TuningSession(pretrained=tiny_pretrained).run(plan)
+        )

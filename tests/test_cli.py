@@ -83,3 +83,201 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "StreamTune tuning" in out
         assert "converged" in out
+
+
+class TestValidationExitCodes:
+    """Plan-validation failures exit 2 with a one-line message, never a
+    traceback (asserted via capsys: stderr is exactly one line)."""
+
+    def _assert_one_line_error(self, capsys, code):
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+        return err
+
+    def test_run_plan_missing_file(self, capsys):
+        code = main(["run-plan", "no_such_plan.toml"])
+        err = self._assert_one_line_error(capsys, code)
+        assert "does not exist" in err
+
+    def test_run_plan_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        code = main(["run-plan", str(path)])
+        err = self._assert_one_line_error(capsys, code)
+        assert "not valid JSON" in err
+
+    def test_run_plan_unknown_field(self, tmp_path, capsys):
+        import json as json_module
+
+        path = tmp_path / "plan.json"
+        path.write_text(json_module.dumps({"queries": ["q1"], "ratez": [3]}))
+        code = main(["run-plan", str(path)])
+        err = self._assert_one_line_error(capsys, code)
+        assert "ratez" in err
+
+    def test_run_plan_unknown_query(self, tmp_path, capsys):
+        import json as json_module
+
+        path = tmp_path / "plan.json"
+        path.write_text(json_module.dumps({"queries": ["q99"], "scale": "smoke"}))
+        code = main(["run-plan", str(path)])
+        err = self._assert_one_line_error(capsys, code)
+        assert "q99" in err
+
+    def test_sweep_rejects_non_sweep_plan(self, tmp_path, capsys):
+        import json as json_module
+
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json_module.dumps({"queries": ["q1"], "scale": "smoke"})
+        )
+        code = main(["sweep", str(path)])
+        err = self._assert_one_line_error(capsys, code)
+        assert "CampaignPlan" in err and "sweep" in err
+
+    def test_stale_cache_snapshot_is_one_line(self, tmp_path, capsys):
+        import json as json_module
+        import pickle
+
+        snapshot = tmp_path / "stale.pkl"
+        snapshot.write_bytes(
+            pickle.dumps(
+                {
+                    "format": "repro.service.TuningCacheSet",
+                    "version": 999,
+                    "sections": {},
+                }
+            )
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json_module.dumps(
+                {
+                    "queries": ["q1"],
+                    "rates": [3],
+                    "backend": "sequential",
+                    "scale": "smoke",
+                    "cache_path": str(snapshot),
+                }
+            )
+        )
+        code = main(["run-plan", str(path)])
+        err = self._assert_one_line_error(capsys, code)
+        assert "999" in err and "version" in err
+
+    def test_tune_bad_rates_exit_code(self, capsys):
+        code = main(["tune", "--model", "m", "--query", "q1", "--rates", "3,,7"])
+        self._assert_one_line_error(capsys, code)
+
+
+class TestSweepCommand:
+    def _sweep_file(self, tmp_path):
+        import json as json_module
+
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json_module.dumps(
+                {
+                    "kind": "sweep",
+                    "queries": ["q1", "q5"],
+                    "tuners": ["streamtune", "ds2"],
+                    "rate_traces": [[3, 7]],
+                    "backend": "sequential",
+                    "scale": "smoke",
+                    "seed": 41,
+                }
+            )
+        )
+        return path
+
+    def test_sweep_end_to_end_with_events(
+        self, tiny_pretrained, tmp_path, capsys, monkeypatch
+    ):
+        import json as json_module
+
+        from repro.experiments import context
+
+        monkeypatch.setattr(
+            context, "pretrained_model", lambda engine, scale: tiny_pretrained
+        )
+        record = tmp_path / "events.jsonl"
+        code = main([
+            "sweep", str(self._sweep_file(tmp_path)),
+            "--follow", "--record", str(record),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        # summary table: one row per (scenario, query)
+        assert "streamtune@flink/x3-7" in captured.out
+        assert "ds2@flink/x3-7" in captured.out
+        assert "recorded" in captured.out
+        # --follow progress lines went to stderr
+        assert "nexmark_q1_flink" in captured.err
+        # the JSONL log replays the run: one Started/Finished pair per
+        # campaign per scenario, steps monotonic per campaign
+        events = [json_module.loads(line) for line in record.read_text().splitlines()]
+        starts = [e for e in events if e["event"] == "CampaignStarted"]
+        finishes = [e for e in events if e["event"] == "CampaignFinished"]
+        assert len(starts) == len(finishes) == 4       # 2 scenarios x 2 queries
+        assert {e["scenario"] for e in starts} == {
+            "streamtune@flink/x3-7", "ds2@flink/x3-7"
+        }
+        assert events[-1]["event"] == "SweepFinished"
+        for start in starts:
+            steps = [
+                e["step_index"] for e in events
+                if e["event"] == "StepCompleted"
+                and e["campaign"] == start["campaign"]
+                and e["scenario"] == start["scenario"]
+            ]
+            assert steps == [0, 1]
+
+    def test_run_plan_accepts_sweep_files(
+        self, tiny_pretrained, tmp_path, capsys, monkeypatch
+    ):
+        from repro.experiments import context
+
+        monkeypatch.setattr(
+            context, "pretrained_model", lambda engine, scale: tiny_pretrained
+        )
+        assert main(["run-plan", str(self._sweep_file(tmp_path))]) == 0
+        assert "sweep: 2 scenario(s)" in capsys.readouterr().out
+
+
+class TestRunPlanStreaming:
+    def test_follow_and_record_campaign(
+        self, tiny_pretrained, tmp_path, capsys, monkeypatch
+    ):
+        import json as json_module
+
+        from repro.experiments import context
+
+        monkeypatch.setattr(
+            context, "pretrained_model", lambda engine, scale: tiny_pretrained
+        )
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json_module.dumps(
+                {
+                    "queries": ["q1"],
+                    "rates": [3, 7],
+                    "backend": "sequential",
+                    "scale": "smoke",
+                    "seed": 41,
+                }
+            )
+        )
+        record = tmp_path / "events.jsonl"
+        assert main([
+            "run-plan", str(plan_path), "--follow", "--record", str(record),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "step 1/2" in captured.err and "step 2/2" in captured.err
+        events = [json_module.loads(line) for line in record.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "CampaignStarted"
+        assert kinds[-1] == "CacheStats"
+        assert kinds.count("CampaignFinished") == 1

@@ -1,0 +1,92 @@
+"""Tests for the `repro` top-level DeprecationWarning import shims.
+
+The contract (see ``repro.__getattr__``): every legacy name still
+resolves from the top-level package, the resolved symbol is *identical*
+to the canonical module's, the warning names the canonical home, and it
+fires exactly once per process per name (the shim caches the resolved
+value in the module globals).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import _DEPRECATED_EXPORTS
+
+
+def _unshim(name: str) -> None:
+    """Drop the cached resolution so the lazy shim runs again."""
+    repro.__dict__.pop(name, None)
+
+
+@pytest.mark.parametrize(
+    "name", ["StreamTuneTuner", "FlinkCluster", "nexmark_queries"]
+)
+def test_warning_fires_and_names_canonical_module(name):
+    _unshim(name)
+    module_name, _ = _DEPRECATED_EXPORTS[name]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        getattr(repro, name)
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert name in message and module_name in message
+    assert "repro.api" in message                 # nudges to the front door
+
+
+def test_symbol_identity_preserved():
+    import importlib
+
+    for name, (module_name, attribute) in _DEPRECATED_EXPORTS.items():
+        _unshim(name)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = getattr(repro, name)
+        canonical = getattr(importlib.import_module(module_name), attribute)
+        assert shimmed is canonical, name
+
+
+def test_warning_fires_once_per_name():
+    _unshim("DS2Tuner")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        getattr(repro, "DS2Tuner")
+        getattr(repro, "DS2Tuner")       # second access hits the cache
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+
+
+def test_distinct_names_warn_independently():
+    _unshim("OracleTuner")
+    _unshim("ContTuneTuner")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        getattr(repro, "OracleTuner")
+        getattr(repro, "ContTuneTuner")
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 2
+
+
+def test_unknown_attribute_raises_attribute_error_without_warning():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with pytest.raises(AttributeError, match="no attribute 'Bogus'"):
+            repro.Bogus
+    assert not [w for w in caught if w.category is DeprecationWarning]
+
+
+def test_dir_lists_every_legacy_name():
+    listing = dir(repro)
+    for name in _DEPRECATED_EXPORTS:
+        assert name in listing
+
+
+def test_all_covers_current_and_legacy_surface():
+    assert "TuningSession" in repro.__all__
+    assert "SweepPlan" in repro.__all__
+    for name in _DEPRECATED_EXPORTS:
+        assert name in repro.__all__

@@ -219,3 +219,176 @@ class TestServiceCampaigns:
         )
         assert again is results
         del context._CACHE[key]
+
+
+class TestShardBounds:
+    def test_even_split(self):
+        from repro.service import shard_bounds
+
+        assert shard_bounds(4, 2) == [(0, 2), (2, 4)]
+        assert shard_bounds(6, 3) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_remainder_goes_to_early_shards(self):
+        from repro.service import shard_bounds
+
+        assert shard_bounds(5, 2) == [(0, 3), (3, 5)]
+        assert shard_bounds(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_more_shards_than_steps_clamps(self):
+        from repro.service import shard_bounds
+
+        assert shard_bounds(2, 5) == [(0, 1), (1, 2)]
+        assert shard_bounds(1, 1) == [(0, 1)]
+
+    def test_bounds_cover_exactly(self):
+        from repro.service import shard_bounds
+
+        for n_steps in range(1, 12):
+            for n_shards in range(1, 6):
+                bounds = shard_bounds(n_steps, n_shards)
+                covered = [i for start, stop in bounds for i in range(start, stop)]
+                assert covered == list(range(n_steps))
+                assert all(stop > start for start, stop in bounds)
+
+    def test_invalid_inputs(self):
+        from repro.service import shard_bounds
+
+        with pytest.raises(ValueError):
+            shard_bounds(0, 1)
+        with pytest.raises(ValueError):
+            shard_bounds(3, 0)
+
+
+class TestTraceSharding:
+    def _spec(self, multipliers=(3, 7, 4)):
+        return CampaignSpec(
+            query=nexmark_query("q1", "flink"),
+            multipliers=tuple(float(m) for m in multipliers),
+            engine_seed=31,
+            seed=41,
+        )
+
+    @staticmethod
+    def _steps(outcome):
+        return [
+            [step.parallelisms for step in process.steps]
+            for process in outcome.result.processes
+        ]
+
+    @pytest.mark.parametrize("backend", ["sequential", "thread"])
+    def test_merged_results_bit_identical(self, tiny_pretrained, backend):
+        spec = self._spec()
+        reference = TuningService(tiny_pretrained, backend="sequential").run([spec])[0]
+        service = TuningService(tiny_pretrained, backend=backend, max_workers=4)
+        sharded = service.run([spec], trace_shards=3)[0]
+        assert sharded.result.multipliers == reference.result.multipliers
+        assert self._steps(sharded) == self._steps(reference)
+        assert sharded.backend == backend
+
+    def test_sharded_stream_contract(self, tiny_pretrained):
+        from repro.api.events import CampaignFinished, CampaignStarted, StepCompleted
+
+        service = TuningService(tiny_pretrained, backend="thread", max_workers=4)
+        events = list(service.stream([self._spec()], trace_shards=2))
+        started = [e for e in events if isinstance(e, CampaignStarted)]
+        finished = [e for e in events if isinstance(e, CampaignFinished)]
+        assert len(started) == 1 and len(finished) == 1
+        assert started[0].shards == 2
+        steps = [e for e in events if isinstance(e, StepCompleted)]
+        assert [e.step_index for e in steps] == [0, 1, 2]
+
+    def test_execute_campaign_shard_keeps_only_its_chunk(self, tiny_pretrained):
+        from repro.service import execute_campaign
+
+        spec = self._spec()
+        whole = execute_campaign(spec, tiny_pretrained, TuningCacheSet())
+        tail = execute_campaign(
+            spec, tiny_pretrained, TuningCacheSet(), keep_from=1, stop_at=3
+        )
+        assert tail.result.multipliers == [7.0, 4.0]
+        assert self._steps(tail) == self._steps(whole)[1:]
+
+    def test_bad_trace_shards_rejected(self, tiny_pretrained):
+        service = TuningService(tiny_pretrained, backend="sequential")
+        with pytest.raises(ValueError, match="trace_shards"):
+            list(service.stream(self._specs_one(), trace_shards=0))
+
+    def _specs_one(self):
+        return [self._spec((3,))]
+
+
+class TestBaselineCampaigns:
+    def _spec(self, tuner):
+        return CampaignSpec(
+            query=nexmark_query("q1", "flink"),
+            multipliers=(3.0, 7.0),
+            engine_seed=31,
+            seed=41,
+            tuner=tuner,
+        )
+
+    def test_ds2_campaign_runs_without_pretrained(self):
+        service = TuningService(None, backend="sequential")
+        outcome = service.run([self._spec("ds2")])[0]
+        assert outcome.result.method == "DS2"
+        assert outcome.result.n_processes == 2
+        assert "ged" not in service.cache_stats()
+
+    def test_backend_identity_for_baselines(self):
+        sequential = TuningService(None, backend="sequential").run([self._spec("ds2")])
+        threaded = TuningService(None, backend="thread", max_workers=2).run(
+            [self._spec("ds2")]
+        )
+        steps = lambda o: [  # noqa: E731
+            [step.parallelisms for step in process.steps]
+            for process in o.result.processes
+        ]
+        assert steps(sequential[0]) == steps(threaded[0])
+
+    def test_streamtune_without_pretrained_fails_clearly(self):
+        service = TuningService(None, backend="sequential")
+        with pytest.raises(ValueError, match="pre-trained"):
+            service.run([self._spec("streamtune")])
+
+
+class TestSnapshotErrors:
+    def test_version_mismatch_names_both_versions(self, tmp_path):
+        import pickle
+
+        from repro.service import SnapshotError
+
+        stale = tmp_path / "stale.pkl"
+        stale.write_bytes(
+            pickle.dumps(
+                {
+                    "format": "repro.service.TuningCacheSet",
+                    "version": 999,
+                    "sections": {},
+                }
+            )
+        )
+        with pytest.raises(SnapshotError) as excinfo:
+            TuningCacheSet.load(stale)
+        message = str(excinfo.value)
+        assert "999" in message                       # the snapshot's version
+        assert str(TuningCacheSet.SNAPSHOT_VERSION) in message   # ours
+        assert "stale.pkl" in message
+        assert isinstance(excinfo.value, ValueError)  # back-compat contract
+
+    def test_truncated_snapshot_is_a_clear_error(self, tmp_path):
+        from repro.service import SnapshotError
+
+        broken = tmp_path / "broken.pkl"
+        saved = tmp_path / "ok.pkl"
+        TuningCacheSet().save(saved)
+        broken.write_bytes(saved.read_bytes()[:10])   # cut mid-pickle
+        with pytest.raises(SnapshotError, match="broken.pkl"):
+            TuningCacheSet.load(broken)
+
+    def test_non_pickle_bytes_are_a_clear_error(self, tmp_path):
+        from repro.service import SnapshotError
+
+        garbage = tmp_path / "garbage.pkl"
+        garbage.write_bytes(b"definitely not a pickle")
+        with pytest.raises(SnapshotError, match="not a TuningCacheSet"):
+            TuningCacheSet.load(garbage)
