@@ -55,7 +55,9 @@ from repro.api.components import (  # importing populates the registries
 )
 from repro.api.events import (
     CacheStats,
+    CampaignFailed,
     CampaignFinished,
+    CampaignSkipped,
     CampaignStarted,
     Event,
     EventBus,
@@ -65,7 +67,10 @@ from repro.api.events import (
     Reconfigured,
     StepCompleted,
     SweepFinished,
+    campaign_cell_key,
+    event_from_dict,
 )
+from repro.api.resume import ResumeError, ResumeLog, load_events
 from repro.api.plans import (
     CampaignPlan,
     PlanError,
@@ -86,8 +91,10 @@ from repro.api.session import (
 __all__ = [
     "AsyncTuningSession",
     "CacheStats",
+    "CampaignFailed",
     "CampaignFinished",
     "CampaignPlan",
+    "CampaignSkipped",
     "CampaignStarted",
     "ComponentEntry",
     "ENGINES",
@@ -103,6 +110,8 @@ __all__ = [
     "Reconfigured",
     "Registry",
     "RegistryError",
+    "ResumeError",
+    "ResumeLog",
     "SessionResult",
     "StepCompleted",
     "SweepFinished",
@@ -117,7 +126,10 @@ __all__ = [
     "build_engine",
     "build_prediction_model",
     "build_tuner",
+    "campaign_cell_key",
     "engine_family",
+    "event_from_dict",
+    "load_events",
     "load_plan",
     "plan_from_dict",
     "replace",

@@ -6,18 +6,34 @@ campaigns progress, instead of going dark until a barrier join.  Events are
 plain data — every consumer sees the same stream, and recording a run is
 just writing the events down:
 
-* :class:`CampaignStarted` / :class:`CampaignFinished` — exactly one pair
-  per campaign, in completion order;
+* :class:`CampaignStarted` — a campaign began executing; followed by either
+  its :class:`CampaignFinished` or its :class:`CampaignFailed`;
 * :class:`StepCompleted` — one per tuning process (one source-rate change),
   with a per-campaign ``step_index`` that increases monotonically;
 * :class:`Reconfigured` — one per stop-and-restart redeployment inside a
   step, emitted before its step's :class:`StepCompleted`;
+* :class:`CampaignFinished` — a campaign's last tuning process finished
+  (always follows its steps); carries the full campaign result, which
+  :meth:`Event.to_dict` serialises so a recorded log can later be resumed;
+* :class:`CampaignFailed` — a campaign's worker died (exception or killed
+  process); carries the error type, message and traceback text;
+* :class:`CampaignSkipped` — a resumed run found the campaign already
+  completed in its resume log and replayed the recorded result instead of
+  re-executing (followed by the replayed :class:`CampaignFinished`);
 * :class:`CacheStats` — one per service run, after the last campaign;
 * :class:`SweepFinished` — one per :class:`~repro.api.plans.SweepPlan`
   execution, after the last scenario.
 
-Every event carries a stream-wide monotonic ``seq`` and, when produced by a
-sweep, the ``scenario`` label of the grid cell that produced it.
+Every event carries a stream-wide monotonic ``seq`` (re-stamped at the
+consumer, so merged shard/worker streams never interleave out of order),
+the ``scenario`` label of the sweep grid cell that produced it (when any),
+and — for campaign-scoped events — a deterministic ``cell_key`` derived
+from the campaign's (query, engine, tuner, rate trace, seed) via
+:func:`campaign_cell_key`.  The cell key is what checkpoint/resume matches
+on: two runs of the same plan stamp identical keys.
+
+:func:`event_from_dict` restores any event from its :meth:`Event.to_dict`
+output — the round-trip contract ``--resume`` depends on.
 
 :class:`EventBus` fans one stream out to many subscribers (progress
 printer, JSONL recorder, metrics aggregator — or anything callable).  A
@@ -35,7 +51,9 @@ from pathlib import Path
 
 __all__ = [
     "CacheStats",
+    "CampaignFailed",
     "CampaignFinished",
+    "CampaignSkipped",
     "CampaignStarted",
     "Event",
     "EventBus",
@@ -45,17 +63,57 @@ __all__ = [
     "Reconfigured",
     "StepCompleted",
     "SweepFinished",
+    "campaign_cell_key",
+    "event_from_dict",
 ]
+
+
+def campaign_cell_key(
+    query: str,
+    engine: str,
+    tuner: str,
+    rates,
+    seed: int | None = None,
+    *,
+    layer: str | None = None,
+    engine_seed: int | None = None,
+) -> str:
+    """The deterministic identity of one campaign across runs.
+
+    Two executions of the same plan stamp the same key on the same
+    campaign, so a recorded :class:`CampaignFinished` can stand in for a
+    re-execution (``--resume``).  The key covers every result-affecting
+    axis the execution layer knows: query, engine (and its seed), tuner
+    (and its prediction ``layer``, when it uses one), rate trace
+    (``repr``-exact floats, so distinct traces can never collide) and
+    tuner seed.  What it cannot see — the pre-trained artifact behind a
+    ``scale``/``model`` setting, or the code itself — is the operator's
+    responsibility, exactly as when resuming across code versions.  The
+    key is readable on purpose: it is what operators grep for in a JSONL
+    log.
+    """
+    trace = "-".join(repr(float(rate)) for rate in rates)
+    key = f"{engine}:{tuner}:{query}:x{trace}"
+    if layer is not None:
+        key += f":l{layer}"
+    if seed is not None:
+        key += f":s{seed}"
+    if engine_seed is not None:
+        key += f":e{engine_seed}"
+    return key
 
 
 @dataclass(frozen=True)
 class Event:
     """Base record: stream position plus the sweep cell that produced it."""
 
-    #: Stream-wide monotonic sequence number, stamped by the producer.
+    #: Stream-wide monotonic sequence number, stamped by the consumer.
     seq: int = field(default=-1, kw_only=True)
     #: Grid-cell label when the event belongs to a sweep, else ``None``.
     scenario: str | None = field(default=None, kw_only=True)
+    #: Deterministic campaign identity (:func:`campaign_cell_key`) on
+    #: campaign-scoped events; ``None`` on stream-scoped ones.
+    cell_key: str | None = field(default=None, kw_only=True)
 
     @property
     def kind(self) -> str:
@@ -126,9 +184,58 @@ class CampaignFinished(Event):
     converged_steps: int = 0
     wall_seconds: float = 0.0
     #: The full :class:`~repro.service.CampaignOutcome`; carried for
-    #: programmatic consumers, omitted from ``to_dict`` (not JSON data).
+    #: programmatic consumers, omitted from the field walk in ``to_dict``
+    #: (serialised instead as the derived ``result`` payload below).
     outcome: object = field(default=None, repr=False, compare=False,
                             metadata={"serialise": False})
+
+    def to_dict(self) -> dict:
+        """The JSON view, including the campaign's full ``result``.
+
+        The result payload (multipliers plus every tuning process's step
+        records) is what lets a recorded log stand in for re-execution on
+        ``--resume``: :func:`event_from_dict` rebuilds the outcome from it
+        bit-identically.
+        """
+        data = super().to_dict()
+        payload = _result_payload(self.outcome)
+        if payload is not None:
+            data["result"] = payload
+        return data
+
+
+@dataclass(frozen=True)
+class CampaignFailed(Event):
+    """A campaign's worker died; the fleet keeps running without it.
+
+    Emitted instead of :class:`CampaignFinished` when a worker raises or
+    its process is killed (OOM, signal).  ``traceback`` preserves the full
+    text even across process boundaries, where exception objects may not
+    unpickle.
+    """
+
+    campaign: str = ""
+    index: int = 0
+    backend: str = "sequential"
+    error_type: str = ""
+    error_message: str = ""
+    traceback: str = ""
+
+
+@dataclass(frozen=True)
+class CampaignSkipped(Event):
+    """A resumed run replayed this campaign from its resume log.
+
+    Always followed by the replayed :class:`CampaignFinished` carrying the
+    recorded result, so blocking wrappers see a complete fleet.
+    """
+
+    campaign: str = ""
+    index: int = 0
+    backend: str = "sequential"
+    n_steps: int = 0
+    #: Path of the resume log that supplied the recorded result.
+    resumed_from: str = ""
 
 
 @dataclass(frozen=True)
@@ -145,6 +252,118 @@ class SweepFinished(Event):
     n_scenarios: int = 0
     n_campaigns: int = 0
     wall_seconds: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip: to_dict() output -> an equal event
+# ----------------------------------------------------------------------
+
+def _result_payload(outcome) -> dict | None:
+    """Serialise a ``CampaignOutcome``'s result as plain JSON data."""
+    result = getattr(outcome, "result", None)
+    if result is None:
+        return None
+    return {
+        "query_name": result.query_name,
+        "method": result.method,
+        "multipliers": list(result.multipliers),
+        "processes": [
+            {
+                "query_name": process.query_name,
+                "tuner_name": process.tuner_name,
+                "converged": process.converged,
+                "steps": [dataclasses.asdict(step) for step in process.steps],
+            }
+            for process in result.processes
+        ],
+    }
+
+
+def _outcome_from_payload(payload: dict, campaign: str, backend: str,
+                          wall_seconds: float):
+    """Rebuild a ``CampaignOutcome`` from :func:`_result_payload` output.
+
+    Floats survive JSON exactly (``repr`` round-trip), so the rebuilt
+    result is bit-identical to the recorded one — the property resume
+    rests on.  Imports are lazy: the event layer stays import-light and
+    cycle-free with the service layer that imports it.
+    """
+    from repro.baselines.api import TuningResult, TuningStep
+    from repro.experiments.campaigns import CampaignResult
+    from repro.service.tuning import CampaignOutcome
+
+    result = CampaignResult(
+        query_name=payload["query_name"], method=payload["method"]
+    )
+    result.multipliers = list(payload["multipliers"])
+    for process in payload["processes"]:
+        result.processes.append(
+            TuningResult(
+                query_name=process["query_name"],
+                tuner_name=process["tuner_name"],
+                converged=process["converged"],
+                steps=[TuningStep(**step) for step in process["steps"]],
+            )
+        )
+    return CampaignOutcome(
+        spec_name=campaign,
+        result=result,
+        wall_seconds=wall_seconds,
+        backend=backend,
+    )
+
+
+#: Every concrete event class, keyed by its ``kind`` — the dispatch table
+#: of :func:`event_from_dict`.
+EVENT_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        CampaignStarted,
+        StepCompleted,
+        Reconfigured,
+        CampaignFinished,
+        CampaignFailed,
+        CampaignSkipped,
+        CacheStats,
+        SweepFinished,
+    )
+}
+
+
+def event_from_dict(data: dict) -> Event:
+    """Restore an event from its :meth:`Event.to_dict` output.
+
+    The inverse of recording: for every event class,
+    ``event_from_dict(event.to_dict()) == event`` (the ``outcome`` object
+    is excluded from equality but is itself rebuilt from the ``result``
+    payload when one was recorded).  Raises ``ValueError`` for missing or
+    unknown kinds — a resume log with foreign lines should fail loudly.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"an event record must be a mapping, got {type(data).__name__}")
+    kind = data.get("event")
+    if kind is None:
+        raise ValueError("event record has no 'event' kind field")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown event kind {kind!r} (expected one of "
+            f"{', '.join(sorted(EVENT_TYPES))})"
+        )
+    known = {
+        spec.name
+        for spec in dataclasses.fields(cls)
+        if spec.metadata.get("serialise", True)
+    }
+    kwargs = {key: value for key, value in data.items() if key in known}
+    if cls is CampaignFinished and isinstance(data.get("result"), dict):
+        kwargs["outcome"] = _outcome_from_payload(
+            data["result"],
+            campaign=kwargs.get("campaign", ""),
+            backend=kwargs.get("backend", "sequential"),
+            wall_seconds=kwargs.get("wall_seconds", 0.0),
+        )
+    return cls(**kwargs)
 
 
 class EventBus:
@@ -227,6 +446,18 @@ class ProgressPrinter:
             self._write(
                 f"< {event.campaign} done: {event.converged_steps}/"
                 f"{event.n_steps} converged in {event.wall_seconds:.2f}s",
+                event.scenario,
+            )
+        elif isinstance(event, CampaignFailed):
+            self._write(
+                f"x {event.campaign} FAILED: {event.error_type}: "
+                f"{event.error_message}",
+                event.scenario,
+            )
+        elif isinstance(event, CampaignSkipped):
+            self._write(
+                f"= {event.campaign} skipped: {event.n_steps} recorded "
+                f"step(s) replayed from {event.resumed_from or 'resume log'}",
                 event.scenario,
             )
         elif isinstance(event, CacheStats):

@@ -182,6 +182,29 @@ class TuningPlan:
                 f"tuner={self.tuner!r}"
             )
 
+    def cell_keys(self) -> list[str]:
+        """The deterministic campaign identity this plan will stamp on its
+        events (one entry — a tuning plan is a single campaign); a
+        recorded log whose keys match can stand in for re-execution."""
+        from repro.api.events import campaign_cell_key
+        from repro.experiments.scale import resolve_scale
+
+        is_streamtune, model_suffix = streamtune_variant(self.tuner)
+        query = resolve_query(self.query, self.engine)
+        return [
+            campaign_cell_key(
+                query.name,
+                self.engine,
+                self.tuner,
+                self.rates,
+                self.seed,
+                layer=(model_suffix or self.layer) if is_streamtune else None,
+                # The inline tuning lifecycle seeds its engine from the
+                # scale, not the plan seed (unlike campaign fleets).
+                engine_seed=resolve_scale(self.scale).seed,
+            )
+        ]
+
     def to_dict(self) -> dict:
         return {"kind": self.kind, **_plan_fields_dict(self)}
 
@@ -297,6 +320,25 @@ class CampaignPlan:
         return [
             (token, self.rates[i * chunk : (i + 1) * chunk])
             for i, token in enumerate(self.queries)
+        ]
+
+    def cell_keys(self) -> list[str]:
+        """Deterministic campaign identities, one per fleet campaign, in
+        plan order — what ``--resume`` matches recorded logs against."""
+        from repro.api.events import campaign_cell_key
+
+        is_streamtune, model_suffix = streamtune_variant(self.tuner)
+        return [
+            campaign_cell_key(
+                resolve_query(token, self.engine).name,
+                self.engine,
+                self.tuner,
+                rates,
+                self.seed,
+                layer=(model_suffix or self.layer) if is_streamtune else None,
+                engine_seed=self.seed,   # fleet campaigns seed engines per plan
+            )
+            for token, rates in self.rates_for()
         ]
 
     def to_dict(self) -> dict:
@@ -432,6 +474,11 @@ class SweepPlan:
                         )
                     )
         return cells
+
+    def cell_keys(self) -> list[str]:
+        """Deterministic campaign identities across the whole grid, in
+        grid order — every campaign a full sweep run would record."""
+        return [key for cell in self.expand() for key in cell.cell_keys()]
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, **_plan_fields_dict(self)}

@@ -1,0 +1,129 @@
+"""Checkpoint/resume: replay recorded campaigns instead of re-running them.
+
+The paper's core idea is never paying twice for work the system has
+already done; this module extends that guarantee across *interrupted
+runs*.  A :class:`~repro.api.events.JsonlRecorder` log written by
+``--record`` is a checkpoint: every completed campaign's
+:class:`~repro.api.events.CampaignFinished` line carries the full result
+payload and a deterministic ``cell_key``
+(:func:`~repro.api.events.campaign_cell_key`).  :class:`ResumeLog` parses
+such a log — tolerating the truncated final line a crash leaves behind —
+and hands the recorded outcomes to the execution layer, which skips every
+matching campaign, emits a :class:`~repro.api.events.CampaignSkipped`
+marker plus the replayed finished event, and executes only what is
+missing.  A resumed sweep therefore computes results bit-identical to an
+uninterrupted one, at the cost of only the campaigns the interruption
+lost.
+
+Failed campaigns (:class:`~repro.api.events.CampaignFailed` lines) are
+*not* treated as completed: resuming retries them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api.events import CampaignFinished, event_from_dict
+
+__all__ = ["ResumeError", "ResumeLog", "load_events"]
+
+
+class ResumeError(ValueError):
+    """A resume log could not be used; the message says why."""
+
+
+def load_events(path: str | Path) -> list:
+    """Parse every well-formed event line of a JSONL log, in order.
+
+    Lines that do not decode or do not describe a known event are
+    skipped — a crash can truncate the final line mid-write, and a
+    readable prefix is exactly what resuming is for.
+    """
+    return ResumeLog.load(path).events
+
+
+class ResumeLog:
+    """A parsed JSONL event log, indexed for resuming by ``cell_key``.
+
+    ``completed`` maps each campaign's deterministic ``cell_key`` to its
+    recorded :class:`~repro.api.events.CampaignFinished` (result payload
+    rebuilt into a live ``CampaignOutcome``).  Pass the log as
+    ``resume=`` to :meth:`TuningSession.run`/``stream`` or
+    :meth:`TuningService.stream` — or use :meth:`outcome_for` directly.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        events: list,
+        n_malformed_lines: int = 0,
+    ) -> None:
+        self.path = Path(path)
+        self.events = list(events)
+        #: Lines that did not parse (crash-truncated tail, foreign data).
+        self.n_malformed_lines = n_malformed_lines
+        self.completed: dict[str, CampaignFinished] = {}
+        #: Cell keys whose latest record is a failure (retried on resume).
+        self.failed_cell_keys: set[str] = set()
+        for event in self.events:
+            key = getattr(event, "cell_key", None)
+            if not key:
+                continue
+            if isinstance(event, CampaignFinished):
+                # Only a finished event with a replayable result counts as
+                # a checkpoint; an old log without payloads re-executes.
+                if event.outcome is not None:
+                    self.completed[key] = event
+                    self.failed_cell_keys.discard(key)
+            elif event.kind == "CampaignFailed":
+                self.failed_cell_keys.add(key)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ResumeLog":
+        path = Path(path)
+        if not path.exists():
+            raise ResumeError(f"resume log {path} does not exist")
+        events = []
+        n_malformed = 0
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(event_from_dict(json.loads(line)))
+                except ValueError:
+                    n_malformed += 1
+        if not events and n_malformed:
+            raise ResumeError(
+                f"resume log {path} contains no parseable events "
+                f"({n_malformed} malformed line(s)) — is it a "
+                "--record JSONL log?"
+            )
+        return cls(path, events, n_malformed_lines=n_malformed)
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.completed)
+
+    def outcome_for(self, cell_key: str):
+        """The recorded ``CampaignOutcome`` for ``cell_key``, or ``None``."""
+        event = self.completed.get(cell_key)
+        return None if event is None else event.outcome
+
+    def covers(self, cell_keys) -> "tuple[list[str], list[str]]":
+        """Split ``cell_keys`` into (recorded, missing), preserving order."""
+        recorded, missing = [], []
+        for key in cell_keys:
+            (recorded if key in self.completed else missing).append(key)
+        return recorded, missing
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResumeLog({str(self.path)!r}, {len(self.events)} events, "
+            f"{self.n_completed} completed campaign(s))"
+        )

@@ -22,6 +22,18 @@ stream — so observing a run can never change its results.
 :class:`AsyncTuningSession` exposes the same stream as an async iterator
 (``async for event in session.stream(plan)``).
 
+Execution is also **resumable** and **fault-tolerant**: ``run``/``stream``
+accept ``resume=`` (a recorded JSONL log path or a parsed
+:class:`~repro.api.resume.ResumeLog`) and replay every campaign whose
+deterministic ``cell_key`` the log already records — bit-identical results
+without re-execution, marked by
+:class:`~repro.api.events.CampaignSkipped` events.  A campaign whose
+worker dies surfaces as a :class:`~repro.api.events.CampaignFailed` event;
+the rest of the fleet (and, for sweeps, the remaining grid cells) still
+runs, and a :class:`~repro.service.CampaignExecutionError` carrying every
+failure is raised once the stream has drained — so a ``--record`` log is
+left as complete as possible for the next ``--resume``.
+
 Sessions are reusable: pre-trained artifacts resolve once per
 ``(engine, scale, model-path)`` and are shared across runs, and an
 optional ``cache_path`` plan field round-trips the service's
@@ -46,11 +58,14 @@ from repro.api.components import (
 )
 from repro.api.events import (
     CacheStats,
+    CampaignFailed,
     CampaignFinished,
+    CampaignSkipped,
     CampaignStarted,
     SweepFinished,
 )
 from repro.api.plans import CampaignPlan, PlanError, SweepPlan, TuningPlan
+from repro.api.resume import ResumeLog
 
 
 @dataclass
@@ -157,22 +172,23 @@ class TuningSession:
 
     # -- execution ------------------------------------------------------
 
-    def run(self, plan, *, bus=None) -> "SessionResult | SweepResult":
+    def run(self, plan, *, bus=None, resume=None) -> "SessionResult | SweepResult":
         """Execute ``plan`` synchronously and return its results.
 
         A thin wrapper that drains :meth:`stream` — observing a run and
         running it blind compute exactly the same thing.  ``bus``
         publishes every event to an :class:`~repro.api.events.EventBus`
-        on the way.
+        on the way; ``resume`` replays campaigns a recorded JSONL log
+        already covers (path or :class:`~repro.api.resume.ResumeLog`).
         """
-        stream = self.stream(plan, bus=bus)
+        stream = self.stream(plan, bus=bus, resume=resume)
         while True:
             try:
                 next(stream)
             except StopIteration as stop:
                 return stop.value
 
-    def stream(self, plan, *, bus=None):
+    def stream(self, plan, *, bus=None, resume=None):
         """Execute ``plan``, yielding typed events as work completes.
 
         Returns a generator whose ``StopIteration.value`` (the ``return``
@@ -180,12 +196,13 @@ class TuningSession:
         :class:`SweepResult`, so callers that want both the stream and
         the result can ``result = yield from session.stream(plan)``.
         """
+        resume = self._coerce_resume(resume)
         if isinstance(plan, TuningPlan):
-            inner = self._stream_tuning(plan)
+            inner = self._stream_tuning(plan, resume)
         elif isinstance(plan, CampaignPlan):
-            inner = self._stream_campaign(plan)
+            inner = self._stream_campaign(plan, resume)
         elif isinstance(plan, SweepPlan):
-            inner = self._stream_sweep(plan)
+            inner = self._stream_sweep(plan, resume)
         else:
             raise PlanError(
                 f"cannot run a {type(plan).__name__}; expected TuningPlan, "
@@ -207,7 +224,22 @@ class TuningSession:
             bus.publish(event)
             yield event
 
-    def _stream_tuning(self, plan: TuningPlan):
+    @staticmethod
+    def _coerce_resume(resume) -> "ResumeLog | None":
+        """Accept a recorded log path, a parsed log, or a raw mapping."""
+        if resume is None or isinstance(resume, (ResumeLog, dict)):
+            return resume
+        return ResumeLog.load(resume)
+
+    @staticmethod
+    def _resume_outcome(resume, cell_key):
+        if resume is None:
+            return None
+        if isinstance(resume, dict):
+            return resume.get(cell_key)
+        return resume.outcome_for(cell_key)
+
+    def _stream_tuning(self, plan: TuningPlan, resume=None):
         """The single-query lifecycle (identical to the legacy ``tune``)."""
         from repro.experiments.campaigns import iter_campaign
         from repro.service.tuning import CampaignOutcome, _step_events
@@ -222,8 +254,41 @@ class TuningSession:
             return event
 
         scale = self._scale_for(plan)
-        engine = build_engine(plan.engine, seed=scale.seed)
         query = resolve_query(plan.query, plan.engine)
+        cell_key = plan.cell_keys()[0]
+        recorded = self._resume_outcome(resume, cell_key)
+        if recorded is not None:
+            # The log already holds this campaign: replay it bit-identically
+            # without touching engines, tuners or the pretrained artifact.
+            recorded.backend = "inline"
+            yield stamped(CampaignSkipped(
+                campaign=query.name,
+                index=0,
+                backend="inline",
+                n_steps=len(recorded.result.processes),
+                resumed_from=str(getattr(resume, "path", "") or ""),
+                cell_key=cell_key,
+            ))
+            yield stamped(CampaignFinished(
+                campaign=query.name,
+                index=0,
+                backend="inline",
+                n_steps=len(recorded.result.processes),
+                converged_steps=sum(
+                    1 for p in recorded.result.processes if p.converged
+                ),
+                wall_seconds=recorded.wall_seconds,
+                outcome=recorded,
+                cell_key=cell_key,
+            ))
+            yield stamped(CacheStats(stats={}))
+            return SessionResult(
+                plan=plan,
+                outcomes=[recorded],
+                wall_seconds=recorded.wall_seconds,
+                backend="inline",
+            )
+        engine = build_engine(plan.engine, seed=scale.seed)
         params = {}
         caches = None
         is_streamtune, model_suffix = streamtune_variant(plan.tuner)
@@ -246,6 +311,7 @@ class TuningSession:
             tuner=plan.tuner,
             backend="inline",
             n_steps=len(plan.rates),
+            cell_key=cell_key,
         ))
         # The canonical campaign loop, one event block per tuning process.
         iterator = iter_campaign(engine, tuner, query, list(plan.rates))
@@ -273,6 +339,7 @@ class TuningSession:
             converged_steps=sum(1 for p in result.processes if p.converged),
             wall_seconds=wall,
             outcome=outcome,
+            cell_key=cell_key,
         ))
         stats = caches.stats() if caches is not None else {}
         yield stamped(CacheStats(stats=stats))
@@ -281,16 +348,13 @@ class TuningSession:
             cache_stats=stats,
         )
 
-    def _stream_campaign(self, plan: CampaignPlan):
+    def _stream_campaign(self, plan: CampaignPlan, resume=None):
         """The fleet lifecycle (identical to legacy ``serve-campaigns``)."""
-        from repro.service import CampaignSpec, TuningService
+        from repro.service import CampaignExecutionError, CampaignSpec, TuningService
 
         started = time.perf_counter()
         scale = self._scale_for(plan)
         is_streamtune, model_suffix = streamtune_variant(plan.tuner)
-        # Baseline fleets never touch the pre-trained artifact; skipping
-        # it keeps e.g. a ds2 sweep cell from triggering a training run.
-        pretrained = self._pretrained_for(plan, scale) if is_streamtune else None
         model_kind = model_suffix if model_suffix else plan.layer
         specs = [
             CampaignSpec(
@@ -304,9 +368,19 @@ class TuningSession:
             )
             for token, rates in plan.rates_for()
         ]
+        # A fully resumed cell replays without executing anything, so it
+        # needs neither the pre-trained artifact (baseline fleets never do)
+        # nor a process-backend manager: skipping both keeps e.g. a
+        # recorded 30-cell sweep from training a model or forking 30
+        # manager servers just to replay its log.
+        will_execute = any(
+            self._resume_outcome(resume, spec.cell_key) is None for spec in specs
+        )
+        needs_model = is_streamtune and will_execute
+        pretrained = self._pretrained_for(plan, scale) if needs_model else None
         manager = self._manager
         own_manager = False
-        if plan.backend == "process" and manager is None:
+        if plan.backend == "process" and manager is None and will_execute:
             import multiprocessing
 
             manager = multiprocessing.Manager()
@@ -315,6 +389,7 @@ class TuningSession:
             self._load_caches(plan.cache_path) if plan.cache_path is not None else None
         )
         outcomes: dict[int, object] = {}
+        failures: list = []
         stats: dict = {}
         try:
             service = TuningService(
@@ -325,9 +400,13 @@ class TuningSession:
                 manager=manager,
                 caches=caches,
             )
-            for event in service.stream(specs, trace_shards=plan.trace_shards):
+            for event in service.stream(
+                specs, trace_shards=plan.trace_shards, resume=resume
+            ):
                 if isinstance(event, CampaignFinished):
                     outcomes[event.index] = event.outcome
+                elif isinstance(event, CampaignFailed):
+                    failures.append(event)
                 elif isinstance(event, CacheStats):
                     stats = event.stats
                 yield event
@@ -336,6 +415,10 @@ class TuningSession:
         finally:
             if own_manager:
                 manager.shutdown()
+        if failures:
+            # Raised only after the stream drained: surviving campaigns
+            # completed (and were recorded), ready for a --resume retry.
+            raise CampaignExecutionError(failures, outcomes)
         return SessionResult(
             plan=plan,
             outcomes=[outcomes[index] for index in range(len(specs))],
@@ -344,29 +427,47 @@ class TuningSession:
             cache_stats=stats,
         )
 
-    def _stream_sweep(self, plan: SweepPlan):
-        """Run the grid cell by cell, labelling every event with its cell."""
+    def _stream_sweep(self, plan: SweepPlan, resume=None):
+        """Run the grid cell by cell, labelling every event with its cell.
+
+        A cell whose fleet had failures does not stop the sweep: the
+        remaining cells still run (maximising what a ``--record`` log
+        captures for ``--resume``) and one
+        :class:`~repro.service.CampaignExecutionError` aggregating every
+        failure is raised after the final cell.
+        """
+        from repro.service import CampaignExecutionError
+
         started = time.perf_counter()
         results = []
+        failures: list = []
+        n_campaigns = 0
         seq = 0                 # cell streams restart their counters; the
         for cell in plan.expand():  # sweep re-stamps one stream-wide order
             label = plan.scenario_label(cell)
-            inner = self._stream_campaign(cell)
+            inner = self._stream_campaign(cell, resume)
             while True:
                 try:
                     event = next(inner)
                 except StopIteration as stop:
                     results.append(stop.value)
+                    n_campaigns += len(stop.value.outcomes)
+                    break
+                except CampaignExecutionError as error:
+                    failures.extend(error.failures)
+                    n_campaigns += len(error.outcomes)
                     break
                 yield dataclasses.replace(event, scenario=label, seq=seq)
                 seq += 1
         wall = time.perf_counter() - started
         yield SweepFinished(
-            n_scenarios=len(results),
-            n_campaigns=sum(len(result.outcomes) for result in results),
+            n_scenarios=plan.n_scenarios,
+            n_campaigns=n_campaigns,
             wall_seconds=wall,
             seq=seq,
         )
+        if failures:
+            raise CampaignExecutionError(failures)
         return SweepResult(plan=plan, results=results, wall_seconds=wall)
 
     @staticmethod
@@ -397,13 +498,15 @@ class AsyncTuningSession:
         #: Result of the most recently exhausted :meth:`stream` iteration.
         self.last_result: "SessionResult | SweepResult | None" = None
 
-    async def run(self, plan, *, bus=None) -> SessionResult:
-        return await asyncio.to_thread(self._session.run, plan, bus=bus)
+    async def run(self, plan, *, bus=None, resume=None) -> SessionResult:
+        return await asyncio.to_thread(
+            self._session.run, plan, bus=bus, resume=resume
+        )
 
     async def run_all(self, plans) -> list[SessionResult]:
         return list(await asyncio.gather(*(self.run(plan) for plan in plans)))
 
-    async def stream(self, plan, *, bus=None):
+    async def stream(self, plan, *, bus=None, resume=None):
         """Async-iterate the plan's event stream.
 
         The sync stream runs on a worker thread; events hop to the event
@@ -421,7 +524,7 @@ class AsyncTuningSession:
         _END = object()
 
         def produce():
-            stream = self._session.stream(plan, bus=bus)
+            stream = self._session.stream(plan, bus=bus, resume=resume)
             try:
                 while True:
                     if stopping.is_set():

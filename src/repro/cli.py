@@ -38,6 +38,8 @@ from repro.api import (
     JsonlRecorder,
     PlanError,
     ProgressPrinter,
+    ResumeError,
+    ResumeLog,
     SweepPlan,
     TuningPlan,
     TuningSession,
@@ -47,6 +49,7 @@ from repro.api import (
     replace,
     resolve_query,
 )
+from repro.service import CampaignExecutionError
 from repro.service.cache import SnapshotError
 from repro.core.history import HistoryGenerator
 from repro.core.persistence import load_history, save_history, save_pretrained
@@ -260,12 +263,29 @@ def _print_sweep_result(sweep_result) -> None:
     )
 
 
+def _resume_log(plan, args: argparse.Namespace) -> ResumeLog | None:
+    """Load ``--resume`` (if given) and say what it will save."""
+    path = getattr(args, "resume", None)
+    if path is None:
+        return None
+    log = ResumeLog.load(path)
+    keys = plan.cell_keys()
+    recorded, missing = log.covers(keys)
+    print(
+        f"resume: {len(recorded)} of {len(keys)} campaign(s) already "
+        f"recorded in {log.path}; executing {len(missing)}",
+        file=sys.stderr,
+    )
+    return log
+
+
 def _run_with_events(plan, args: argparse.Namespace):
     """Execute a plan through the streaming session, honouring
-    ``--follow``/``--record``, and return its result."""
+    ``--follow``/``--record``/``--resume``, and return its result."""
+    resume = _resume_log(plan, args)
     bus, recorder = _event_bus(args)
     try:
-        result = TuningSession().run(plan, bus=bus)
+        result = TuningSession().run(plan, bus=bus, resume=resume)
     finally:
         if recorder is not None:
             recorder.close()
@@ -445,6 +465,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the typed event stream to PATH as JSON lines "
                  "(overwrites an existing file)",
         )
+        command.add_argument(
+            "--resume", default=None, metavar="PATH",
+            help="replay campaigns already recorded in PATH (a --record "
+                 "JSONL log, possibly from an interrupted run) instead of "
+                 "re-executing them; results are bit-identical to an "
+                 "uninterrupted run",
+        )
 
     run_plan = sub.add_parser(
         "run-plan", help="execute a TuningPlan/CampaignPlan/SweepPlan config file"
@@ -490,11 +517,27 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (PlanError, UnknownComponentError, SnapshotError) as error:
+    except (PlanError, UnknownComponentError, SnapshotError, ResumeError) as error:
         # Operator errors (bad plan file, unknown component, stale cache
-        # snapshot) exit non-zero with one line, never a traceback.
+        # snapshot, unusable resume log) exit 2 with one line, never a
+        # traceback.
         print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
+    except CampaignExecutionError as error:
+        # Worker failures: the surviving fleet finished (and was recorded
+        # if --record was given) before this surfaced, so the operator can
+        # retry just the lost campaigns with --resume.
+        names = ", ".join(event.campaign for event in error.failures)
+        first = error.failures[0]
+        if first.traceback:
+            print(first.traceback, file=sys.stderr, end="")
+        print(
+            f"{parser.prog}: error: {len(error.failures)} campaign(s) "
+            f"failed ({names}); completed campaigns were not lost — "
+            "re-run with --record and retry via --resume <log.jsonl>",
+            file=sys.stderr,
+        )
+        return 1
 
 
 if __name__ == "__main__":

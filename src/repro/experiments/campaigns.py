@@ -186,8 +186,8 @@ def service_campaigns(
     deduplicated fitting path is deterministic but not bit-identical to
     the sequential figures grid, so the two grids never mix.
     """
-    from repro.api.events import CampaignFinished
-    from repro.service import CampaignSpec, TuningService
+    from repro.api.events import CampaignFailed, CampaignFinished
+    from repro.service import CampaignExecutionError, CampaignSpec, TuningService
 
     key = ("service-campaign", engine_name, tuple(groups), scale.name, backend)
     if key in context._CACHE:
@@ -217,11 +217,20 @@ def service_campaigns(
         max_workers=max_workers,
     )
     outcomes = {}
+    outcomes_by_index = {}
+    failures = []
     for event in service.stream(specs):
         if on_event is not None:
             on_event(event)
         if isinstance(event, CampaignFinished):
             outcomes[event.campaign] = event.outcome
+            outcomes_by_index[event.index] = event.outcome
+        elif isinstance(event, CampaignFailed):
+            failures.append(event)
+    if failures:
+        # The experiment grid is only cacheable when complete; surface the
+        # failure (with its worker traceback) instead of a partial grid.
+        raise CampaignExecutionError(failures, outcomes_by_index)
     results: dict[str, list[CampaignResult]] = {
         group: [outcomes[query.name].result for query in evaluation[group]]
         for group in groups

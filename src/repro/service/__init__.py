@@ -55,6 +55,7 @@ from repro.service.scheduler import (
 )
 from repro.service.tuning import (
     BACKENDS,
+    CampaignExecutionError,
     CampaignOutcome,
     TuningService,
     execute_campaign,
@@ -64,6 +65,7 @@ from repro.service.tuning import (
 __all__ = [
     "BACKENDS",
     "BackpressureScheduler",
+    "CampaignExecutionError",
     "CampaignOutcome",
     "CampaignPriority",
     "CampaignSpec",

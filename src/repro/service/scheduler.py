@@ -57,6 +57,26 @@ class CampaignSpec:
     def name(self) -> str:
         return self.query.name
 
+    @property
+    def cell_key(self) -> str:
+        """Deterministic campaign identity stamped on this campaign's
+        events; a resumed run matches recorded campaigns by this key."""
+        from repro.api.components import streamtune_variant
+        from repro.api.events import campaign_cell_key
+
+        is_streamtune, model_suffix = streamtune_variant(self.tuner)
+        return campaign_cell_key(
+            self.query.name,
+            self.engine,
+            self.tuner,
+            self.multipliers,
+            self.seed,
+            # The prediction layer changes streamtune results; baselines
+            # carry no model, so their keys stay layer-free.
+            layer=(model_suffix or self.model_kind) if is_streamtune else None,
+            engine_seed=self.engine_seed,
+        )
+
     def make_engine(self) -> EngineCluster:
         # Resolved through the engine registry (imported lazily: specs are
         # pickled into worker processes, and the registry population should

@@ -16,10 +16,29 @@ parallelism-agnostic embeddings — flow through one shared
 
 Execution is **observable**: :meth:`TuningService.stream` yields typed
 :mod:`repro.api.events` as campaigns progress — live per-step on the
-thread backend, per completed campaign elsewhere — and
-:meth:`TuningService.run` is a thin wrapper that drains the stream and
-returns outcomes in input order, so the legacy blocking call stays
-bit-identical.
+thread *and* process backends (process workers relay events through a
+``multiprocessing.Manager`` queue), per completed campaign on the
+sequential backend and for sharded traces — and :meth:`TuningService.run`
+is a thin wrapper that drains the stream and returns outcomes in input
+order, so the legacy blocking call stays bit-identical.
+
+Execution is also **fault-tolerant** and **resumable**:
+
+* a worker that dies surfaces a typed
+  :class:`~repro.api.events.CampaignFailed` carrying the traceback text —
+  the drain loop polls with a timeout and checks worker liveness, so a
+  lost sentinel can never hang the stream.  A raised exception fails only
+  its own campaign (the rest of the fleet keeps running on every
+  backend); a process worker killed outright (OOM, signal) breaks the
+  shared pool, so in-flight campaigns each surface their own
+  ``CampaignFailed`` too — completed campaigns keep their results and a
+  recorded log resumes the rest;
+* ``stream(specs, resume=...)`` accepts a
+  :class:`~repro.api.resume.ResumeLog` (or any ``cell_key -> outcome``
+  mapping): campaigns whose deterministic ``cell_key`` is already recorded
+  are not re-executed — a :class:`~repro.api.events.CampaignSkipped`
+  marker plus the replayed :class:`~repro.api.events.CampaignFinished`
+  (bit-identical recorded result) enter the stream instead.
 
 A campaign's rate trace can additionally be **sharded** across workers
 (``trace_shards``): each shard replays the trace prefix on a fresh
@@ -36,12 +55,15 @@ import dataclasses
 import os
 import queue
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+import traceback as traceback_module
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.api.events import (
     CacheStats,
+    CampaignFailed,
     CampaignFinished,
+    CampaignSkipped,
     CampaignStarted,
     Reconfigured,
     StepCompleted,
@@ -63,6 +85,50 @@ class CampaignOutcome:
     result: CampaignResult
     wall_seconds: float
     backend: str
+
+
+class CampaignExecutionError(RuntimeError):
+    """One or more campaigns failed after the rest of the fleet finished.
+
+    Raised by the blocking wrappers (:meth:`TuningService.run`, the
+    session layer) once the stream has drained, so surviving campaigns
+    complete — and land in any ``--record`` log, ready for ``--resume`` —
+    before the failure surfaces.  :attr:`failures` holds the
+    :class:`~repro.api.events.CampaignFailed` events (traceback text
+    included); :attr:`outcomes` the completed campaigns by spec index.
+    """
+
+    def __init__(self, failures: list, outcomes: dict | None = None) -> None:
+        self.failures = list(failures)
+        self.outcomes = dict(outcomes or {})
+        names = ", ".join(event.campaign for event in self.failures)
+        first = self.failures[0]
+        message = (
+            f"{len(self.failures)} campaign(s) failed ({names}); first "
+            f"failure: {first.error_type}: {first.error_message}"
+        )
+        if first.traceback:
+            message += f"\n{first.traceback}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class _FailurePayload:
+    """A worker failure flattened to data that crosses process borders."""
+
+    error_type: str
+    error_message: str
+    traceback: str
+
+
+def _failure_payload(error: BaseException) -> _FailurePayload:
+    return _FailurePayload(
+        error_type=type(error).__name__,
+        error_message=str(error),
+        traceback="".join(
+            traceback_module.format_exception(type(error), error, error.__traceback__)
+        ),
+    )
 
 
 def _build_campaign_tuner(
@@ -186,15 +252,19 @@ def execute_campaign(
 # ----------------------------------------------------------------------
 
 def shard_bounds(n_steps: int, n_shards: int) -> list[tuple[int, int]]:
-    """Split ``n_steps`` into at most ``n_shards`` contiguous chunks.
+    """Split ``n_steps`` into at most ``n_steps`` contiguous chunks.
 
-    Earlier chunks take the remainder so no shard is empty and sizes
-    differ by at most one.
+    Never emits an empty or degenerate shard: when ``n_shards`` exceeds
+    ``n_steps`` the shard count clamps down, and ``n_steps == 0`` yields
+    no shards at all (there is no work to split).  Earlier chunks take the
+    remainder so sizes differ by at most one.
     """
-    if n_steps < 1:
-        raise ValueError("n_steps must be >= 1")
+    if n_steps < 0:
+        raise ValueError("n_steps must be >= 0")
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
+    if n_steps == 0:
+        return []
     n_shards = min(n_shards, n_steps)
     base, extra = divmod(n_steps, n_shards)
     bounds = []
@@ -259,6 +329,7 @@ def _init_worker(
     pretrained: PretrainedStreamTune | None,
     fit_dedup: bool,
     shared_sections: dict | None = None,
+    backend: str = "process",
 ) -> None:
     """Per-process initialiser: install the model and fresh local caches.
 
@@ -275,19 +346,56 @@ def _init_worker(
         caches._caches[kind] = cache
     _WORKER["caches"] = caches
     _WORKER["fit_dedup"] = fit_dedup
+    _WORKER["backend"] = backend
 
 
-def _run_in_worker(
-    spec: CampaignSpec, keep_from: int = 0, stop_at: int | None = None
-) -> CampaignOutcome:
-    return execute_campaign(
-        spec,
-        _WORKER["pretrained"],
-        _WORKER["caches"],
-        _WORKER["fit_dedup"],
-        keep_from=keep_from,
-        stop_at=stop_at,
+def _started_event_for(
+    spec: CampaignSpec, index: int, n_shards: int, backend: str
+) -> CampaignStarted:
+    return CampaignStarted(
+        campaign=spec.name,
+        index=index,
+        engine=spec.engine,
+        tuner=spec.tuner,
+        backend=backend,
+        n_steps=len(spec.multipliers),
+        shards=n_shards,
+        cell_key=spec.cell_key,
     )
+
+
+def _run_in_worker(spec: CampaignSpec, unit: "_Unit", relay) -> None:
+    """Execute one unit in a worker process, relaying through ``relay``.
+
+    Every terminal state crosses the manager-backed relay queue as data:
+    ``("event", unit, event)`` for live mid-campaign events,
+    ``("done", unit, outcome)`` on success, ``("error", unit, payload)``
+    on a raised exception.  A worker killed outright posts nothing — the
+    consumer's liveness check turns its broken future into a failure.
+    """
+    sink = None
+    try:
+        if unit.live:
+            backend = _WORKER.get("backend", "process")
+            relay.put((
+                "event",
+                unit,
+                _started_event_for(spec, unit.spec_index, 1, backend),
+            ))
+            sink = lambda event: relay.put(("event", unit, event))  # noqa: E731
+        outcome = execute_campaign(
+            spec,
+            _WORKER["pretrained"],
+            _WORKER["caches"],
+            _WORKER["fit_dedup"],
+            sink=sink,
+            keep_from=unit.keep_from,
+            stop_at=unit.stop_at,
+        )
+    except BaseException as error:  # noqa: BLE001 — relayed as data
+        relay.put(("error", unit, _failure_payload(error)))
+        return
+    relay.put(("done", unit, outcome))
 
 
 # ----------------------------------------------------------------------
@@ -296,6 +404,14 @@ def _run_in_worker(
 
 class TuningService:
     """Execute many tuning campaigns concurrently over shared caches."""
+
+    #: Idle-poll interval (seconds) of the stream's drain loop: how often
+    #: worker liveness is re-checked while no events are arriving.
+    poll_seconds = 0.2
+    #: How long a completed worker future may go without its queued
+    #: sentinel arriving before the sentinel is declared lost and the
+    #: campaign failed (covers relay-queue latency on the process backend).
+    sentinel_grace = 5.0
 
     def __init__(
         self,
@@ -340,6 +456,9 @@ class TuningService:
         if share_ged_cache and pretrained is not None:
             self._install_shared_ged_cache()
         self.caches = caches if caches is not None else self._make_cache_set()
+        #: Unit -> worker future of the stream currently draining (empty
+        #: outside a stream); introspection for liveness tests/diagnostics.
+        self._active_futures: dict = {}
 
     # -- construction helpers ------------------------------------------
 
@@ -383,13 +502,20 @@ class TuningService:
     # -- execution ------------------------------------------------------
 
     def _plan_units(
-        self, specs: list[CampaignSpec], trace_shards: int
+        self,
+        specs: list[CampaignSpec],
+        trace_shards: int,
+        skip: frozenset | set = frozenset(),
     ) -> list[_Unit]:
         """Work units in dispatch order: scheduler order over campaigns,
-        shard order within a campaign."""
-        order = self.scheduler.order(list(specs))
+        shard order within a campaign.  ``skip`` holds spec indices a
+        resume log already covers — they are neither probed nor planned.
+        """
+        active = [index for index in range(len(specs)) if index not in skip]
+        order = self.scheduler.order([specs[index] for index in active])
         units = []
-        for spec_index in order:
+        for position in order:
+            spec_index = active[position]
             bounds = shard_bounds(len(specs[spec_index].multipliers), trace_shards)
             for shard_index, (keep_from, stop_at) in enumerate(bounds):
                 units.append(
@@ -404,15 +530,7 @@ class TuningService:
         return units
 
     def _started_event(self, spec, index, n_shards) -> CampaignStarted:
-        return CampaignStarted(
-            campaign=spec.name,
-            index=index,
-            engine=spec.engine,
-            tuner=spec.tuner,
-            backend=self.backend,
-            n_steps=len(spec.multipliers),
-            shards=n_shards,
-        )
+        return _started_event_for(spec, index, n_shards, self.backend)
 
     def _finished_event(self, spec, index, outcome) -> CampaignFinished:
         outcome.backend = self.backend
@@ -426,6 +544,18 @@ class TuningService:
             ),
             wall_seconds=outcome.wall_seconds,
             outcome=outcome,
+            cell_key=spec.cell_key,
+        )
+
+    def _failed_event(self, spec, index, payload: _FailurePayload) -> CampaignFailed:
+        return CampaignFailed(
+            campaign=spec.name,
+            index=index,
+            backend=self.backend,
+            error_type=payload.error_type,
+            error_message=payload.error_message,
+            traceback=payload.traceback,
+            cell_key=spec.cell_key,
         )
 
     def _replay_campaign(self, spec, index, outcome, n_shards):
@@ -446,37 +576,100 @@ class TuningService:
         if len(set(names)) != len(names):
             raise ValueError(f"campaign names must be unique, got {sorted(names)}")
 
+    def _check_executable(self, specs: list[CampaignSpec]) -> None:
+        """Fail before the fleet spins up, not deep inside a worker."""
+        if self.pretrained is not None:
+            return
+        for spec in specs:
+            if spec.is_streamtune:
+                raise ValueError(
+                    f"campaign {spec.name!r} tunes with {spec.tuner!r} but the "
+                    "service has no pre-trained artifact (pass pretrained=...)"
+                )
+
+    def _resumed_outcomes(self, specs, resume) -> dict[int, CampaignOutcome]:
+        """Spec indices a resume source already covers, with their
+        recorded outcomes (matched by deterministic ``cell_key``)."""
+        if resume is None:
+            return {}
+        if hasattr(resume, "outcome_for"):
+            lookup = resume.outcome_for
+        elif isinstance(resume, dict):
+            lookup = resume.get
+        else:
+            raise TypeError(
+                "resume must be a ResumeLog (or any object with "
+                f"outcome_for) or a cell_key->outcome mapping, got "
+                f"{type(resume).__name__}"
+            )
+        outcomes = {}
+        for index, spec in enumerate(specs):
+            outcome = lookup(spec.cell_key)
+            if outcome is not None:
+                outcomes[index] = outcome
+        return outcomes
+
     def run(
-        self, specs: list[CampaignSpec], trace_shards: int = 1
+        self,
+        specs: list[CampaignSpec],
+        trace_shards: int = 1,
+        resume=None,
     ) -> list[CampaignOutcome]:
         """Execute every campaign; outcomes are returned in *input* order.
 
         A thin wrapper that drains :meth:`stream` — dispatch order follows
         the scheduler (backpressured queries first), which matters for
         time-to-first-recommendation under limited workers but never
-        changes any campaign's result.
+        changes any campaign's result.  If any campaign failed, the fleet
+        still runs to completion and a :class:`CampaignExecutionError`
+        carrying every failure (plus the surviving outcomes) is raised
+        afterwards.
         """
         outcomes: dict[int, CampaignOutcome] = {}
-        for event in self.stream(specs, trace_shards=trace_shards):
+        failures: list[CampaignFailed] = []
+        for event in self.stream(specs, trace_shards=trace_shards, resume=resume):
             if isinstance(event, CampaignFinished):
                 outcomes[event.index] = event.outcome
+            elif isinstance(event, CampaignFailed):
+                failures.append(event)
+        if failures:
+            raise CampaignExecutionError(failures, outcomes)
         return [outcomes[index] for index in range(len(specs))]
 
-    def stream(self, specs: list[CampaignSpec], trace_shards: int = 1):
+    def stream(
+        self,
+        specs: list[CampaignSpec],
+        trace_shards: int = 1,
+        resume=None,
+    ):
         """Execute every campaign, yielding typed events as work completes.
 
-        The stream contains exactly one :class:`CampaignStarted` /
-        :class:`CampaignFinished` pair per campaign (completion order
-        across campaigns), every campaign's :class:`StepCompleted` events
-        in monotonically increasing ``step_index`` order between its pair,
-        and one final :class:`CacheStats`.  On the thread backend,
-        unsharded campaigns emit their step events live as each tuning
-        process completes; sharded campaigns and the sequential/process
-        backends emit a campaign's block when it completes.
+        The stream contains exactly one :class:`CampaignStarted` per
+        executed campaign followed — after its :class:`StepCompleted`
+        events in monotonically increasing ``step_index`` order — by
+        either its :class:`CampaignFinished` or, if its worker died, its
+        :class:`CampaignFailed`; then one final :class:`CacheStats`.
+        Unsharded campaigns emit their step events live as each tuning
+        process completes on both the thread backend (in-process queue)
+        and the process backend (manager-backed relay queue); sharded
+        campaigns and the sequential backend emit a campaign's block when
+        it completes.  ``seq`` is stamped monotonically at the consumer,
+        so merged shard/worker streams never interleave out of order.
+
+        ``resume`` (a :class:`~repro.api.resume.ResumeLog` or a
+        ``cell_key -> CampaignOutcome`` mapping) replays campaigns already
+        recorded: each yields a :class:`CampaignSkipped` marker plus the
+        recorded :class:`CampaignFinished` — bit-identical result, no
+        re-execution — before the remaining campaigns dispatch.
         """
         if not isinstance(trace_shards, int) or trace_shards < 1:
             raise ValueError(f"trace_shards must be a positive integer, got {trace_shards!r}")
+        specs = list(specs)
         self._check_specs(specs)
+        resumed = self._resumed_outcomes(specs, resume)
+        self._check_executable(
+            [spec for index, spec in enumerate(specs) if index not in resumed]
+        )
         seq = 0
 
         def stamped(event):
@@ -486,31 +679,56 @@ class TuningService:
             return event
 
         if specs:
-            units = self._plan_units(specs, trace_shards)
-            if self.backend == "sequential":
-                emitter = self._stream_sequential(specs, units)
-            elif self.backend == "thread":
-                emitter = self._stream_threaded(specs, units)
-            else:
-                emitter = self._stream_processes(specs, units)
-            for event in emitter:
-                yield stamped(event)
+            resumed_from = str(getattr(resume, "path", "") or "")
+            for index in sorted(resumed):
+                spec = specs[index]
+                outcome = resumed[index]
+                yield stamped(CampaignSkipped(
+                    campaign=spec.name,
+                    index=index,
+                    backend=self.backend,
+                    n_steps=len(outcome.result.processes),
+                    resumed_from=resumed_from,
+                    cell_key=spec.cell_key,
+                ))
+                yield stamped(self._finished_event(spec, index, outcome))
+            units = self._plan_units(specs, trace_shards, skip=set(resumed))
+            if units:
+                if self.backend == "sequential":
+                    emitter = self._stream_sequential(specs, units)
+                elif self.backend == "thread":
+                    emitter = self._stream_threaded(specs, units)
+                else:
+                    emitter = self._stream_processes(specs, units)
+                for event in emitter:
+                    yield stamped(event)
         yield stamped(CacheStats(stats=self.cache_stats()))
 
     # -- backend-specific emitters -------------------------------------
 
     def _stream_sequential(self, specs, units):
         parts: dict[int, dict[int, CampaignOutcome]] = {}
+        failed: set[int] = set()
         for unit in units:
+            if unit.spec_index in failed:
+                continue            # a sibling shard already failed this campaign
             spec = specs[unit.spec_index]
-            outcome = execute_campaign(
-                spec,
-                self.pretrained,
-                self.caches,
-                self.fit_dedup,
-                keep_from=unit.keep_from,
-                stop_at=unit.stop_at,
-            )
+            try:
+                outcome = execute_campaign(
+                    spec,
+                    self.pretrained,
+                    self.caches,
+                    self.fit_dedup,
+                    keep_from=unit.keep_from,
+                    stop_at=unit.stop_at,
+                )
+            except Exception as error:
+                failed.add(unit.spec_index)
+                yield self._started_event(spec, unit.spec_index, unit.n_shards)
+                yield self._failed_event(
+                    spec, unit.spec_index, _failure_payload(error)
+                )
+                continue
             shard_parts = parts.setdefault(unit.spec_index, {})
             shard_parts[unit.shard_index] = outcome
             if len(shard_parts) == unit.n_shards:
@@ -519,95 +737,170 @@ class TuningService:
                     spec, unit.spec_index, merged, unit.n_shards
                 )
 
+    def _run_unit_threaded(self, spec, unit: _Unit, events) -> None:
+        """One thread-backend worker: same relay protocol as a process."""
+        sink = None
+        try:
+            if unit.live:
+                events.put((
+                    "event", unit, self._started_event(spec, unit.spec_index, 1)
+                ))
+                sink = lambda event: events.put(("event", unit, event))  # noqa: E731
+            outcome = execute_campaign(
+                spec,
+                self.pretrained,
+                self.caches,
+                self.fit_dedup,
+                sink=sink,
+                keep_from=unit.keep_from,
+                stop_at=unit.stop_at,
+            )
+        except BaseException as error:  # noqa: BLE001 — relayed as data
+            events.put(("error", unit, _failure_payload(error)))
+            return
+        events.put(("done", unit, outcome))
+
     def _stream_threaded(self, specs, units):
         events: queue.SimpleQueue = queue.SimpleQueue()
-        parts: dict[int, dict[int, CampaignOutcome]] = {}
-
-        def run_unit(unit: _Unit):
-            spec = specs[unit.spec_index]
-            if unit.live:
-                events.put(("event", self._started_event(spec, unit.spec_index, 1)))
-            sink = (lambda event: events.put(("event", event))) if unit.live else None
-            try:
-                outcome = execute_campaign(
-                    spec,
-                    self.pretrained,
-                    self.caches,
-                    self.fit_dedup,
-                    sink=sink,
-                    keep_from=unit.keep_from,
-                    stop_at=unit.stop_at,
-                )
-            except BaseException as error:  # noqa: BLE001 — repropagated below
-                events.put(("error", unit, error))
-                raise
-            events.put(("done", unit, outcome))
-
         pool = ThreadPoolExecutor(max_workers=self.max_workers)
         try:
-            for unit in units:
-                pool.submit(run_unit, unit)
-            pending = len(units)
-            while pending:
-                item = events.get()
-                if item[0] == "event":
-                    yield item[1]
-                    continue
-                pending -= 1
-                if item[0] == "error":
-                    raise item[2]
-                _, unit, outcome = item
-                spec = specs[unit.spec_index]
-                shard_parts = parts.setdefault(unit.spec_index, {})
-                shard_parts[unit.shard_index] = outcome
-                if len(shard_parts) < unit.n_shards:
-                    continue
-                merged = _merge_outcomes(spec, shard_parts, self.backend)
-                if unit.live:
-                    # Started and steps were emitted live by the worker.
-                    yield self._finished_event(spec, unit.spec_index, merged)
-                else:
-                    yield from self._replay_campaign(
-                        spec, unit.spec_index, merged, unit.n_shards
-                    )
+            futures = {
+                unit: pool.submit(
+                    self._run_unit_threaded, specs[unit.spec_index], unit, events
+                )
+                for unit in units
+            }
+            yield from self._drain(specs, futures, events.get)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
 
     def _stream_processes(self, specs, units):
+        import multiprocessing
+
+        manager = self._manager
+        own_manager = False
+        if manager is None:
+            # The relay queue needs a manager even when the caches are
+            # worker-local; own one for the duration of the stream.
+            manager = multiprocessing.Manager()
+            own_manager = True
         shared_sections = None
         if self._manager is not None:
             # Manager-backed sections are proxy objects and pickle
             # cleanly to workers; thread-local sections would not.
             shared_sections = {"assign": self.caches.section("assign")}
-        parts: dict[int, dict[int, CampaignOutcome]] = {}
+        relay = manager.Queue()
         pool = ProcessPoolExecutor(
             max_workers=self.max_workers,
             initializer=_init_worker,
-            initargs=(self.pretrained, self.fit_dedup, shared_sections),
+            initargs=(self.pretrained, self.fit_dedup, shared_sections, self.backend),
         )
         try:
             futures = {
-                pool.submit(
-                    _run_in_worker,
-                    specs[unit.spec_index],
-                    unit.keep_from,
-                    unit.stop_at,
-                ): unit
+                unit: pool.submit(
+                    _run_in_worker, specs[unit.spec_index], unit, relay
+                )
                 for unit in units
             }
-            for future in as_completed(futures):
-                unit = futures[future]
-                spec = specs[unit.spec_index]
-                shard_parts = parts.setdefault(unit.spec_index, {})
-                shard_parts[unit.shard_index] = future.result()
-                if len(shard_parts) < unit.n_shards:
-                    continue
-                merged = _merge_outcomes(spec, shard_parts, self.backend)
-                yield from self._replay_campaign(
-                    spec, unit.spec_index, merged, unit.n_shards
-                )
+            yield from self._drain(specs, futures, relay.get)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
+            if own_manager:
+                manager.shutdown()
+
+    def _drain(self, specs, futures: dict, get_event):
+        """Yield worker-relayed events until every submitted unit resolves.
+
+        The single consumer loop behind the thread and process backends.
+        Blocking on the relay queue is bounded (``poll_seconds``): every
+        idle tick re-checks worker liveness, so a worker that died without
+        posting its sentinel — killed process, fatal error outside the
+        worker body — resolves as a :class:`CampaignFailed` instead of
+        hanging the stream, and the surviving workers keep streaming.
+        """
+        self._active_futures = dict(futures)
+        parts: dict[int, dict[int, CampaignOutcome]] = {}
+        failed: set[int] = set()
+        started: set[int] = set()
+        pending: set[_Unit] = set(futures)
+        silent_since: dict[_Unit, float] = {}
+        try:
+            while pending:
+                try:
+                    item = get_event(timeout=self.poll_seconds)
+                except queue.Empty:
+                    for unit in list(pending):
+                        future = futures[unit]
+                        if not future.done():
+                            continue
+                        error = future.exception()
+                        if error is not None:
+                            pending.discard(unit)
+                            yield from self._absorb(
+                                specs, parts, failed, started,
+                                ("error", unit, _failure_payload(error)),
+                            )
+                            continue
+                        # Future completed but its sentinel has not been
+                        # seen: on the process backend the relay item may
+                        # still be in IPC flight, so allow a grace window
+                        # before declaring the sentinel lost.
+                        first_seen = silent_since.setdefault(unit, time.monotonic())
+                        if time.monotonic() - first_seen >= self.sentinel_grace:
+                            pending.discard(unit)
+                            payload = _FailurePayload(
+                                error_type="RuntimeError",
+                                error_message=(
+                                    "worker exited without posting its result"
+                                ),
+                                traceback="",
+                            )
+                            yield from self._absorb(
+                                specs, parts, failed, started,
+                                ("error", unit, payload),
+                            )
+                    continue
+                kind, unit, payload = item
+                if kind == "event":
+                    if unit.spec_index in failed:
+                        continue
+                    if isinstance(payload, CampaignStarted):
+                        started.add(unit.spec_index)
+                    yield payload
+                    continue
+                if unit not in pending:
+                    continue        # late duplicate after a synthesized failure
+                pending.discard(unit)
+                yield from self._absorb(specs, parts, failed, started, item)
+        finally:
+            self._active_futures = {}
+
+    def _absorb(self, specs, parts, failed, started, item):
+        """Fold one terminal worker item into the per-campaign state."""
+        kind, unit, payload = item
+        spec = specs[unit.spec_index]
+        if kind == "error":
+            if unit.spec_index in failed:
+                return              # campaign already reported failed
+            failed.add(unit.spec_index)
+            if unit.spec_index not in started:
+                yield self._started_event(spec, unit.spec_index, unit.n_shards)
+            yield self._failed_event(spec, unit.spec_index, payload)
+            return
+        if unit.spec_index in failed:
+            return                  # a sibling shard already failed the campaign
+        shard_parts = parts.setdefault(unit.spec_index, {})
+        shard_parts[unit.shard_index] = payload
+        if len(shard_parts) < unit.n_shards:
+            return
+        merged = _merge_outcomes(spec, shard_parts, self.backend)
+        if unit.live:
+            # Started and steps were emitted live by the worker.
+            yield self._finished_event(spec, unit.spec_index, merged)
+        else:
+            yield from self._replay_campaign(
+                spec, unit.spec_index, merged, unit.n_shards
+            )
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Hit/miss counters of the in-process cache sections."""

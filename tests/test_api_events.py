@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.api.events import (
+    EVENT_TYPES,
     CacheStats,
+    CampaignFailed,
     CampaignFinished,
+    CampaignSkipped,
     CampaignStarted,
     EventBus,
     JsonlRecorder,
@@ -17,6 +23,8 @@ from repro.api.events import (
     Reconfigured,
     StepCompleted,
     SweepFinished,
+    campaign_cell_key,
+    event_from_dict,
 )
 
 
@@ -49,6 +57,178 @@ class TestEventRecords:
         event = CampaignStarted(campaign="c")
         with pytest.raises(AttributeError):
             event.campaign = "other"
+
+
+class TestCellKey:
+    def test_deterministic_and_readable(self):
+        key = campaign_cell_key("q1", "flink", "ds2", (3.0, 7.5), 17)
+        assert key == "flink:ds2:q1:x3.0-7.5:s17"
+        assert key == campaign_cell_key("q1", "flink", "ds2", [3, 7.5], 17)
+
+    def test_optional_axes(self):
+        assert campaign_cell_key("q1", "flink", "ds2", (3,)) == "flink:ds2:q1:x3.0"
+        key = campaign_cell_key(
+            "q1", "flink", "streamtune", (3,), 17, layer="svm", engine_seed=31
+        )
+        assert key == "flink:streamtune:q1:x3.0:lsvm:s17:e31"
+
+    def test_distinguishes_every_axis(self):
+        base = dict(query="q1", engine="flink", tuner="ds2",
+                    rates=(3.0, 7.0), seed=17, layer="svm", engine_seed=31)
+        variants = [
+            {**base, "query": "q5"},
+            {**base, "engine": "timely"},
+            {**base, "tuner": "streamtune"},
+            {**base, "rates": (3.0, 7.0, 4.0)},
+            {**base, "seed": 18},
+            {**base, "layer": "nn"},
+            {**base, "engine_seed": 32},
+        ]
+        keys = {campaign_cell_key(**kwargs) for kwargs in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_close_rate_traces_never_collide(self):
+        # repr-exact floats: %g-style rounding must not merge two cells.
+        near = campaign_cell_key("q1", "flink", "ds2", (1.0000001,), 17)
+        nearer = campaign_cell_key("q1", "flink", "ds2", (1.0000002,), 17)
+        assert near != nearer
+
+
+# ----------------------------------------------------------------------
+# to_dict() round-trip: the contract --resume depends on
+# ----------------------------------------------------------------------
+
+_FINITE_FLOATS = st.floats(allow_nan=False, allow_infinity=False)
+_JSON_DICTS = st.dictionaries(
+    st.text(max_size=8), st.integers(min_value=0, max_value=512), max_size=4
+)
+
+
+def _field_strategy(spec: dataclasses.Field):
+    """A value strategy for one event dataclass field, by annotation."""
+    annotation = str(spec.type)
+    if "dict" in annotation:
+        return _JSON_DICTS
+    if "bool" in annotation:
+        return st.booleans()
+    if "float" in annotation:
+        return _FINITE_FLOATS
+    if "int" in annotation:
+        return st.integers(min_value=-(10 ** 6), max_value=10 ** 6)
+    if "None" in annotation:
+        return st.none() | st.text(max_size=12)
+    return st.text(max_size=12)
+
+
+@st.composite
+def _events(draw):
+    cls = draw(
+        st.sampled_from(sorted(EVENT_TYPES.values(), key=lambda c: c.__name__))
+    )
+    kwargs = {
+        spec.name: draw(_field_strategy(spec))
+        for spec in dataclasses.fields(cls)
+        if spec.metadata.get("serialise", True)
+    }
+    return cls(**kwargs)
+
+
+class TestEventRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_events())
+    def test_every_event_type_round_trips_through_json(self, event):
+        data = json.loads(json.dumps(event.to_dict(), sort_keys=True))
+        restored = event_from_dict(data)
+        assert restored == event
+        assert restored.to_dict() == event.to_dict()
+
+    def test_every_event_type_is_covered(self):
+        # The sampling strategy above draws from EVENT_TYPES; this pins the
+        # registry so a new event class cannot dodge the property test.
+        assert set(EVENT_TYPES) == {
+            "CacheStats", "CampaignFailed", "CampaignFinished",
+            "CampaignSkipped", "CampaignStarted", "Reconfigured",
+            "StepCompleted", "SweepFinished",
+        }
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        steps=st.lists(
+            st.builds(
+                dict,
+                parallelisms=_JSON_DICTS,
+                reconfigured=st.booleans(),
+                backpressure_after=st.booleans(),
+                recommendation_seconds=_FINITE_FLOATS,
+                mean_cpu_utilisation=_FINITE_FLOATS,
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        multipliers=st.lists(_FINITE_FLOATS, min_size=1, max_size=3),
+        converged=st.booleans(),
+    )
+    def test_finished_result_payload_round_trips(self, steps, multipliers, converged):
+        from repro.baselines.api import TuningResult, TuningStep
+        from repro.experiments.campaigns import CampaignResult
+        from repro.service.tuning import CampaignOutcome
+
+        result = CampaignResult(query_name="q", method="DS2")
+        result.multipliers = list(multipliers)
+        result.processes = [
+            TuningResult(
+                query_name="q",
+                tuner_name="DS2",
+                converged=converged,
+                steps=[TuningStep(**step) for step in steps],
+            )
+        ]
+        outcome = CampaignOutcome(
+            spec_name="q", result=result, wall_seconds=1.25, backend="thread"
+        )
+        event = CampaignFinished(
+            campaign="q", index=0, backend="thread", n_steps=1,
+            wall_seconds=1.25, outcome=outcome, seq=3, cell_key="k",
+        )
+        data = json.loads(json.dumps(event.to_dict(), sort_keys=True))
+        restored = event_from_dict(data)
+        assert restored == event
+        assert restored.outcome.result == result
+        assert restored.outcome.spec_name == "q"
+        assert restored.outcome.wall_seconds == 1.25
+        assert restored.to_dict() == event.to_dict()
+
+    def test_finished_without_outcome_has_no_result_payload(self):
+        event = CampaignFinished(campaign="c")
+        assert "result" not in event.to_dict()
+        assert event_from_dict(event.to_dict()).outcome is None
+
+    def test_unknown_kind_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"event": "CampaignImploded"})
+        with pytest.raises(ValueError, match="kind"):
+            event_from_dict({"campaign": "c"})
+        with pytest.raises(ValueError, match="mapping"):
+            event_from_dict(["CampaignStarted"])
+
+    def test_jsonl_recorder_lines_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = [
+            CampaignStarted(campaign="c", seq=0, cell_key="k"),
+            StepCompleted(campaign="c", seq=1, parallelisms={"a": 1}),
+            CampaignFailed(campaign="c", seq=2, error_type="OSError",
+                           error_message="boom", traceback="tb"),
+            CampaignSkipped(campaign="c", seq=3, resumed_from="old.jsonl"),
+            CacheStats(stats={}, seq=4),
+        ]
+        with JsonlRecorder(path) as recorder:
+            for event in events:
+                recorder(event)
+        restored = [
+            event_from_dict(json.loads(line))
+            for line in path.read_text().splitlines()
+        ]
+        assert restored == events
 
 
 class TestEventBus:
@@ -191,7 +371,7 @@ def _contract(events, expected_campaigns, expected_steps):
     return started, finished
 
 
-@pytest.mark.parametrize("backend", ["sequential", "thread"])
+@pytest.mark.parametrize("backend", ["sequential", "thread", "process"])
 def test_service_stream_contract(tiny_pretrained, backend):
     from repro.service import CampaignSpec, TuningService
     from repro.workloads import nexmark_query
@@ -212,6 +392,63 @@ def test_service_stream_contract(tiny_pretrained, backend):
     assert all(event.backend == backend for event in started + finished)
     # every finished event carries the outcome run() would have returned
     assert {event.outcome.spec_name for event in finished} == set(names)
+    # campaign-scoped events carry the deterministic resume identity
+    assert all(event.cell_key == spec.cell_key
+               for spec, event in zip(specs, sorted(started, key=lambda e: e.index)))
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_seq_monotonic_across_merged_shard_streams(tiny_pretrained, backend):
+    # Two campaigns, each split into two shards, finishing concurrently:
+    # the consumer re-stamps seq, so the merged stream must be strictly
+    # monotonic from 0 no matter how worker completions interleave.
+    from repro.service import CampaignSpec, TuningService
+    from repro.workloads import nexmark_query
+
+    specs = [
+        CampaignSpec(
+            query=nexmark_query(name, "flink"),
+            multipliers=(3.0, 7.0, 4.0),
+            engine_seed=41,
+            seed=41,
+        )
+        for name in ("q1", "q5")
+    ]
+    service = TuningService(tiny_pretrained, backend=backend, max_workers=4)
+    events = list(service.stream(specs, trace_shards=2))
+    assert [event.seq for event in events] == list(range(len(events)))
+    _contract(events, [spec.name for spec in specs], expected_steps=3)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_step_events_are_live_mid_campaign(tiny_pretrained, backend):
+    # The acceptance contract: an unsharded campaign's StepCompleted
+    # events reach the consumer while its worker is still executing the
+    # rest of the trace — not replayed after CampaignFinished.  At the
+    # moment the first of three steps arrives, the campaign's worker
+    # still owes two full tuning processes, so its future cannot be done.
+    from repro.service import CampaignSpec, TuningService
+    from repro.workloads import nexmark_query
+
+    spec = CampaignSpec(
+        query=nexmark_query("q5", "flink"),
+        multipliers=(3.0, 7.0, 4.0),
+        engine_seed=41,
+        seed=41,
+    )
+    service = TuningService(tiny_pretrained, backend=backend, max_workers=1)
+    live_checks = []
+    finished_seen = False
+    for event in service.stream([spec]):
+        if isinstance(event, StepCompleted) and event.step_index == 0:
+            assert not finished_seen
+            live_checks.append(
+                any(not f.done() for f in service._active_futures.values())
+            )
+        elif isinstance(event, CampaignFinished):
+            finished_seen = True
+    assert finished_seen
+    assert live_checks == [True]
 
 
 def test_stream_results_match_run(tiny_pretrained):

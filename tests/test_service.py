@@ -240,6 +240,29 @@ class TestShardBounds:
         assert shard_bounds(2, 5) == [(0, 1), (1, 2)]
         assert shard_bounds(1, 1) == [(0, 1)]
 
+    def test_never_emits_empty_or_degenerate_shards(self):
+        # Regression: n_shards > n_steps must clamp to at most n_steps
+        # non-empty shards, never pad with empty ones.
+        from repro.service import shard_bounds
+
+        for n_steps in range(0, 9):
+            for n_shards in range(1, 12):
+                bounds = shard_bounds(n_steps, n_shards)
+                assert len(bounds) == min(n_steps, n_shards)
+                assert all(stop > start for start, stop in bounds)
+
+    def test_zero_steps_yields_no_shards(self):
+        from repro.service import shard_bounds
+
+        assert shard_bounds(0, 1) == []
+        assert shard_bounds(0, 7) == []
+
+    def test_single_shard_is_identity(self):
+        from repro.service import shard_bounds
+
+        for n_steps in range(1, 9):
+            assert shard_bounds(n_steps, 1) == [(0, n_steps)]
+
     def test_bounds_cover_exactly(self):
         from repro.service import shard_bounds
 
@@ -254,7 +277,7 @@ class TestShardBounds:
         from repro.service import shard_bounds
 
         with pytest.raises(ValueError):
-            shard_bounds(0, 1)
+            shard_bounds(-1, 1)
         with pytest.raises(ValueError):
             shard_bounds(3, 0)
 
@@ -349,6 +372,132 @@ class TestBaselineCampaigns:
         service = TuningService(None, backend="sequential")
         with pytest.raises(ValueError, match="pre-trained"):
             service.run([self._spec("streamtune")])
+
+
+def _exit_without_reporting(spec, unit, relay):
+    """A process worker killed outright (OOM, signal): no relay item."""
+    import os
+
+    os._exit(13)
+
+
+class TestFaultTolerance:
+    """A dead worker surfaces as CampaignFailed; the fleet finishes."""
+
+    def _specs(self, tuner="ds2"):
+        return [
+            CampaignSpec(
+                query=nexmark_query(name, "flink"),
+                multipliers=(3.0, 7.0),
+                engine_seed=31,
+                seed=41,
+                tuner=tuner,
+            )
+            for name in ("q1", "q5")
+        ]
+
+    def _poison(self, monkeypatch, victim="nexmark_q1_flink"):
+        import repro.service.tuning as tuning
+
+        original = tuning.execute_campaign
+
+        def poisoned(spec, *args, **kwargs):
+            if spec.name == victim:
+                raise RuntimeError("worker exploded mid-campaign")
+            return original(spec, *args, **kwargs)
+
+        monkeypatch.setattr(tuning, "execute_campaign", poisoned)
+
+    @pytest.mark.parametrize("backend", ["sequential", "thread"])
+    def test_worker_exception_fails_campaign_not_fleet(self, monkeypatch, backend):
+        from repro.api.events import CampaignFailed, CampaignFinished, CampaignStarted
+
+        self._poison(monkeypatch)
+        service = TuningService(None, backend=backend, max_workers=2)
+        events = list(service.stream(self._specs()))
+        failed = [e for e in events if isinstance(e, CampaignFailed)]
+        assert [e.campaign for e in failed] == ["nexmark_q1_flink"]
+        assert failed[0].error_type == "RuntimeError"
+        assert "worker exploded" in failed[0].error_message
+        assert "worker exploded" in failed[0].traceback   # full text survives
+        assert failed[0].cell_key
+        # the failed campaign still opened with a CampaignStarted
+        started = [e for e in events if isinstance(e, CampaignStarted)]
+        assert sorted(e.campaign for e in started) == [
+            "nexmark_q1_flink", "nexmark_q5_flink"
+        ]
+        # ... and the surviving campaign completed normally
+        finished = [e for e in events if isinstance(e, CampaignFinished)]
+        assert [e.campaign for e in finished] == ["nexmark_q5_flink"]
+        assert [e.seq for e in events] == list(range(len(events)))
+
+    def test_run_raises_after_the_fleet_drained(self, monkeypatch):
+        from repro.service import CampaignExecutionError
+
+        self._poison(monkeypatch)
+        service = TuningService(None, backend="thread", max_workers=2)
+        with pytest.raises(CampaignExecutionError, match="worker exploded") as info:
+            service.run(self._specs())
+        error = info.value
+        assert [e.campaign for e in error.failures] == ["nexmark_q1_flink"]
+        # the surviving campaign's outcome was not lost
+        assert [o.spec_name for o in error.outcomes.values()] == ["nexmark_q5_flink"]
+
+    def test_sharded_campaign_fails_once(self, monkeypatch):
+        from repro.api.events import CampaignFailed
+
+        self._poison(monkeypatch)
+        service = TuningService(None, backend="thread", max_workers=4)
+        events = list(service.stream(self._specs(), trace_shards=2))
+        failed = [e for e in events if isinstance(e, CampaignFailed)]
+        assert [e.campaign for e in failed] == ["nexmark_q1_flink"]
+
+    def test_silent_worker_death_does_not_hang_the_stream(self, monkeypatch):
+        # Satellite regression: a worker that exits without posting its
+        # sentinel (the hang case) must resolve via the liveness check.
+        from repro.api.events import CampaignFailed, CampaignFinished
+
+        original = TuningService._run_unit_threaded
+
+        def leaky(self, spec, unit, events):
+            if spec.name == "nexmark_q1_flink":
+                return              # dies silently: no event, no sentinel
+            original(self, spec, unit, events)
+
+        monkeypatch.setattr(TuningService, "_run_unit_threaded", leaky)
+        service = TuningService(None, backend="thread", max_workers=2)
+        service.poll_seconds = 0.05
+        service.sentinel_grace = 0.2
+        events = list(service.stream(self._specs()))   # must terminate
+        failed = [e for e in events if isinstance(e, CampaignFailed)]
+        assert [e.campaign for e in failed] == ["nexmark_q1_flink"]
+        assert "without posting its result" in failed[0].error_message
+        finished = [e for e in events if isinstance(e, CampaignFinished)]
+        assert [e.campaign for e in finished] == ["nexmark_q5_flink"]
+
+    @pytest.mark.skipif(
+        __import__("multiprocessing").get_start_method() != "fork",
+        reason="patched worker reaches the pool only under fork",
+    )
+    def test_killed_process_worker_yields_failed_without_hanging(self, monkeypatch):
+        from repro.api.events import CampaignFailed
+
+        import repro.service.tuning as tuning
+
+        monkeypatch.setattr(tuning, "_run_in_worker", _exit_without_reporting)
+        service = TuningService(None, backend="process", max_workers=1)
+        service.poll_seconds = 0.05
+        events = list(service.stream(self._specs()[:1]))   # must terminate
+        failed = [e for e in events if isinstance(e, CampaignFailed)]
+        assert [e.campaign for e in failed] == ["nexmark_q1_flink"]
+        assert failed[0].error_type   # BrokenProcessPool (by any name)
+        assert failed[0].error_message or failed[0].traceback
+
+    def test_streamtune_without_pretrained_fails_before_dispatch(self):
+        # Spec validation stays an eager ValueError, not a CampaignFailed.
+        service = TuningService(None, backend="thread", max_workers=2)
+        with pytest.raises(ValueError, match="pre-trained"):
+            list(service.stream(self._specs(tuner="streamtune")))
 
 
 class TestSnapshotErrors:
