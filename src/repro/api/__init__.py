@@ -70,7 +70,12 @@ from repro.api.events import (
     campaign_cell_key,
     event_from_dict,
 )
-from repro.api.resume import ResumeError, ResumeLog, load_events
+from repro.api.resume import (
+    ResumeError,
+    ResumeLog,
+    discover_latest_log,
+    load_events,
+)
 from repro.api.plans import (
     CampaignPlan,
     PlanError,
@@ -127,6 +132,7 @@ __all__ = [
     "build_prediction_model",
     "build_tuner",
     "campaign_cell_key",
+    "discover_latest_log",
     "engine_family",
     "event_from_dict",
     "load_events",

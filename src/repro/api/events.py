@@ -520,6 +520,10 @@ class MetricsAggregator:
         self.reconfigurations: dict[str, int] = {}
         self.wall_seconds: dict[str, float] = {}
         self.cache_stats: dict = {}
+        #: ``cell_key`` (falling back to the campaign label) of every
+        #: :class:`CampaignFailed` seen, in stream order — the exact set an
+        #: operator needs to retry via ``--resume``.
+        self.failed_cell_keys: list[str] = []
 
     def __call__(self, event: Event) -> None:
         self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
@@ -531,6 +535,8 @@ class MetricsAggregator:
             )
         elif isinstance(event, CampaignFinished):
             self.wall_seconds[self._key(event)] = event.wall_seconds
+        elif isinstance(event, CampaignFailed):
+            self.failed_cell_keys.append(event.cell_key or self._key(event))
         elif isinstance(event, CacheStats):
             self.cache_stats = dict(event.stats)
 
@@ -551,4 +557,6 @@ class MetricsAggregator:
             "steps": sum(self.steps.values()),
             "reconfigurations": sum(self.reconfigurations.values()),
             "wall_seconds": dict(self.wall_seconds),
+            "failed_campaigns": len(self.failed_cell_keys),
+            "failed_cell_keys": list(self.failed_cell_keys),
         }

@@ -26,11 +26,46 @@ from pathlib import Path
 
 from repro.api.events import CampaignFinished, event_from_dict
 
-__all__ = ["ResumeError", "ResumeLog", "load_events"]
+__all__ = ["ResumeError", "ResumeLog", "discover_latest_log", "load_events"]
 
 
 class ResumeError(ValueError):
     """A resume log could not be used; the message says why."""
+
+
+def discover_latest_log(
+    directory: str | Path, exclude: "set[Path] | frozenset" = frozenset()
+) -> Path:
+    """The most recently modified ``*.jsonl`` log under ``directory``.
+
+    Powers ``--resume auto``: instead of naming the interrupted run's
+    record file, the operator points at (or implies, via ``--record``) the
+    record directory and the newest log wins.  ``exclude`` removes paths
+    that must not be considered — typically the *current* run's ``--record``
+    target, which would otherwise shadow the log being resumed.  Ties on
+    modification time break by name, so discovery is deterministic.
+    Raises :class:`ResumeError` when the directory holds no candidate.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ResumeError(
+            f"cannot auto-discover a resume log: {directory} is not a directory"
+        )
+    excluded = {Path(path).resolve() for path in exclude}
+    candidates = sorted(
+        (
+            path
+            for path in directory.glob("*.jsonl")
+            if path.is_file() and path.resolve() not in excluded
+        ),
+        key=lambda path: (path.stat().st_mtime, path.name),
+    )
+    if not candidates:
+        raise ResumeError(
+            f"cannot auto-discover a resume log: no *.jsonl record found in "
+            f"{directory} (run with --record first, or name the log explicitly)"
+        )
+    return candidates[-1]
 
 
 def load_events(path: str | Path) -> list:

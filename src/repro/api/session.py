@@ -27,7 +27,12 @@ accept ``resume=`` (a recorded JSONL log path or a parsed
 :class:`~repro.api.resume.ResumeLog`) and replay every campaign whose
 deterministic ``cell_key`` the log already records — bit-identical results
 without re-execution, marked by
-:class:`~repro.api.events.CampaignSkipped` events.  A campaign whose
+:class:`~repro.api.events.CampaignSkipped` events.  The completed cells'
+pure cache entries are pre-warmed into the service's
+:class:`~repro.service.cache.TuningCacheSet` before the missing cells
+execute (see :mod:`repro.service.prewarm`), so a resumed run — and the
+``cache_path`` snapshot it writes afterwards — recovers the crashed run's
+paid-for computations, not just its recorded results.  A campaign whose
 worker dies surfaces as a :class:`~repro.api.events.CampaignFailed` event;
 the rest of the fleet (and, for sweeps, the remaining grid cells) still
 runs, and a :class:`~repro.service.CampaignExecutionError` carrying every

@@ -15,6 +15,7 @@ Subcommands mirror the library's lifecycle::
     python -m repro.cli serve-campaigns --queries q1,q2,q5 --rates 3,7,4,2
     python -m repro.cli run-plan  campaign.toml --follow
     python -m repro.cli sweep     sweep.toml --record events.jsonl
+    python -m repro.cli perf      --smoke
     python -m repro.cli experiments --scale smoke
 
 ``history`` and ``pretrain`` persist their outputs, so a tuned model can
@@ -45,6 +46,7 @@ from repro.api import (
     TuningSession,
     UnknownComponentError,
     build_engine,
+    discover_latest_log,
     load_plan,
     replace,
     resolve_query,
@@ -264,10 +266,25 @@ def _print_sweep_result(sweep_result) -> None:
 
 
 def _resume_log(plan, args: argparse.Namespace) -> ResumeLog | None:
-    """Load ``--resume`` (if given) and say what it will save."""
+    """Load ``--resume`` (if given) and say what it will save.
+
+    ``--resume auto`` discovers the most recent ``*.jsonl`` record in the
+    plan's record directory — the directory of ``--record`` when given,
+    the working directory otherwise — excluding the current run's own
+    ``--record`` target.
+    """
     path = getattr(args, "resume", None)
     if path is None:
         return None
+    if path == "auto":
+        from pathlib import Path
+
+        record = getattr(args, "record", None)
+        directory = Path(record).parent if record else Path(".")
+        path = discover_latest_log(
+            directory, exclude={Path(record)} if record else frozenset()
+        )
+        print(f"resume: auto-discovered {path}", file=sys.stderr)
     log = ResumeLog.load(path)
     keys = plan.cell_keys()
     recorded, missing = log.covers(keys)
@@ -367,6 +384,31 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 
     ablations.main(resolve_scale(args.scale))
     return 0
+
+
+# ----------------------------------------------------------------------
+# hot-path benchmarks
+# ----------------------------------------------------------------------
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import BENCHMARKS, run_perf
+
+    if args.list:
+        for bench in BENCHMARKS:
+            print(f"{bench.name:<30} [{bench.hot_path}] {bench.description}")
+        return 0
+    only = None
+    if args.only:
+        only = [token.strip() for token in args.only.split(",") if token.strip()]
+    return run_perf(
+        smoke=args.smoke,
+        only=only,
+        output=args.output,
+        baseline_path=args.baseline,
+        tolerance=args.tolerance,
+        gate_absolute=args.gate_absolute,
+        update_baseline=args.update_baseline,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -470,7 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
             help="replay campaigns already recorded in PATH (a --record "
                  "JSONL log, possibly from an interrupted run) instead of "
                  "re-executing them; results are bit-identical to an "
-                 "uninterrupted run",
+                 "uninterrupted run.  PATH may be 'auto' to pick the most "
+                 "recent *.jsonl log in the record directory (--record's "
+                 "directory, else the working directory)",
         )
 
     run_plan = sub.add_parser(
@@ -500,6 +544,49 @@ def build_parser() -> argparse.ArgumentParser:
     add_stream_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
+    perf = sub.add_parser(
+        "perf",
+        help="time the fleet's hot paths against frozen fixtures and gate "
+             "speedup ratios against the committed baseline",
+    )
+    perf.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized fixtures (fewer queries/rows/repeats, same benchmark "
+             "names)",
+    )
+    perf.add_argument(
+        "--output", default="BENCH_PR5.json", metavar="PATH",
+        help="machine-readable report target (default: %(default)s at the "
+             "repo root)",
+    )
+    perf.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline report to gate against (default: "
+             "benchmarks/perf_baseline.json when present)",
+    )
+    perf.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional drop of a speedup ratio before the gate "
+             "fails (default: %(default)s)",
+    )
+    perf.add_argument(
+        "--gate-absolute", action="store_true",
+        help="additionally gate raw per-benchmark seconds (same-host "
+             "comparisons only)",
+    )
+    perf.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    perf.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="comma-separated benchmark names to run (skips the gate)",
+    )
+    perf.add_argument(
+        "--list", action="store_true", help="list benchmarks and exit"
+    )
+    perf.set_defaults(func=_cmd_perf)
+
     experiments = sub.add_parser("experiments", help="run every paper experiment")
     experiments.add_argument("--scale", default="default")
     experiments.set_defaults(func=_cmd_experiments)
@@ -515,12 +602,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.perf.report import PerfError
+
     try:
         return args.func(args)
-    except (PlanError, UnknownComponentError, SnapshotError, ResumeError) as error:
+    except (
+        PlanError, UnknownComponentError, SnapshotError, ResumeError, PerfError,
+    ) as error:
         # Operator errors (bad plan file, unknown component, stale cache
-        # snapshot, unusable resume log) exit 2 with one line, never a
-        # traceback.
+        # snapshot, unusable resume log, unusable perf baseline) exit 2
+        # with one line, never a traceback.
         print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
     except CampaignExecutionError as error:

@@ -41,7 +41,17 @@ class ClusteringResult:
         return [i for i, c in enumerate(self.assignments) if c == cluster]
 
     def predict(self, graph) -> int:
-        """Nearest cluster for a new DAG (Algorithm 2, line 1)."""
+        """Nearest cluster for a new DAG (Algorithm 2, line 1).
+
+        Delegates to the cache's bound-pruned ``nearest`` when it has one
+        (:class:`~repro.ged.search.GEDCache` and the service's shared cache
+        both do): admissible lower bounds skip the exact A*-LSa search for
+        centers that provably cannot win, and the result is bit-identical
+        to the exhaustive argmin below.
+        """
+        nearest = getattr(self.cache, "nearest", None)
+        if nearest is not None:
+            return nearest(graph, self.center_graphs)
         distances = [
             self.cache.distance(graph, center) for center in self.center_graphs
         ]
@@ -143,11 +153,15 @@ class GEDKMeans:
         return unique, weights, back_refs
 
     def _assign(self, unique: list, center_ids: list[int]) -> list[int]:
+        centers = [unique[center] for center in center_ids]
+        nearest = getattr(self.cache, "nearest", None)
+        if nearest is not None:
+            # Bound-pruned assignment: identical cluster ids, fewer exact
+            # GED searches (see ClusteringResult.predict).
+            return [nearest(graph, centers) for graph in unique]
         assignments = []
         for graph in unique:
-            distances = [
-                self.cache.distance(graph, unique[center]) for center in center_ids
-            ]
+            distances = [self.cache.distance(graph, center) for center in centers]
             assignments.append(min(range(len(distances)), key=distances.__getitem__))
         return assignments
 

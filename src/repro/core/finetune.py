@@ -65,6 +65,58 @@ class PredictionDataset:
 DISTILLATION_GRID = (1, 2, 3, 4, 6, 8, 11, 16, 22, 32, 45, 60)
 
 
+def shared_structure_key(flow, cluster: int, source_rates: dict[str, float]) -> tuple:
+    """The cross-query cache identity of rate-conditioned pure values.
+
+    Distilled operating points and parallelism-agnostic embeddings are pure
+    functions of ``(cluster encoder, dataflow structure, source rates)`` —
+    the query's *name* never enters the computation.  Keying the cache
+    sections on the full-fidelity :meth:`LogicalDataflow.tuning_signature`
+    (instead of ``flow.name``) lets every campaign over a structurally
+    identical dataflow share one entry.  Source rates are canonicalised to
+    topological operator indices so renamed-but-identical flows agree on
+    the key; rates for operators the flow does not contain cannot affect
+    the encoding and are excluded.
+    """
+    order = flow.topological_order()
+    index = {name: position for position, name in enumerate(order)}
+    rates = tuple(
+        sorted(
+            (index[name], float(rate))
+            for name, rate in source_rates.items()
+            if name in index
+        )
+    )
+    return (cluster, flow.tuning_signature(), rates)
+
+
+def agnostic_embeddings(
+    pretrained: PretrainedStreamTune,
+    encoder,
+    flow,
+    source_rates: dict[str, float],
+) -> np.ndarray:
+    """Parallelism-agnostic operator embeddings under ``source_rates``.
+
+    One row per operator in topological order (``flow.topological_order()``
+    — the same order :func:`~repro.dataflow.features.FeatureEncoder.
+    encode_dataflow` emits), so callers recover the name mapping from the
+    flow without re-encoding.
+    """
+    from repro.gnn.data import build_sample  # local import to avoid a cycle
+
+    placeholder = dict.fromkeys(flow.operator_names, 1)
+    sample = build_sample(
+        flow,
+        source_rates,
+        placeholder,
+        labels={},
+        encoder=pretrained.feature_encoder,
+        max_parallelism=pretrained.max_parallelism,
+    )
+    return encoder.encode(sample, parallelism_aware=False)
+
+
 def distill_rows(
     pretrained: PretrainedStreamTune,
     encoder,

@@ -233,6 +233,41 @@ class LogicalDataflow:
         )
         return f"{node_part}|{edge_part}"
 
+    def tuning_signature(self) -> str:
+        """Canonical *full-fidelity* structure identity for cache sharing.
+
+        :meth:`structural_signature` captures only what GED sees (operator
+        types and edges); this signature additionally captures every other
+        operator field (windows, widths, selectivity, cost factor, ...), so
+        two dataflows with equal tuning signatures encode to bit-identical
+        GNN inputs given the same topologically-indexed source rates.  That
+        is the contract behind cross-query sharing of distilled operating
+        points and parallelism-agnostic embeddings: a cache entry computed
+        for one query is exactly what a structurally identical query
+        (however named) would have computed.
+
+        The result is memoised per (node count, edge count) — dataflows are
+        effectively immutable once validated, and recomputing on growth
+        keeps a stale memo from surviving incremental construction.
+        """
+        shape = (len(self._operators), len(self.edges))
+        memo = getattr(self, "_tuning_signature", None)
+        if memo is not None and memo[0] == shape:
+            return memo[1]
+        order = self.topological_order()
+        index = {name: i for i, name in enumerate(order)}
+        nodes = []
+        for name in order:
+            fields = self.operator(name).to_dict()
+            del fields["name"]      # structure up to node renaming
+            nodes.append(repr(sorted(fields.items())))
+        edge_part = ",".join(
+            sorted(f"{index[u]}>{index[v]}" for u, v in self.edges)
+        )
+        signature = ";".join(nodes) + "|" + edge_part
+        self._tuning_signature = (shape, signature)
+        return signature
+
     def to_networkx(self) -> nx.DiGraph:
         """Export as a :class:`networkx.DiGraph` with ``label`` node attrs."""
         graph = nx.DiGraph(name=self.name)

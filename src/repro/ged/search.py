@@ -12,9 +12,63 @@ from collections.abc import Sequence
 
 from repro.dataflow.graph import LogicalDataflow
 from repro.ged.astar_lsa import astar_lsa_ged
+from repro.ged.bounds import combined_bound
 from repro.ged.costs import DEFAULT_COSTS, EditCosts
 from repro.ged.exact import exact_ged
 from repro.ged.view import GraphView, as_view
+
+#: Float slack used whenever an admissible bound gates an exact decision:
+#: bounds are admissible in real arithmetic, and the margin keeps last-ulp
+#: float drift in a bound from ever pruning a true nearest neighbour.
+BOUND_SLACK = 1e-9
+
+
+def nearest_center(cache, graph, centers) -> int:
+    """Index of the nearest center by exact GED, with bound pruning.
+
+    Bit-identical to the exhaustive
+    ``min(range(len(centers)), key=[cache.distance(graph, c)].__getitem__)``
+    — including the first-index tie-break — while skipping the exact
+    A*-LSa search for every center whose *admissible lower bound* already
+    exceeds the best exact distance found so far:
+
+    * centers are verified in ascending lower-bound order (best-first), so
+      the running best becomes tight as early as possible;
+    * a center is skipped only when ``bound > best + BOUND_SLACK``; since
+      ``ged >= bound`` (admissibility) its exact distance is then strictly
+      greater than the running best, so it can be neither the minimum nor
+      an earlier-index tie — and bounds being sorted, every remaining
+      center is skipped with it;
+    * exact ties are resolved by the original center index, matching the
+      exhaustive argmin's first-occurrence rule;
+    * cached exact distances serve as their own (tight) bound for free;
+      cheap O(n) :func:`~repro.ged.bounds.combined_bound` covers the rest.
+
+    ``cache`` is a :class:`GEDCache` or
+    :class:`~repro.service.cache.SharedGEDCache` (anything with
+    ``distance``, ``costs`` and an ``_exact`` store with ``get``).
+    """
+    if not centers:
+        raise ValueError("nearest_center needs at least one center")
+    query = as_view(graph)
+    views = [as_view(center) for center in centers]
+    bounds = []
+    for view in views:
+        known = cache._exact.get(cache._key(query, view), None)
+        bounds.append(
+            known if known is not None
+            else combined_bound(query, view, cache.costs)
+        )
+    order = sorted(range(len(views)), key=lambda position: (bounds[position], position))
+    best_index = -1
+    best = float("inf")
+    for position in order:
+        if bounds[position] > best + BOUND_SLACK:
+            break                        # sorted: every remaining bound is too
+        value = cache.distance(query, views[position])
+        if value < best or (value == best and position < best_index):
+            best, best_index = value, position
+    return best_index
 
 
 class GEDCache:
@@ -65,6 +119,13 @@ class GEDCache:
             self.hits += 1
             return False
         self.misses += 1
+        # Cheap admissible pre-filter: ged >= combined_bound, so a bound
+        # beyond the threshold decides the predicate without any search.
+        cheap = combined_bound(a, b, self.costs)
+        if cheap > threshold + BOUND_SLACK:
+            previous = self._lower_bounds.get(key, 0.0)
+            self._lower_bounds[key] = max(previous, cheap)
+            return False
         value = astar_lsa_ged(a, b, costs=self.costs, threshold=threshold)
         if value is None:
             previous = self._lower_bounds.get(key, 0.0)
@@ -72,6 +133,10 @@ class GEDCache:
             return False
         self._exact[key] = value
         return True
+
+    def nearest(self, graph, centers) -> int:
+        """Bound-pruned nearest-center index (see :func:`nearest_center`)."""
+        return nearest_center(self, graph, centers)
 
 
 def similarity_search(

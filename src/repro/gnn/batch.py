@@ -81,7 +81,7 @@ def encode_samples(
     encoder,
     samples: Sequence[GraphSample],
     parallelism_aware: bool = False,
-    max_batch_nodes: int = 2048,
+    max_batch_nodes: int = 128,
 ) -> list[np.ndarray]:
     """Parallelism-agnostic embeddings for many samples in few passes.
 
@@ -89,7 +89,12 @@ def encode_samples(
     exposing ``encode``).  Samples are greedily packed into block-diagonal
     batches of at most ``max_batch_nodes`` nodes (the dense block matrix is
     O(total²), so unbounded packing would swamp the saved dispatch
-    overhead); each batch costs one encoder pass.
+    overhead); each batch costs one encoder pass.  The default cap sits at
+    the empirical crossover for this model's dataflow-sized graphs — the
+    ``gnn_encode_*`` / ``warmup_dataset_*`` benchmarks of ``repro perf``
+    measure it: around 64–128 nodes the batched pass is ~2x the per-sample
+    loop, while multi-hundred-node dense blocks fall *behind* it (the
+    O(total²) zero blocks outweigh the saved dispatch).
     """
     if max_batch_nodes < 1:
         raise ValueError("max_batch_nodes must be >= 1")

@@ -1,0 +1,168 @@
+"""``repro.perf`` — named hot-path microbenchmarks with a regression gate.
+
+The fleet's performance claims are measured, recorded and guarded here:
+
+* :mod:`repro.perf.fixtures` freezes the deterministic inputs;
+* :mod:`repro.perf.runner` names the hot paths — GED cluster assignment,
+  warm-up dataset construction, weighted SVM fits, batched GNN encoding,
+  the end-to-end smoke service campaign — and times each optimised path
+  next to the path it replaced;
+* :mod:`repro.perf.report` emits the machine-readable ``BENCH_PR5.json``
+  and compares its speedup *ratios* against the committed baseline
+  (``benchmarks/perf_baseline.json``), failing on regressions beyond the
+  tolerance.
+
+Run it via the CLI::
+
+    python -m repro.cli perf --smoke                 # CI-sized, gated
+    python -m repro.cli perf --update-baseline       # refresh the baseline
+    python -m repro.cli perf --list                  # what gets timed
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.perf.fixtures import PerfFixtures, build_fixtures
+from repro.perf.report import (
+    BASELINE_PATH,
+    BENCH_FILENAME,
+    PerfError,
+    build_report,
+    compare_reports,
+    load_report,
+    write_report,
+)
+from repro.perf.runner import (
+    BENCHMARKS,
+    RATIO_DEFINITIONS,
+    Benchmark,
+    benchmark_names,
+    compute_ratios,
+    run_benchmarks,
+    time_benchmark,
+)
+
+__all__ = [
+    "BASELINE_PATH",
+    "BENCHMARKS",
+    "BENCH_FILENAME",
+    "Benchmark",
+    "PerfError",
+    "PerfFixtures",
+    "RATIO_DEFINITIONS",
+    "benchmark_names",
+    "build_fixtures",
+    "build_report",
+    "compare_reports",
+    "compute_ratios",
+    "load_report",
+    "run_benchmarks",
+    "run_perf",
+    "time_benchmark",
+    "write_report",
+]
+
+
+def run_perf(
+    smoke: bool = False,
+    only: "list[str] | None" = None,
+    output: str = BENCH_FILENAME,
+    baseline_path: "str | None" = None,
+    tolerance: float = 0.25,
+    gate_absolute: bool = False,
+    update_baseline: bool = False,
+    echo=print,
+) -> int:
+    """The full perf session the ``repro perf`` subcommand drives.
+
+    Times the (selected) hot paths, writes the report to ``output``, and
+    gates the speedup ratios against the committed baseline; returns the
+    process exit code (0 ok, 1 regression).  ``--update-baseline``
+    rewrites the baseline from this run instead of gating against it.
+    Raises :class:`PerfError` on operator mistakes (unknown benchmark
+    names, unreadable baseline, bad tolerance).
+    """
+    if not 0 <= tolerance < 1:
+        raise PerfError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    if only is not None:
+        if update_baseline:
+            # A partial baseline would contain only the selected pair's
+            # ratios, and the gate iterates the baseline's ratios — every
+            # unselected hot path would silently stop being gated.
+            raise PerfError(
+                "--update-baseline cannot be combined with --only: the "
+                "baseline must cover every gated ratio"
+            )
+        unknown = sorted(set(only) - set(benchmark_names()))
+        if unknown:
+            raise PerfError(
+                f"unknown benchmark(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(benchmark_names()))})"
+            )
+    # Resolve the gate's baseline before any (expensive) timing happens,
+    # so operator mistakes fail in milliseconds, not after a full run.
+    resolved_baseline = Path(
+        baseline_path if baseline_path is not None else BASELINE_PATH
+    )
+    gating = not update_baseline and only is None
+    baseline = None
+    if gating:
+        if resolved_baseline.exists():
+            baseline = load_report(resolved_baseline)
+            if bool(baseline.get("smoke")) != smoke:
+                # Smoke and full fixtures are different workloads; their
+                # ratios are not comparable, so gating across them would
+                # produce spurious passes/failures.
+                raise PerfError(
+                    f"{resolved_baseline} is a "
+                    f"{'smoke' if baseline.get('smoke') else 'full'} baseline "
+                    f"but this is a {'smoke' if smoke else 'full'} run — "
+                    "match --smoke, point --baseline at a matching report, "
+                    "or refresh it with --update-baseline"
+                )
+        elif baseline_path is not None:
+            raise PerfError(f"perf baseline {resolved_baseline} does not exist")
+
+    try:
+        echo(f"building perf fixtures ({'smoke' if smoke else 'full'}) ...")
+        fixtures = build_fixtures(smoke=smoke)
+        echo("timing hot paths:")
+        results = run_benchmarks(fixtures, smoke=smoke, only=only, echo=echo)
+    except ValueError as error:
+        raise PerfError(str(error)) from None
+    ratios = compute_ratios(results)
+    for name, value in sorted(ratios.items()):
+        echo(f"  {name:<30} {value:9.2f}x")
+    report = build_report(results, ratios, smoke=smoke)
+    written = write_report(report, output)
+    echo(f"wrote {written}")
+
+    if update_baseline:
+        write_report(report, resolved_baseline)
+        echo(f"updated baseline {resolved_baseline}")
+        return 0
+    if only is not None:
+        # A partial run cannot be gated: pairs that did not run would
+        # read as regressions.  The report is still written.
+        echo("--only selects a subset; regression gate skipped")
+        return 0
+    if baseline is None:
+        echo(f"no baseline at {resolved_baseline}; regression gate skipped")
+        return 0
+    violations = compare_reports(
+        report, baseline, tolerance=tolerance, gate_absolute=gate_absolute
+    )
+    if violations:
+        for violation in violations:
+            echo(f"REGRESSION: {violation}")
+        echo(
+            f"perf gate FAILED: {len(violations)} regression(s) beyond "
+            f"{tolerance:.0%} of {resolved_baseline}"
+        )
+        return 1
+    echo(
+        f"perf gate ok: {len(baseline.get('ratios', {}))} ratio(s) within "
+        f"{tolerance:.0%} of {resolved_baseline}"
+    )
+    return 0

@@ -1,0 +1,122 @@
+"""Machine-readable perf reports and the baseline regression gate.
+
+A perf run emits one JSON document (``BENCH_PR5.json`` at the repo root
+by default) holding per-hot-path timings plus the dimensionless speedup
+ratios of :data:`repro.perf.runner.RATIO_DEFINITIONS` — the repository's
+performance trajectory, one file per PR.
+
+The regression gate compares the *ratios* of a fresh run against the
+committed baseline (``benchmarks/perf_baseline.json``): a ratio that
+fell more than ``tolerance`` (default 25%) below its baseline value
+fails the gate.  Ratios rather than raw seconds, deliberately — absolute
+wall-clock moves with the host (laptop vs CI runner), while "pruned
+assignment is N× the exhaustive search" is a property of the code.  Raw
+seconds are still recorded for trend reading, and ``gate_absolute=True``
+additionally gates them for same-host comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+#: Default report target, at the repository root (the perf trajectory).
+BENCH_FILENAME = "BENCH_PR5.json"
+#: Default committed baseline the gate compares against.
+BASELINE_PATH = "benchmarks/perf_baseline.json"
+#: Report schema marker.
+REPORT_FORMAT = "repro.perf"
+REPORT_VERSION = 1
+
+
+class PerfError(ValueError):
+    """A perf report or baseline is unusable; the message says why."""
+
+
+def build_report(results: dict, ratios: dict, smoke: bool) -> dict:
+    """The JSON document for one perf run."""
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "bench": "PR5",
+        "smoke": smoke,
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "benchmarks": results,
+        "ratios": ratios,
+    }
+
+
+def write_report(report: dict, path: "str | Path") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: "str | Path") -> dict:
+    path = Path(path)
+    if not path.exists():
+        raise PerfError(f"perf report {path} does not exist")
+    try:
+        report = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise PerfError(f"{path} is not valid JSON: {error}") from None
+    if not isinstance(report, dict) or report.get("format") != REPORT_FORMAT:
+        raise PerfError(f"{path} is not a repro.perf report")
+    return report
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    tolerance: float = 0.25,
+    gate_absolute: bool = False,
+) -> list[str]:
+    """Regression messages (empty when the gate passes).
+
+    Every speedup ratio present in both reports must stay within
+    ``tolerance`` of its baseline value (a drop beyond it is a
+    regression; improvements always pass).  With ``gate_absolute`` the
+    per-benchmark median seconds are gated the same way — only
+    meaningful when both reports come from comparable hosts.
+    """
+    if not 0 <= tolerance < 1:
+        raise PerfError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    violations: list[str] = []
+    base_ratios = baseline.get("ratios", {})
+    for name, base_value in sorted(base_ratios.items()):
+        value = current.get("ratios", {}).get(name)
+        if value is None:
+            violations.append(
+                f"ratio {name} is missing from the current run "
+                f"(baseline: {base_value:.2f}x)"
+            )
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if value < floor:
+            violations.append(
+                f"ratio {name} regressed: {value:.2f}x < {floor:.2f}x "
+                f"(baseline {base_value:.2f}x - {tolerance:.0%})"
+            )
+    if gate_absolute:
+        base_benches = baseline.get("benchmarks", {})
+        for name, base_result in sorted(base_benches.items()):
+            result = current.get("benchmarks", {}).get(name)
+            if result is None:
+                continue
+            ceiling = base_result["seconds"] * (1.0 + tolerance)
+            if result["seconds"] > ceiling:
+                violations.append(
+                    f"benchmark {name} regressed: {result['seconds'] * 1000:.1f} ms "
+                    f"> {ceiling * 1000:.1f} ms "
+                    f"(baseline {base_result['seconds'] * 1000:.1f} ms "
+                    f"+ {tolerance:.0%})"
+                )
+    return violations

@@ -1,0 +1,358 @@
+"""Named hot-path benchmarks and the timing harness that runs them.
+
+Each :class:`Benchmark` times one of the fleet's real hot paths against
+the frozen fixtures of :mod:`repro.perf.fixtures`.  Optimised paths are
+benchmarked *next to the path they replaced* — every claimed speedup
+ships with the measurement that backs it — and
+:data:`RATIO_DEFINITIONS` names those pairs, so the report carries
+dimensionless speedup ratios that survive hardware changes (the
+regression gate in :mod:`repro.perf.report` compares ratios, not raw
+seconds, against the committed baseline).
+
+The hot paths:
+
+* ``ged_assign_*`` — GED cluster assignment (Algorithm 2 line 1) with
+  admissible-bound pruning vs the exhaustive per-center A*-LSa search;
+* ``warmup_dataset_*`` — warm-up dataset construction (Algorithm 2
+  line 3) with block-diagonal batched GNN encoding vs per-record passes;
+* ``svm_fit_*`` — the monotone prediction layer's fit on weighted unique
+  rows vs the materialised duplicate-row multiset;
+* ``gnn_encode_*`` — bulk operator-embedding requests through
+  :mod:`repro.gnn.batch` vs one encoder pass per sample;
+* ``campaign_*`` — the end-to-end smoke service campaign (the
+  ``bench_service.py --smoke`` workload): the seed repository's
+  sequential per-query path vs the concurrent service with shared
+  caches, pre-warming, bound-pruned assignment and weighted fitting.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.perf.fixtures import PerfFixtures
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One named, timed hot path.
+
+    ``run`` receives the fixtures and performs the full computation —
+    including any per-call state (fresh caches, engines, tuners), so
+    every repeat is cold where the hot path would be cold in production.
+    """
+
+    name: str
+    hot_path: str
+    description: str
+    run: Callable[[PerfFixtures], object]
+    repeats: int = 5
+    smoke_repeats: int = 3
+
+
+# ----------------------------------------------------------------------
+# GED cluster assignment
+# ----------------------------------------------------------------------
+
+def _bench_ged_assign_pruned(fixtures: PerfFixtures):
+    from repro.ged.search import GEDCache
+
+    cache = GEDCache()
+    return [
+        cache.nearest(flow, fixtures.centers) for flow in fixtures.assign_flows
+    ]
+
+
+def _bench_ged_assign_exhaustive(fixtures: PerfFixtures):
+    from repro.ged.search import GEDCache
+
+    cache = GEDCache()
+    assignments = []
+    for flow in fixtures.assign_flows:
+        distances = [cache.distance(flow, center) for center in fixtures.centers]
+        assignments.append(min(range(len(distances)), key=distances.__getitem__))
+    return assignments
+
+
+# ----------------------------------------------------------------------
+# warm-up dataset construction
+# ----------------------------------------------------------------------
+
+def _bench_warmup_batched(fixtures: PerfFixtures):
+    from repro.core.finetune import build_warmup_dataset
+
+    return build_warmup_dataset(
+        fixtures.pretrained,
+        fixtures.warmup_cluster,
+        max_rows=fixtures.warmup_rows,
+        seed=17,
+        batch_encode=True,
+    )
+
+
+def _bench_warmup_per_record(fixtures: PerfFixtures):
+    from repro.core.finetune import build_warmup_dataset
+
+    return build_warmup_dataset(
+        fixtures.pretrained,
+        fixtures.warmup_cluster,
+        max_rows=fixtures.warmup_rows,
+        seed=17,
+        batch_encode=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# weighted SVM fitting
+# ----------------------------------------------------------------------
+
+def _bench_svm_weighted(fixtures: PerfFixtures):
+    from repro.models import make_prediction_model
+
+    model = make_prediction_model("svm", seed=17)
+    return model.fit(
+        fixtures.fit_features,
+        fixtures.fit_labels,
+        sample_weight=fixtures.fit_weights,
+    )
+
+
+def _bench_svm_duplicated(fixtures: PerfFixtures):
+    from repro.models import make_prediction_model
+
+    model = make_prediction_model("svm", seed=17)
+    return model.fit(fixtures.fit_features_dup, fixtures.fit_labels_dup)
+
+
+# ----------------------------------------------------------------------
+# batched GNN encoding
+# ----------------------------------------------------------------------
+
+#: Inner iterations of the (sub-millisecond) encoding benchmarks: each
+#: timed repeat encodes the batch this many times, so one repeat lasts
+#: milliseconds and scheduler jitter cannot dominate the measurement.
+GNN_INNER_ITERATIONS = 20
+
+
+def _bench_gnn_batched(fixtures: PerfFixtures):
+    from repro.gnn.batch import encode_samples
+
+    for _ in range(GNN_INNER_ITERATIONS):
+        result = encode_samples(
+            fixtures.encoder, fixtures.samples, parallelism_aware=False
+        )
+    return result
+
+
+def _bench_gnn_per_sample(fixtures: PerfFixtures):
+    for _ in range(GNN_INNER_ITERATIONS):
+        result = [
+            fixtures.encoder.encode(sample, parallelism_aware=False)
+            for sample in fixtures.samples
+        ]
+    return result
+
+
+# ----------------------------------------------------------------------
+# end-to-end smoke campaign (the bench_service.py --smoke workload)
+# ----------------------------------------------------------------------
+
+def _bench_campaign_baseline(fixtures: PerfFixtures):
+    from repro.experiments import context
+    from repro.experiments.campaigns import run_campaign
+
+    results = []
+    for query in fixtures.queries:
+        engine = context.make_engine("flink", fixtures.scale)
+        tuner = context.make_tuner("StreamTune", engine, fixtures.scale)
+        results.append(
+            run_campaign(engine, tuner, query, list(fixtures.multipliers))
+        )
+    return results
+
+
+def _bench_campaign_service(fixtures: PerfFixtures):
+    from repro.service import CampaignSpec, TuningService
+
+    specs = [
+        CampaignSpec(
+            query=query,
+            multipliers=tuple(fixtures.multipliers),
+            engine="flink",
+            engine_seed=fixtures.scale.seed,
+            seed=fixtures.scale.seed + 4,
+        )
+        for query in fixtures.queries
+    ]
+    service = TuningService(fixtures.pretrained, backend="thread")
+    return service.run(specs)
+
+
+#: The registry, in execution order (micro paths first, campaigns last so
+#: their artifact warm-up cannot skew the micro timings).
+BENCHMARKS: tuple[Benchmark, ...] = (
+    Benchmark(
+        name="ged_assign_pruned",
+        hot_path="ged-cluster-assignment",
+        description="bound-pruned nearest-center assignment (cold cache)",
+        run=_bench_ged_assign_pruned,
+        repeats=5,
+        smoke_repeats=3,
+    ),
+    Benchmark(
+        name="ged_assign_exhaustive",
+        hot_path="ged-cluster-assignment",
+        description="exhaustive per-center A*-LSa assignment (cold cache)",
+        run=_bench_ged_assign_exhaustive,
+        repeats=5,
+        smoke_repeats=3,
+    ),
+    Benchmark(
+        name="warmup_dataset_batched",
+        hot_path="warmup-dataset",
+        description="warm-up dataset with block-diagonal batched encoding",
+        run=_bench_warmup_batched,
+        repeats=5,
+        smoke_repeats=4,
+    ),
+    Benchmark(
+        name="warmup_dataset_per_record",
+        hot_path="warmup-dataset",
+        description="warm-up dataset with one encoder pass per record",
+        run=_bench_warmup_per_record,
+        repeats=5,
+        smoke_repeats=4,
+    ),
+    Benchmark(
+        name="svm_fit_weighted",
+        hot_path="svm-fit",
+        description="monotone SVM fit on weighted unique rows",
+        run=_bench_svm_weighted,
+        repeats=5,
+        smoke_repeats=3,
+    ),
+    Benchmark(
+        name="svm_fit_duplicated",
+        hot_path="svm-fit",
+        description="monotone SVM fit on the materialised row multiset",
+        run=_bench_svm_duplicated,
+        repeats=5,
+        smoke_repeats=3,
+    ),
+    Benchmark(
+        name="gnn_encode_batched",
+        hot_path="gnn-encoding",
+        description="bulk embeddings through repro.gnn.batch",
+        run=_bench_gnn_batched,
+        repeats=7,
+        smoke_repeats=5,
+    ),
+    Benchmark(
+        name="gnn_encode_per_sample",
+        hot_path="gnn-encoding",
+        description="one encoder pass per sample",
+        run=_bench_gnn_per_sample,
+        repeats=7,
+        smoke_repeats=5,
+    ),
+    Benchmark(
+        name="campaign_sequential_baseline",
+        hot_path="service-campaign",
+        description="seed-path sequential per-query campaign (no caches)",
+        run=_bench_campaign_baseline,
+        repeats=2,
+        smoke_repeats=1,
+    ),
+    Benchmark(
+        name="campaign_service",
+        hot_path="service-campaign",
+        description="concurrent tuning service (shared caches + pre-warm)",
+        run=_bench_campaign_service,
+        repeats=2,
+        smoke_repeats=1,
+    ),
+)
+
+#: Speedup ratios the regression gate checks: ``slow / fast`` over the
+#: named benchmark pair's best observed times (see :func:`compute_ratios`).
+#: >1 means the optimisation pays off.
+RATIO_DEFINITIONS: dict[str, tuple[str, str]] = {
+    "ged_assign_speedup": ("ged_assign_exhaustive", "ged_assign_pruned"),
+    "warmup_batch_speedup": ("warmup_dataset_per_record", "warmup_dataset_batched"),
+    "svm_dedup_speedup": ("svm_fit_duplicated", "svm_fit_weighted"),
+    "gnn_batch_speedup": ("gnn_encode_per_sample", "gnn_encode_batched"),
+    "service_speedup": ("campaign_sequential_baseline", "campaign_service"),
+}
+
+
+def benchmark_names() -> list[str]:
+    return [bench.name for bench in BENCHMARKS]
+
+
+def time_benchmark(
+    bench: Benchmark, fixtures: PerfFixtures, smoke: bool
+) -> dict:
+    """Run ``bench`` for its configured repeats and report the timings."""
+    repeats = bench.smoke_repeats if smoke else bench.repeats
+    times: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        bench.run(fixtures)
+        times.append(time.perf_counter() - started)
+    return {
+        "hot_path": bench.hot_path,
+        "description": bench.description,
+        "seconds": statistics.median(times),
+        "min_seconds": min(times),
+        "max_seconds": max(times),
+        "repeats": repeats,
+    }
+
+
+def run_benchmarks(
+    fixtures: PerfFixtures,
+    smoke: bool,
+    only: "list[str] | None" = None,
+    echo=None,
+) -> dict:
+    """Time every (selected) benchmark; returns ``name -> result``."""
+    selected = list(BENCHMARKS)
+    if only is not None:
+        known = {bench.name for bench in BENCHMARKS}
+        unknown = sorted(set(only) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        wanted = set(only)
+        selected = [bench for bench in BENCHMARKS if bench.name in wanted]
+    results: dict = {}
+    for bench in selected:
+        result = time_benchmark(bench, fixtures, smoke)
+        results[bench.name] = result
+        if echo is not None:
+            echo(
+                f"  {bench.name:<30} {result['seconds'] * 1000:9.1f} ms "
+                f"(x{result['repeats']})"
+            )
+    return results
+
+
+def compute_ratios(results: dict) -> dict:
+    """Speedup ratios for every pair whose two benchmarks both ran.
+
+    Ratios are built from each side's *best* observed time: the minimum
+    is the classic microbenchmark statistic — scheduler noise only ever
+    adds time — which keeps the regression gate stable run to run.
+    """
+    ratios: dict = {}
+    for name, (slow, fast) in RATIO_DEFINITIONS.items():
+        if slow in results and fast in results:
+            best = lambda result: result.get("min_seconds", result["seconds"])  # noqa: E731
+            denominator = best(results[fast])
+            if denominator > 0:
+                ratios[name] = best(results[slow]) / denominator
+    return ratios

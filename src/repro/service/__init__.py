@@ -22,6 +22,12 @@ Architecture (see each module for depth):
   versioned snapshots (``TuningCacheSet.save`` / ``load``);
   :class:`SharedGEDCache` is the thread/process-safe pairwise-GED store
   behind cluster assignment.
+* :mod:`repro.service.prewarm` — service-level cache pre-warming: shared
+  pure entries (assignments, warm-up datasets, distilled rows,
+  embeddings) are computed once in the parent — bulk encoder requests
+  coalescing through :mod:`repro.gnn.batch` — before the fleet
+  dispatches, shipped to ``process``-backend workers in the pool
+  initializer, and restored from a resume log's completed cells.
 * :mod:`repro.service.tuning` — :class:`TuningService` executes campaigns
   over a ``sequential`` / ``thread`` / ``process`` worker pool.  Every
   campaign owns its engine and tuner (per-campaign seeding), all share the
@@ -47,6 +53,7 @@ from repro.service.cache import (
     SnapshotError,
     TuningCacheSet,
 )
+from repro.service.prewarm import prewarm_caches
 from repro.service.scheduler import (
     BackpressureScheduler,
     CampaignPriority,
@@ -76,5 +83,6 @@ __all__ = [
     "TuningCacheSet",
     "TuningService",
     "execute_campaign",
+    "prewarm_caches",
     "shard_bounds",
 ]

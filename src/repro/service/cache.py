@@ -30,7 +30,9 @@ from collections.abc import MutableMapping
 from pathlib import Path
 
 from repro.ged.astar_lsa import astar_lsa_ged
+from repro.ged.bounds import combined_bound
 from repro.ged.costs import DEFAULT_COSTS, EditCosts
+from repro.ged.search import BOUND_SLACK, nearest_center
 from repro.ged.view import as_view
 
 _LOCAL_RLOCK_TYPE = type(threading.RLock())
@@ -216,7 +218,9 @@ class TuningCacheSet:
     # entry returns bit-identically what a recomputation would.
 
     #: On-disk snapshot format version; bump on incompatible layout change.
-    SNAPSHOT_VERSION = 1
+    #: v2: ``distill``/``embed`` sections are keyed by the cross-query
+    #: structure signature and ``embed`` stores the embedding matrix alone.
+    SNAPSHOT_VERSION = 2
     _SNAPSHOT_FORMAT = "repro.service.TuningCacheSet"
 
     def save(self, path: str | Path) -> None:
@@ -347,6 +351,12 @@ class SharedGEDCache:
             self._bounds.hits += 1
             return False
         self._bounds.misses += 1
+        # Cheap admissible pre-filter (see GEDCache.within): a lower bound
+        # beyond the threshold settles the predicate without any search.
+        cheap = combined_bound(a, b, self.costs)
+        if cheap > threshold + BOUND_SLACK:
+            self._bounds.put(key, max(bound or 0.0, cheap))
+            return False
         value = astar_lsa_ged(a, b, costs=self.costs, threshold=threshold)
         if value is None:
             previous = self._bounds.get(key, 0.0)
@@ -354,3 +364,9 @@ class SharedGEDCache:
             return False
         self._exact.put(key, value)
         return True
+
+    def nearest(self, graph, centers) -> int:
+        """Bound-pruned nearest-center index, bit-identical to the
+        exhaustive argmin (see :func:`repro.ged.search.nearest_center`);
+        the hot path of concurrent cluster assignment."""
+        return nearest_center(self, graph, centers)

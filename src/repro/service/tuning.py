@@ -71,7 +71,8 @@ from repro.api.events import (
 from repro.core.pretrain import PretrainedStreamTune
 from repro.core.tuner import StreamTuneTuner
 from repro.experiments.campaigns import CampaignResult, iter_campaign
-from repro.service.cache import SharedGEDCache, TuningCacheSet
+from repro.service.cache import CACHE_SECTIONS, SharedGEDCache, TuningCacheSet
+from repro.service.prewarm import RESUME_DEMAND, prewarm_caches
 from repro.service.scheduler import BackpressureScheduler, CampaignSpec, FifoScheduler
 
 BACKENDS = ("sequential", "thread", "process")
@@ -330,6 +331,7 @@ def _init_worker(
     fit_dedup: bool,
     shared_sections: dict | None = None,
     backend: str = "process",
+    warm_entries: dict | None = None,
 ) -> None:
     """Per-process initialiser: install the model and fresh local caches.
 
@@ -338,12 +340,21 @@ def _init_worker(
     are process-local; ``shared_sections`` carries the manager-backed
     stores (cluster assignment — GED entries travel inside
     ``pretrained.clustering``'s shared cache) that are cheap enough to
-    share across every worker.
+    share across every worker.  ``warm_entries`` carries the parent's
+    pre-warmed section entries (``kind -> [(key, value), ...]``), so a
+    worker starts with every shared pure computation already paid for
+    instead of rebuilding warm-up datasets and embeddings per process.
     """
     _WORKER["pretrained"] = pretrained
     caches = TuningCacheSet()
     for kind, cache in (shared_sections or {}).items():
         caches._caches[kind] = cache
+    for kind, entries in (warm_entries or {}).items():
+        section = caches._caches.get(kind)
+        if section is None:
+            continue
+        for key, value in entries:
+            section.put(key, value)
     _WORKER["caches"] = caches
     _WORKER["fit_dedup"] = fit_dedup
     _WORKER["backend"] = backend
@@ -423,6 +434,7 @@ class TuningService:
         share_ged_cache: bool = True,
         manager=None,
         caches: TuningCacheSet | None = None,
+        prewarm: "bool | str" = "auto",
     ) -> None:
         """``backend`` selects the worker pool: ``thread`` (default; shares
         every cache section in-process), ``process`` (one Python per
@@ -444,9 +456,23 @@ class TuningService:
         example one loaded from a ``TuningCacheSet.load`` snapshot) so
         warm-up datasets, distilled rows and embeddings survive between
         service runs; ``None`` builds a fresh set for this service.
+
+        ``prewarm`` controls service-level cache pre-warming (see
+        :mod:`repro.service.prewarm`): ``"auto"`` (default) warms every
+        entry on the ``process`` backend (worker-local caches would
+        otherwise recompute them per worker), entries demanded by more
+        than one work unit on the ``thread`` backend, and — on every
+        backend — the entries of resume-covered campaigns; ``True`` warms
+        everything, ``False`` disables pre-warming.  Pre-warmed entries
+        come from the exact builders the tuner would run on a miss, so
+        results are bit-identical either way.
         """
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if prewarm not in (True, False, "auto"):
+            raise ValueError(
+                f"prewarm must be True, False or 'auto', got {prewarm!r}"
+            )
         self.pretrained = pretrained
         self.backend = backend
         self.max_workers = max_workers or min(8, (os.cpu_count() or 1) * 2)
@@ -455,6 +481,9 @@ class TuningService:
         self._manager = manager
         if share_ged_cache and pretrained is not None:
             self._install_shared_ged_cache()
+        self.prewarm = prewarm
+        #: Sections newly computed by the most recent stream's pre-warm.
+        self.last_prewarm: dict[str, int] = {}
         self.caches = caches if caches is not None else self._make_cache_set()
         #: Unit -> worker future of the stream currently draining (empty
         #: outside a stream); introspection for liveness tests/diagnostics.
@@ -463,16 +492,20 @@ class TuningService:
     # -- construction helpers ------------------------------------------
 
     def _make_cache_set(self) -> TuningCacheSet:
+        caches = TuningCacheSet()
         if self.backend == "process" and self._manager is not None:
-            # Only the tiny cross-worker-profitable sections go through the
-            # manager (IPC per access); bulky numpy-laden sections stay
-            # worker-local via _init_worker.
-            return TuningCacheSet(
-                sections={"assign": 65536},
-                mapping_factory=self._manager.dict,
-                lock_factory=self._manager.RLock,
+            # Only the tiny cross-worker-profitable section goes through
+            # the manager (IPC per access); bulky numpy-laden sections stay
+            # local — the parent's copies hold pre-warmed entries that ship
+            # to workers once via the pool initializer (_init_worker).
+            from repro.service.cache import ConcurrentLRUCache
+
+            caches._caches["assign"] = ConcurrentLRUCache(
+                maxsize=CACHE_SECTIONS["assign"],
+                mapping=self._manager.dict(),
+                lock=self._manager.RLock(),
             )
-        return TuningCacheSet()
+        return caches
 
     def _install_shared_ged_cache(self) -> None:
         clustering = self.pretrained.clustering
@@ -693,6 +726,12 @@ class TuningService:
                 ))
                 yield stamped(self._finished_event(spec, index, outcome))
             units = self._plan_units(specs, trace_shards, skip=set(resumed))
+            if units or resumed:
+                # Resumed-only fleets still warm (no pool spins up for
+                # them below): their completed cells' pure entries belong
+                # in this service's cache set — and any snapshot taken
+                # from it — not just their recorded results.
+                self._prewarm_for(specs, units, resumed)
             if units:
                 if self.backend == "sequential":
                     emitter = self._stream_sequential(specs, units)
@@ -703,6 +742,66 @@ class TuningService:
                 for event in emitter:
                     yield stamped(event)
         yield stamped(CacheStats(stats=self.cache_stats()))
+
+    # -- pre-warming ----------------------------------------------------
+
+    def _prewarm_min_demand(self) -> int | None:
+        """The key-demand threshold of this backend's pre-warm policy, or
+        ``None`` when pre-warming is disabled outright."""
+        if self.prewarm is False or self.pretrained is None:
+            return None
+        if self.prewarm is True:
+            return 1
+        if self.backend == "process":
+            return 1            # worker-local caches duplicate everything
+        if self.backend == "thread":
+            return 2            # only de-duplicate concurrent cold misses
+        return RESUME_DEMAND    # sequential: resume-covered entries only
+
+    def _prewarm_for(self, specs, units, resumed) -> None:
+        """Populate the shared caches before the fleet dispatches.
+
+        A key's demand is the number of work units that will consult it
+        (shards replay their prefix, so every shard counts); campaigns a
+        resume log already covers carry :data:`RESUME_DEMAND` — their pure
+        entries warm the missing cells and the next ``cache_path``
+        snapshot without re-executing anything.
+        """
+        min_demand = self._prewarm_min_demand()
+        if min_demand is None:
+            self.last_prewarm = {}
+            return
+        unit_counts: dict[int, int] = {}
+        for unit in units:
+            unit_counts[unit.spec_index] = unit_counts.get(unit.spec_index, 0) + 1
+        demands = [
+            RESUME_DEMAND if index in resumed else unit_counts.get(index, 0)
+            for index in range(len(specs))
+        ]
+        self.last_prewarm = prewarm_caches(
+            self.pretrained,
+            self.caches,
+            specs,
+            fit_dedup=self.fit_dedup,
+            demands=demands,
+            min_demand=min_demand,
+        )
+
+    def _warm_entries(self, exclude=frozenset()) -> dict:
+        """Per-section ``[(key, value), ...]`` snapshots for worker pools."""
+        entries: dict = {}
+        for kind in ("assign", "warmup", "distill", "embed"):
+            if kind in exclude:
+                continue
+            try:
+                cache = self.caches.section(kind)
+            except KeyError:
+                continue
+            with cache._lock:
+                items = list(cache._data.items())
+            if items:
+                entries[kind] = items
+        return entries
 
     # -- backend-specific emitters -------------------------------------
 
@@ -789,11 +888,17 @@ class TuningService:
             # Manager-backed sections are proxy objects and pickle
             # cleanly to workers; thread-local sections would not.
             shared_sections = {"assign": self.caches.section("assign")}
+        # Pre-warmed entries travel once per worker in the initializer, so
+        # worker-local caches start hot instead of rebuilding per process.
+        warm_entries = self._warm_entries(exclude=set(shared_sections or ()))
         relay = manager.Queue()
         pool = ProcessPoolExecutor(
             max_workers=self.max_workers,
             initializer=_init_worker,
-            initargs=(self.pretrained, self.fit_dedup, shared_sections, self.backend),
+            initargs=(
+                self.pretrained, self.fit_dedup, shared_sections,
+                self.backend, warm_entries,
+            ),
         )
         try:
             futures = {

@@ -312,6 +312,27 @@ class TestMetricsAggregator:
         metrics(StepCompleted(campaign="c", scenario="b"))
         assert set(metrics.steps) == {"a/c", "b/c"}
 
+    def test_failures_surface_counts_and_cell_keys(self):
+        metrics = MetricsAggregator()
+        metrics(CampaignFinished(campaign="ok", wall_seconds=1.0))
+        metrics(CampaignFailed(
+            campaign="boom", error_type="OSError", cell_key="flink:s:boom:x3.0"
+        ))
+        metrics(CampaignFailed(campaign="anon", error_type="ValueError"))
+        summary = metrics.summary()
+        assert summary["failed_campaigns"] == 2
+        # Cell keys are what --resume retries; a failure without one falls
+        # back to its campaign label so it is never silently dropped.
+        assert summary["failed_cell_keys"] == ["flink:s:boom:x3.0", "anon"]
+        assert summary["campaigns"] == 1
+
+    def test_no_failures_reads_as_empty(self):
+        metrics = MetricsAggregator()
+        metrics(CampaignFinished(campaign="ok", wall_seconds=1.0))
+        summary = metrics.summary()
+        assert summary["failed_campaigns"] == 0
+        assert summary["failed_cell_keys"] == []
+
 
 class TestProgressPrinter:
     def test_one_line_per_event(self, capsys):

@@ -1,0 +1,133 @@
+"""Bound-pruned GED decisions must be bit-identical to exhaustive ones.
+
+The PR 5 optimisation lets cheap admissible lower bounds short-circuit
+exact A*-LSa work in two places — nearest-center cluster assignment
+(:func:`repro.ged.search.nearest_center`) and threshold verification
+(``within``).  Pruning is only sound if it can never change an answer,
+so these property tests drive random DAG pairs through both paths and
+require exact agreement with the unpruned reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ged.astar_lsa import astar_lsa_ged
+from repro.ged.search import GEDCache, nearest_center
+from repro.service.cache import SharedGEDCache
+from tests.test_ged_bounds_beam import random_chain_flow
+
+
+def _exhaustive_nearest(flows, query):
+    cache = GEDCache()
+    distances = [cache.distance(query, center) for center in flows]
+    return min(range(len(distances)), key=distances.__getitem__)
+
+
+class TestNearestCenterEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        query_seed=st.integers(0, 40),
+        center_seeds=st.lists(
+            st.integers(0, 40), min_size=1, max_size=6
+        ),
+    )
+    def test_pruned_assignment_matches_exhaustive(self, query_seed, center_seeds):
+        query = random_chain_flow(query_seed)
+        centers = [random_chain_flow(seed) for seed in center_seeds]
+        expected = _exhaustive_nearest(centers, query)
+        assert GEDCache().nearest(query, centers) == expected
+        assert SharedGEDCache().nearest(query, centers) == expected
+        assert nearest_center(GEDCache(), query, centers) == expected
+
+    def test_first_index_wins_exact_ties(self):
+        # Identical centers tie at the exact distance; the exhaustive
+        # argmin keeps the first occurrence and so must the pruned path.
+        query = random_chain_flow(3)
+        duplicate = random_chain_flow(9)
+        centers = [duplicate, duplicate, query, query]
+        assert GEDCache().nearest(query, centers) == 2
+        assert SharedGEDCache().nearest(query, centers) == 2
+
+    def test_warm_cache_agrees_with_cold(self):
+        query = random_chain_flow(1)
+        centers = [random_chain_flow(seed) for seed in (2, 5, 8, 13)]
+        cold = GEDCache().nearest(query, centers)
+        warm_cache = GEDCache()
+        for center in centers:
+            warm_cache.distance(query, center)   # exacts become their bounds
+        assert warm_cache.nearest(query, centers) == cold
+
+    def test_empty_centers_rejected(self):
+        with pytest.raises(ValueError):
+            GEDCache().nearest(random_chain_flow(0), [])
+
+    def test_clustering_predict_uses_pruned_path(self):
+        # ClusteringResult.predict delegates to the cache's nearest();
+        # a cache without one falls back to the exhaustive argmin — and
+        # the two must agree on every input.
+        from repro.clustering.kmeans import GEDKMeans
+
+        flows = [random_chain_flow(seed) for seed in range(10)]
+        result = GEDKMeans(3, seed=11).fit(flows)
+
+        class ExhaustiveOnly:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def distance(self, a, b):
+                return self._inner.distance(a, b)
+
+        pruned = [result.predict(flow) for flow in flows]
+        result.cache = ExhaustiveOnly(GEDCache())
+        exhaustive = [result.predict(flow) for flow in flows]
+        assert pruned == exhaustive
+
+    def test_kmeans_fit_unchanged_by_pruned_assignment(self):
+        # Same seed, pruning on (default cache) vs off (a cache exposing
+        # only distance): identical clustering outcome.
+        from repro.clustering.kmeans import GEDKMeans
+
+        class ExhaustiveOnly:
+            def __init__(self):
+                self._inner = GEDCache()
+
+            def distance(self, a, b):
+                return self._inner.distance(a, b)
+
+            def within(self, a, b, threshold):
+                return self._inner.within(a, b, threshold)
+
+        flows = [random_chain_flow(seed) for seed in range(12)]
+        pruned = GEDKMeans(3, seed=23).fit(flows)
+        plain = GEDKMeans(3, seed=23, cache=ExhaustiveOnly()).fit(flows)
+        assert pruned.assignments == plain.assignments
+        assert pruned.inertia == plain.inertia
+        assert [c.structural_signature() for c in pruned.center_graphs] == [
+            c.structural_signature() for c in plain.center_graphs
+        ]
+
+
+class TestWithinShortCircuit:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed_a=st.integers(0, 30),
+        seed_b=st.integers(0, 30),
+        threshold=st.sampled_from([0.0, 1.0, 2.0, 3.0, 5.0, 8.0]),
+    )
+    def test_within_matches_direct_search(self, seed_a, seed_b, threshold):
+        a = random_chain_flow(seed_a)
+        b = random_chain_flow(seed_b)
+        reference = astar_lsa_ged(a, b, threshold=threshold) is not None
+        assert GEDCache().within(a, b, threshold) == reference
+        assert SharedGEDCache().within(a, b, threshold) == reference
+
+    def test_bound_rejection_is_cached(self):
+        # A cheap-bound rejection leaves a reusable lower bound behind.
+        a = random_chain_flow(1, max_middle=1)
+        b = random_chain_flow(20, max_middle=4)
+        cache = GEDCache()
+        assert cache.within(a, b, 0.0) is False
+        assert cache._lower_bounds, "cheap rejection should persist a bound"

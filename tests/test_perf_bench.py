@@ -1,0 +1,214 @@
+"""The repro.perf benchmark subsystem: registry, reports, regression gate.
+
+The heavy fixture construction (smoke-scale pre-training) is exercised by
+the perf-smoke CI job, not here — these tests pin the harness semantics:
+benchmark/ratio registry consistency, timing mechanics on synthetic
+benchmarks, report round-trips, and the gate's regression arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BENCHMARKS,
+    RATIO_DEFINITIONS,
+    Benchmark,
+    PerfError,
+    benchmark_names,
+    build_report,
+    compare_reports,
+    compute_ratios,
+    load_report,
+    time_benchmark,
+    write_report,
+)
+class TestRegistry:
+    def test_names_are_unique(self):
+        names = benchmark_names()
+        assert len(set(names)) == len(names)
+
+    def test_every_ratio_references_registered_benchmarks(self):
+        names = set(benchmark_names())
+        for ratio, (slow, fast) in RATIO_DEFINITIONS.items():
+            assert slow in names, (ratio, slow)
+            assert fast in names, (ratio, fast)
+            assert slow != fast, ratio
+
+    def test_every_hot_path_has_a_ratio(self):
+        # Each optimised hot path ships with the measurement backing it.
+        ratio_benches = {name for pair in RATIO_DEFINITIONS.values() for name in pair}
+        for bench in BENCHMARKS:
+            assert bench.name in ratio_benches, bench.name
+
+    def test_repeats_are_positive(self):
+        for bench in BENCHMARKS:
+            assert bench.repeats >= 1
+            assert bench.smoke_repeats >= 1
+
+
+class TestTiming:
+    def _counting_benchmark(self, calls):
+        return Benchmark(
+            name="probe",
+            hot_path="test",
+            description="records its invocations",
+            run=lambda fixtures: calls.append(fixtures),
+            repeats=4,
+            smoke_repeats=2,
+        )
+
+    def test_time_benchmark_repeats_and_reports(self):
+        calls: list = []
+        result = time_benchmark(self._counting_benchmark(calls), "fx", smoke=False)
+        assert len(calls) == 4
+        assert calls == ["fx"] * 4
+        assert result["repeats"] == 4
+        assert 0 <= result["min_seconds"] <= result["seconds"] <= result["max_seconds"]
+        assert result["hot_path"] == "test"
+
+    def test_smoke_uses_smoke_repeats(self):
+        calls: list = []
+        result = time_benchmark(self._counting_benchmark(calls), None, smoke=True)
+        assert len(calls) == 2
+        assert result["repeats"] == 2
+
+    def test_compute_ratios_skips_incomplete_pairs(self):
+        results = {
+            "ged_assign_exhaustive": {"seconds": 2.0},
+            "ged_assign_pruned": {"seconds": 0.5},
+            "svm_fit_duplicated": {"seconds": 1.0},   # partner missing
+        }
+        ratios = compute_ratios(results)
+        assert ratios == {"ged_assign_speedup": 4.0}
+
+
+def _report(ratios, benchmarks=None, smoke=True):
+    return build_report(benchmarks or {}, ratios, smoke=smoke)
+
+
+class TestReportRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        report = _report({"service_speedup": 3.0})
+        path = write_report(report, tmp_path / "bench.json")
+        loaded = load_report(path)
+        assert loaded["ratios"] == {"service_speedup": 3.0}
+        assert loaded["format"] == "repro.perf"
+        assert loaded["bench"] == "PR5"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(PerfError, match="does not exist"):
+            load_report(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PerfError, match="not valid JSON"):
+            load_report(path)
+
+    def test_load_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(PerfError, match="not a repro.perf report"):
+            load_report(path)
+
+
+class TestRegressionGate:
+    def test_pass_when_ratios_hold(self):
+        baseline = _report({"a_speedup": 4.0})
+        current = _report({"a_speedup": 3.9})
+        assert compare_reports(current, baseline) == []
+
+    def test_improvements_always_pass(self):
+        baseline = _report({"a_speedup": 4.0})
+        current = _report({"a_speedup": 40.0})
+        assert compare_reports(current, baseline) == []
+
+    def test_fails_beyond_tolerance(self):
+        baseline = _report({"a_speedup": 4.0})
+        current = _report({"a_speedup": 2.9})     # floor at 25% is 3.0
+        violations = compare_reports(current, baseline)
+        assert len(violations) == 1
+        assert "a_speedup" in violations[0]
+        assert "regressed" in violations[0]
+
+    def test_tolerance_is_configurable(self):
+        baseline = _report({"a_speedup": 4.0})
+        current = _report({"a_speedup": 2.9})
+        assert compare_reports(current, baseline, tolerance=0.5) == []
+
+    def test_missing_ratio_is_a_violation(self):
+        baseline = _report({"a_speedup": 4.0})
+        current = _report({})
+        violations = compare_reports(current, baseline)
+        assert len(violations) == 1
+        assert "missing" in violations[0]
+
+    def test_absolute_gate_is_opt_in(self):
+        baseline = _report({}, benchmarks={"b": {"seconds": 1.0}})
+        current = _report({}, benchmarks={"b": {"seconds": 10.0}})
+        assert compare_reports(current, baseline) == []
+        violations = compare_reports(current, baseline, gate_absolute=True)
+        assert len(violations) == 1
+        assert "benchmark b regressed" in violations[0]
+
+    def test_bad_tolerance_rejected(self):
+        report = _report({})
+        with pytest.raises(PerfError, match="tolerance"):
+            compare_reports(report, report, tolerance=1.5)
+
+
+class TestPerfCli:
+    def test_list_exits_zero_and_names_every_benchmark(self, capsys):
+        assert main(["perf", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in benchmark_names():
+            assert name in out
+
+    def test_only_with_update_baseline_exits_two(self, capsys):
+        # A partial baseline would hollow out the gate for every
+        # unselected ratio; the combination is refused outright.
+        code = main([
+            "perf", "--smoke", "--only", "svm_fit_weighted", "--update-baseline",
+        ])
+        assert code == 2
+        assert "--only" in capsys.readouterr().err
+
+    def test_unknown_only_exits_two(self, capsys):
+        # Validated before fixtures are built: instant, one line.
+        code = main(["perf", "--smoke", "--only", "no_such_bench"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no_such_bench" in err
+        assert err.count("\n") == 1
+
+    def test_missing_explicit_baseline_exits_two(self, tmp_path, capsys):
+        # Validated before any fixture construction: the failure is
+        # immediate and one line, never a traceback after a full timing run.
+        code = main([
+            "perf", "--smoke", "--baseline", str(tmp_path / "missing.json"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "missing.json" in err
+        assert err.count("\n") == 1
+
+    def test_bad_tolerance_exits_two(self, capsys):
+        code = main(["perf", "--smoke", "--tolerance", "1.5"])
+        assert code == 2
+        assert "tolerance" in capsys.readouterr().err
+
+    def test_smoke_full_baseline_mismatch_exits_two(self, tmp_path, capsys):
+        # Smoke and full fixtures are different workloads: gating one
+        # against the other's baseline is refused before any timing runs.
+        baseline = write_report(
+            _report({"service_speedup": 3.0}, smoke=False),
+            tmp_path / "full_baseline.json",
+        )
+        code = main(["perf", "--smoke", "--baseline", str(baseline)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "full baseline" in err and "smoke run" in err

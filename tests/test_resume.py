@@ -410,3 +410,93 @@ class TestCliResume:
         captured = capsys.readouterr()
         assert "resume: 1 of 1 campaign(s) already recorded" in captured.err
         assert "executing 0" in captured.err
+
+    def test_resume_auto_discovers_latest_record(self, tmp_path, capsys):
+        # `--resume auto` picks the newest *.jsonl next to --record,
+        # never the current run's own record target.
+        import os
+
+        from repro.cli import main
+
+        plan = self._plan_file(tmp_path)
+        log = tmp_path / "events.jsonl"
+        assert main(["run-plan", str(plan), "--record", str(log)]) == 0
+        stale = tmp_path / "older.jsonl"
+        stale.write_text("not an event log\n")
+        os.utime(stale, (1, 1))            # decisively older than the record
+        capsys.readouterr()
+        code = main([
+            "run-plan", str(plan),
+            "--record", str(tmp_path / "resumed.jsonl"),
+            "--resume", "auto",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert f"resume: auto-discovered {log}" in err
+        assert "executing 0" in err
+
+    def test_resume_auto_without_logs_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan = self._plan_file(tmp_path)
+        code = main([
+            "run-plan", str(plan),
+            "--record", str(tmp_path / "resumed.jsonl"),
+            "--resume", "auto",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no *.jsonl record" in err and "Traceback" not in err
+
+
+class TestDiscoverLatestLog:
+    def test_latest_mtime_wins(self, tmp_path):
+        import os
+
+        from repro.api.resume import discover_latest_log
+
+        old = tmp_path / "a.jsonl"
+        new = tmp_path / "b.jsonl"
+        old.write_text("{}\n")
+        new.write_text("{}\n")
+        os.utime(old, (100, 100))
+        os.utime(new, (200, 200))
+        assert discover_latest_log(tmp_path) == new
+
+    def test_mtime_ties_break_by_name(self, tmp_path):
+        import os
+
+        from repro.api.resume import discover_latest_log
+
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        first.write_text("{}\n")
+        second.write_text("{}\n")
+        os.utime(first, (100, 100))
+        os.utime(second, (100, 100))
+        assert discover_latest_log(tmp_path) == second
+
+    def test_exclude_removes_the_current_record_target(self, tmp_path):
+        import os
+
+        from repro.api.resume import discover_latest_log
+
+        older = tmp_path / "a.jsonl"
+        newest = tmp_path / "current.jsonl"
+        older.write_text("{}\n")
+        newest.write_text("{}\n")
+        os.utime(older, (100, 100))
+        os.utime(newest, (200, 200))
+        assert discover_latest_log(tmp_path, exclude={newest}) == older
+
+    def test_empty_directory_raises(self, tmp_path):
+        from repro.api.resume import ResumeError, discover_latest_log
+
+        with pytest.raises(ResumeError, match="no \\*.jsonl record"):
+            discover_latest_log(tmp_path)
+
+    def test_non_directory_raises(self, tmp_path):
+        from repro.api.resume import ResumeError, discover_latest_log
+
+        with pytest.raises(ResumeError, match="not a directory"):
+            discover_latest_log(tmp_path / "missing")
