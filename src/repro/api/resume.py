@@ -42,8 +42,12 @@ def discover_latest_log(
     record file, the operator points at (or implies, via ``--record``) the
     record directory and the newest log wins.  ``exclude`` removes paths
     that must not be considered — typically the *current* run's ``--record``
-    target, which would otherwise shadow the log being resumed.  Ties on
-    modification time break by name, so discovery is deterministic.
+    target, which would otherwise shadow the log being resumed.
+    Modification times compare at nanosecond resolution and ties break on
+    the full lexicographic path, so discovery picks the same log on every
+    run — filesystems with coarse timestamps (1s/2s granularity) routinely
+    stamp two logs identically, and directory iteration order is not
+    stable across filesystems.
     Raises :class:`ResumeError` when the directory holds no candidate.
     """
     directory = Path(directory)
@@ -58,7 +62,7 @@ def discover_latest_log(
             for path in directory.glob("*.jsonl")
             if path.is_file() and path.resolve() not in excluded
         ),
-        key=lambda path: (path.stat().st_mtime, path.name),
+        key=lambda path: (path.stat().st_mtime_ns, str(path)),
     )
     if not candidates:
         raise ResumeError(

@@ -544,6 +544,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_stream_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
+    from repro.perf.report import BENCH_FILENAME
+
     perf = sub.add_parser(
         "perf",
         help="time the fleet's hot paths against frozen fixtures and gate "
@@ -555,7 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
              "names)",
     )
     perf.add_argument(
-        "--output", default="BENCH_PR5.json", metavar="PATH",
+        "--output", default=BENCH_FILENAME, metavar="PATH",
         help="machine-readable report target (default: %(default)s at the "
              "repo root)",
     )

@@ -19,6 +19,7 @@ deployed, far too sparse along the parallelism axis for a threshold model.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -88,6 +89,68 @@ def shared_structure_key(flow, cluster: int, source_rates: dict[str, float]) -> 
         )
     )
     return (cluster, flow.tuning_signature(), rates)
+
+
+def cluster_history_signature(
+    pretrained: PretrainedStreamTune, cluster: int
+) -> str:
+    """A content hash identifying everything a warm-up dataset depends on.
+
+    :func:`build_warmup_dataset` is a pure function of the cluster's
+    frozen encoder, its member histories, and the feature encoding — not
+    of the pretrain-run-local cluster *id*.  Hashing the encoder's weight
+    bytes together with every member record's content (flow structure,
+    rates, parallelisms, labels) yields a key under which two pretrained
+    artifacts collide exactly when their warm-up datasets would be
+    bit-identical — so warm-up caches (and their snapshots) are shareable
+    across runs, like PR 5 made ``distill``/``embed`` entries.
+
+    Signatures are memoized on the pretrained artifact; the encoder is
+    frozen after pretraining, so the hash never goes stale.
+    """
+    memo = getattr(pretrained, "_cluster_signatures", None)
+    if memo is None:
+        memo = {}
+        pretrained._cluster_signatures = memo
+    cached = memo.get(cluster)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for parameter in pretrained.encoders[cluster].parameters():
+        digest.update(np.ascontiguousarray(parameter.value).tobytes())
+    digest.update(str(pretrained.max_parallelism).encode())
+    for record in pretrained.records_by_cluster[cluster]:
+        digest.update(record.flow.tuning_signature().encode())
+        for name, rate in sorted(record.source_rates.items()):
+            digest.update(f"{name}={rate!r};".encode())
+        for name, degree in sorted(record.parallelisms.items()):
+            digest.update(f"{name}:{degree};".encode())
+        for name, label in sorted(record.labels.items()):
+            digest.update(f"{name}>{label};".encode())
+    signature = digest.hexdigest()
+    memo[cluster] = signature
+    return signature
+
+
+def warmup_cache_key(
+    pretrained: PretrainedStreamTune,
+    cluster: int,
+    max_rows: int,
+    seed: int | None,
+    batch_encode: bool,
+) -> tuple:
+    """The cross-run cache identity of one warm-up dataset.
+
+    Keyed by the cluster's *history signature* rather than its id: ids
+    are an artifact of one pretraining run's cluster ordering, while the
+    signature names the actual inputs of the computation.
+    """
+    return (
+        cluster_history_signature(pretrained, cluster),
+        max_rows,
+        seed,
+        batch_encode,
+    )
 
 
 def agnostic_embeddings(

@@ -34,6 +34,7 @@ from repro.core.finetune import (
     build_warmup_dataset,
     distill_rows,
     shared_structure_key,
+    warmup_cache_key,
 )
 from repro.core.labeling import label_operators
 from repro.core.pretrain import PretrainedStreamTune
@@ -163,9 +164,19 @@ class StreamTuneTuner(ParallelismTuner):
             (flow.structural_signature(),),
             lambda: self.pretrained.assign_cluster(flow),
         )
+        # Warm-up datasets are keyed by the cluster's history signature
+        # (not its pretrain-run-local id), so any run over the same
+        # histories — including one warmed from a snapshot — shares the
+        # entry, the same cross-run contract distill/embed keys carry.
         dataset = self._cached(
             "warmup",
-            (cluster, self.warmup_rows, self.seed, self.batch_encode),
+            warmup_cache_key(
+                self.pretrained,
+                cluster,
+                self.warmup_rows,
+                self.seed,
+                self.batch_encode,
+            ),
             lambda: build_warmup_dataset(
                 self.pretrained,
                 cluster,

@@ -22,7 +22,13 @@ The hot paths:
 * ``campaign_*`` — the end-to-end smoke service campaign (the
   ``bench_service.py --smoke`` workload): the seed repository's
   sequential per-query path vs the concurrent service with shared
-  caches, pre-warming, bound-pruned assignment and weighted fitting.
+  caches, pre-warming, bound-pruned assignment and weighted fitting —
+  plus ``campaign_service_fullcore``, the same fleet on the process
+  backend over every available core;
+* ``shared_cache_fanout_*`` — shipping the warm cache sections to
+  :data:`FANOUT_WORKERS` workers: the legacy plane (one pickled copy of
+  every numpy payload per worker) vs the shared-memory plane (one
+  published copy, per-worker descriptor pickling + attach).
 """
 
 from __future__ import annotations
@@ -190,6 +196,88 @@ def _bench_campaign_service(fixtures: PerfFixtures):
     return service.run(specs)
 
 
+def _bench_campaign_service_fullcore(fixtures: PerfFixtures):
+    import os
+
+    from repro.service import CampaignSpec, TuningService
+
+    specs = [
+        CampaignSpec(
+            query=query,
+            multipliers=tuple(fixtures.multipliers),
+            engine="flink",
+            engine_seed=fixtures.scale.seed,
+            seed=fixtures.scale.seed + 4,
+        )
+        for query in fixtures.queries
+    ]
+    service = TuningService(
+        fixtures.pretrained,
+        backend="process",
+        max_workers=os.cpu_count() or 1,
+    )
+    return service.run(specs)
+
+
+# ----------------------------------------------------------------------
+# shared-cache fan-out: warm sections -> N workers
+# ----------------------------------------------------------------------
+
+#: Simulated fleet width of the fan-out pair.  Fixed (not ``cpu_count``)
+#: so the measured per-worker cost — and the resulting speedup ratio —
+#: is comparable across hosts.
+FANOUT_WORKERS = 8
+
+
+def _bench_fanout_pickled(fixtures: PerfFixtures):
+    import pickle
+
+    # The legacy plane: the pool initializer pickled every warm section
+    # into every worker — per-worker deep copies of the numpy payloads.
+    results = []
+    for _ in range(FANOUT_WORKERS):
+        payload = pickle.dumps(
+            fixtures.fanout_entries, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        results.append(pickle.loads(payload))
+    return results
+
+
+def _bench_fanout_shm(fixtures: PerfFixtures):
+    import pickle
+
+    from repro.service.shm import (
+        SharedArrayStore,
+        attach_sections,
+        publish_sections,
+    )
+
+    # The shared plane: publish once in the parent, then each worker
+    # pickles only descriptors and attaches read-only views (measured
+    # here in-process: descriptor round-trip + segment attach is exactly
+    # the per-worker cost, wherever the worker lives).
+    results = []
+    with SharedArrayStore() as parent_store:
+        shipped = pickle.dumps(
+            publish_sections(fixtures.fanout_entries, parent_store),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        worker_stores = []
+        try:
+            for _ in range(FANOUT_WORKERS):
+                store = SharedArrayStore()
+                worker_stores.append(store)
+                results.append(attach_sections(pickle.loads(shipped), store))
+        finally:
+            results = [
+                {kind: len(entries) for kind, entries in sections.items()}
+                for sections in results
+            ]
+            for store in worker_stores:
+                store.close()
+    return results
+
+
 #: The registry, in execution order (micro paths first, campaigns last so
 #: their artifact warm-up cannot skew the micro timings).
 BENCHMARKS: tuple[Benchmark, ...] = (
@@ -258,6 +346,28 @@ BENCHMARKS: tuple[Benchmark, ...] = (
         smoke_repeats=5,
     ),
     Benchmark(
+        name="shared_cache_fanout_pickled",
+        hot_path="shared-cache-fanout",
+        description=(
+            f"warm sections to {FANOUT_WORKERS} workers via per-worker "
+            "pickled copies"
+        ),
+        run=_bench_fanout_pickled,
+        repeats=5,
+        smoke_repeats=3,
+    ),
+    Benchmark(
+        name="shared_cache_fanout_shm",
+        hot_path="shared-cache-fanout",
+        description=(
+            f"warm sections to {FANOUT_WORKERS} workers via shared-memory "
+            "descriptors + attach"
+        ),
+        run=_bench_fanout_shm,
+        repeats=5,
+        smoke_repeats=3,
+    ),
+    Benchmark(
         name="campaign_sequential_baseline",
         hot_path="service-campaign",
         description="seed-path sequential per-query campaign (no caches)",
@@ -273,6 +383,16 @@ BENCHMARKS: tuple[Benchmark, ...] = (
         repeats=2,
         smoke_repeats=1,
     ),
+    Benchmark(
+        name="campaign_service_fullcore",
+        hot_path="service-campaign",
+        description=(
+            "process-backend fleet on all cores (shared-memory cache plane)"
+        ),
+        run=_bench_campaign_service_fullcore,
+        repeats=2,
+        smoke_repeats=1,
+    ),
 )
 
 #: Speedup ratios the regression gate checks: ``slow / fast`` over the
@@ -284,6 +404,12 @@ RATIO_DEFINITIONS: dict[str, tuple[str, str]] = {
     "svm_dedup_speedup": ("svm_fit_duplicated", "svm_fit_weighted"),
     "gnn_batch_speedup": ("gnn_encode_per_sample", "gnn_encode_batched"),
     "service_speedup": ("campaign_sequential_baseline", "campaign_service"),
+    "service_fullcore_speedup": (
+        "campaign_sequential_baseline", "campaign_service_fullcore"
+    ),
+    "shared_fanout_speedup": (
+        "shared_cache_fanout_pickled", "shared_cache_fanout_shm"
+    ),
 }
 
 

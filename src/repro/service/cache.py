@@ -29,6 +29,8 @@ from collections import OrderedDict
 from collections.abc import MutableMapping
 from pathlib import Path
 
+import numpy as np
+
 from repro.ged.astar_lsa import astar_lsa_ged
 from repro.ged.bounds import combined_bound
 from repro.ged.costs import DEFAULT_COSTS, EditCosts
@@ -36,6 +38,11 @@ from repro.ged.search import BOUND_SLACK, nearest_center
 from repro.ged.view import as_view
 
 _LOCAL_RLOCK_TYPE = type(threading.RLock())
+
+#: Reserved mapping slot holding the insertion counter of proxy-backed
+#: caches (a manager dict cannot be reordered, so entries carry explicit
+#: insertion sequence numbers and this key carries the next one).
+_SEQ_KEY = "\x00__lru_seq__"
 
 
 class SnapshotError(ValueError):
@@ -79,9 +86,15 @@ class ConcurrentLRUCache:
         self.hits = 0
         self.misses = 0
 
+    def _size(self) -> int:
+        """Entry count, excluding the proxy branch's counter slot."""
+        if self._reorderable:
+            return len(self._data)
+        return len(self._data) - (1 if _SEQ_KEY in self._data else 0)
+
     def __len__(self) -> int:
         with self._lock:
-            return len(self._data)
+            return self._size()
 
     # A process-local RLock cannot be pickled; manager proxies can.  When a
     # cache with local backing travels to a worker (e.g. inside a pickled
@@ -99,6 +112,12 @@ class ConcurrentLRUCache:
         self.__dict__.update(state)
         if self._lock is None:
             self._lock = threading.RLock()
+        # A pickled copy starts its own accounting: carrying the parent's
+        # hit/miss counters into a worker would double-count the parent's
+        # warm-up traffic in every worker-emitted CacheStats event (fold
+        # worker counters back with :func:`merge_cache_stats` instead).
+        self.hits = 0
+        self.misses = 0
 
     def get(self, key, default=None):
         # Lookup via KeyError rather than an identity sentinel: a
@@ -112,24 +131,41 @@ class ConcurrentLRUCache:
                 return default
             if self._reorderable:
                 self._data.move_to_end(key)
-            return value
+                return value
+            return value[1]
 
     def put(self, key, value) -> None:
         with self._lock:
-            self._data[key] = value
             if self._reorderable:
+                self._data[key] = value
                 self._data.move_to_end(key)
-            while len(self._data) > self.maxsize:
+            else:
+                # Proxied entries carry explicit insertion sequence numbers
+                # (the proxy cannot be reordered); the counter lives in the
+                # shared mapping itself, so workers sharing the mapping and
+                # its lock agree on insertion order.
+                counter = self._data.get(_SEQ_KEY, 0) + 1
+                self._data[_SEQ_KEY] = counter
+                self._data[key] = (counter, value)
+            while self._size() > self.maxsize:
                 self._evict_one()
 
     def _evict_one(self) -> None:
         if self._reorderable:
             self._data.popitem(last=False)
             return
-        # Proxied mapping: drop the oldest inserted key.
-        for key in self._data.keys():
-            del self._data[key]
-            return
+        # Proxied mapping: evict the entry with the smallest insertion
+        # sequence — the true oldest insertion, deterministically, instead
+        # of whatever key the proxy's iteration order surfaced first.
+        # Runs under the shared lock, so it cannot race a concurrent put.
+        oldest_key, oldest_seq = None, None
+        for key, entry in self._data.items():
+            if key == _SEQ_KEY:
+                continue
+            if oldest_seq is None or entry[0] < oldest_seq:
+                oldest_key, oldest_seq = key, entry[0]
+        if oldest_key is not None:
+            del self._data[oldest_key]
 
     def get_or_compute(self, key, builder):
         """Return the cached value for ``key``, computing it on a miss."""
@@ -142,10 +178,29 @@ class ConcurrentLRUCache:
                 self.hits += 1
                 if self._reorderable:
                     self._data.move_to_end(key)
-                return value
+                    return value
+                return value[1]
         value = builder()
         self.put(key, value)
         return value
+
+    def items_snapshot(self) -> list[tuple]:
+        """Every ``(key, value)`` pair, oldest insertion first.
+
+        The one sanctioned way to iterate a cache's entries: proxy-backed
+        caches store wrapped ``(seq, value)`` entries plus a counter slot,
+        and this unwraps both, so snapshot persistence and worker shipping
+        see identical shapes on every backing."""
+        with self._lock:
+            if self._reorderable:
+                return list(self._data.items())
+            entries = [
+                (key, entry)
+                for key, entry in self._data.items()
+                if key != _SEQ_KEY
+            ]
+        entries.sort(key=lambda pair: pair[1][0])
+        return [(key, entry[1]) for key, entry in entries]
 
     def clear(self) -> None:
         with self._lock:
@@ -155,7 +210,31 @@ class ConcurrentLRUCache:
 
     def stats(self) -> dict[str, int]:
         with self._lock:
-            return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
+            return {"size": self._size(), "hits": self.hits, "misses": self.misses}
+
+
+def merge_cache_stats(*stats: "dict[str, dict[str, int]]") -> dict:
+    """Fold per-process cache stats into one fleet-wide view.
+
+    Worker-emitted :class:`~repro.api.events.CacheStats` payloads count
+    only the worker's own traffic (pickled caches zero their counters on
+    arrival); the fleet totals are therefore a *sum* of hits and misses
+    across the parent and every worker.  Sizes do not add — workers hold
+    copies (or views) of the same entries, not partitions — so the merged
+    size is the largest observed.
+    """
+    merged: dict[str, dict[str, int]] = {}
+    for stat in stats:
+        for section, counters in stat.items():
+            into = merged.setdefault(
+                section, {"size": 0, "hits": 0, "misses": 0}
+            )
+            for field, value in counters.items():
+                if field == "size":
+                    into["size"] = max(into["size"], value)
+                else:
+                    into[field] = into.get(field, 0) + value
+    return merged
 
 
 #: Cache sections the tuner consults, with per-section capacity defaults.
@@ -191,6 +270,9 @@ class TuningCacheSet:
             )
             for kind, size in sections.items()
         }
+        #: v2-snapshot warm-up entries awaiting re-keying — see
+        #: :meth:`adopt_legacy_warmup`.
+        self._legacy_warmup: list[tuple] = []
 
     def get_or_compute(self, kind: str, key, builder):
         cache = self._caches.get(kind)
@@ -220,8 +302,76 @@ class TuningCacheSet:
     #: On-disk snapshot format version; bump on incompatible layout change.
     #: v2: ``distill``/``embed`` sections are keyed by the cross-query
     #: structure signature and ``embed`` stores the embedding matrix alone.
-    SNAPSHOT_VERSION = 2
+    #: v3: numpy payloads are stored as ``(dtype, shape, bytes)`` records —
+    #: loadable straight into shared-memory segments — and the ``warmup``
+    #: section is keyed by the cluster *history signature* rather than the
+    #: pretrain-run-local cluster id.  v2 snapshots migrate in place on
+    #: load (see :meth:`adopt_legacy_warmup`); v1 snapshots predate the
+    #: cross-query keying and cannot be migrated.
+    SNAPSHOT_VERSION = 3
+    #: Oldest version :meth:`load` can migrate to the current layout.
+    SNAPSHOT_MIGRATABLE_FROM = 2
     _SNAPSHOT_FORMAT = "repro.service.TuningCacheSet"
+
+    @staticmethod
+    def _encode_snapshot_value(value):
+        """One cache value -> a self-describing snapshot record.
+
+        Numpy payloads become ``(dtype, shape, bytes)`` so the loader can
+        land them directly in shared-memory segments; anything else is
+        kept as-is (the surrounding pickle handles it).
+        """
+        from repro.core.finetune import PredictionDataset
+
+        if isinstance(value, np.ndarray):
+            source = np.ascontiguousarray(value)
+            return ("array", str(source.dtype), tuple(source.shape),
+                    source.tobytes())
+        if isinstance(value, PredictionDataset) and value.labels:
+            try:
+                features = np.ascontiguousarray(np.stack(value.features))
+            except ValueError:
+                return ("pickled", value)
+            return (
+                "dataset",
+                str(features.dtype),
+                tuple(features.shape),
+                features.tobytes(),
+                [int(label) for label in value.labels],
+            )
+        return ("pickled", value)
+
+    @staticmethod
+    def _decode_snapshot_value(record, matrix=None):
+        """Inverse of :meth:`_encode_snapshot_value`.
+
+        ``matrix`` injects a pre-materialized array for the record's
+        numpy payload (the shared-memory load path batches a snapshot's
+        payloads into one arena via ``SharedArrayStore.materialize_all``
+        and hands each view back here); ``None`` decodes from the
+        record's own bytes.
+        """
+        from repro.core.finetune import PredictionDataset
+
+        kind = record[0]
+        if kind == "array":
+            _, dtype, shape, data = record
+            if matrix is not None:
+                return matrix
+            return np.frombuffer(data, dtype=np.dtype(dtype)).reshape(shape).copy()
+        if kind == "dataset":
+            _, dtype, shape, data, labels = record
+            if matrix is None:
+                matrix = np.frombuffer(
+                    data, dtype=np.dtype(dtype)
+                ).reshape(shape).copy()
+            dataset = PredictionDataset()
+            dataset.features = [matrix[index] for index in range(len(labels))]
+            dataset.labels = [int(label) for label in labels]
+            return dataset
+        if kind == "pickled":
+            return record[1]
+        raise SnapshotError(f"unknown snapshot value record {kind!r}")
 
     def save(self, path: str | Path) -> None:
         """Write a versioned snapshot of every section's entries.
@@ -232,8 +382,10 @@ class TuningCacheSet:
         """
         sections = {}
         for kind, cache in self._caches.items():
-            with cache._lock:
-                entries = list(cache._data.items())
+            entries = [
+                (key, self._encode_snapshot_value(value))
+                for key, value in cache.items_snapshot()
+            ]
             sections[kind] = {"maxsize": cache.maxsize, "entries": entries}
         payload = {
             "format": self._SNAPSHOT_FORMAT,
@@ -248,15 +400,26 @@ class TuningCacheSet:
         temp.replace(path)
 
     @classmethod
-    def load(cls, path: str | Path) -> "TuningCacheSet":
+    def load(cls, path: str | Path, shared=None) -> "TuningCacheSet":
         """Rebuild a cache set from a :meth:`save` snapshot.
 
+        ``shared`` (a :class:`repro.service.shm.SharedArrayStore`) routes
+        the numpy payloads straight into shared-memory segments as they
+        are decoded, so a process fleet warmed from a snapshot publishes
+        descriptors without ever holding a second copy.
+
+        Version-2 snapshots are migrated in place: their ``warmup``
+        entries were keyed by the pretrain-run-local cluster id, which
+        only the pretrained artifact can translate to the v3 history
+        signature — they are staged and re-keyed when the service calls
+        :meth:`adopt_legacy_warmup`.  Everything else loads directly.
+
         Raises :class:`SnapshotError` (a ``ValueError``) with the file
-        named when the bytes are not a snapshot at all, and — on a
-        version mismatch — a message naming *both* the snapshot's version
-        and the version this build reads, checked before any section
-        entry is touched so an incompatible layout never fails deep in
-        unpickling.
+        named when the bytes are not a snapshot at all, a targeted
+        "cannot be migrated" error for pre-v2 layouts, and — for unknown
+        versions — a message naming *both* the snapshot's version and the
+        version this build reads, checked before any section entry is
+        touched so an incompatible layout never fails deep in unpickling.
         """
         path = Path(path)
         try:
@@ -276,20 +439,75 @@ class TuningCacheSet:
         ):
             raise SnapshotError(f"{path} is not a TuningCacheSet snapshot")
         version = payload.get("version")
-        if version != cls.SNAPSHOT_VERSION:
+        if not isinstance(version, int) or version > cls.SNAPSHOT_VERSION:
             raise SnapshotError(
                 f"{path} has snapshot version {version!r}; this build reads "
+                f"version {cls.SNAPSHOT_VERSION} — regenerate the cache file"
+            )
+        if version < cls.SNAPSHOT_MIGRATABLE_FROM:
+            raise SnapshotError(
+                f"{path} has snapshot version {version!r}, which predates "
+                f"the cross-query cache keying and cannot be migrated to "
                 f"version {cls.SNAPSHOT_VERSION} — regenerate the cache file"
             )
         sections = payload["sections"]
         caches = cls(
             sections={kind: meta["maxsize"] for kind, meta in sections.items()}
         )
+        # With a shared store, every numpy payload of the snapshot lands
+        # in one arena segment (one disk->shm copy, one worker mapping).
+        views: dict[int, object] = {}
+        if shared is not None and version >= 3:
+            records = []
+            positions = []
+            for kind, meta in sections.items():
+                for key, record in meta["entries"]:
+                    if record[0] in ("array", "dataset"):
+                        positions.append(id(record))
+                        records.append((record[3], record[1], record[2]))
+            for position, view in zip(
+                positions, shared.materialize_all(records)
+            ):
+                views[position] = view
         for kind, meta in sections.items():
             section = caches._caches[kind]
             for key, value in meta["entries"]:
+                if version >= 3:
+                    value = cls._decode_snapshot_value(
+                        value, matrix=views.get(id(value))
+                    )
+                elif kind == "warmup":
+                    # v2 warmup keys carry a cluster id this process
+                    # cannot interpret; stage for adopt_legacy_warmup.
+                    caches._legacy_warmup.append((key, value))
+                    continue
                 section.put(key, value)
         return caches
+
+    def adopt_legacy_warmup(self, signature_of) -> int:
+        """Re-key staged v2 ``warmup`` entries into the live section.
+
+        ``signature_of(cluster_id) -> signature`` is the translation only
+        a pretrained artifact can provide (v2 keyed warm-up datasets by
+        the pretrain-run-local cluster id; v3 keys them by the cluster's
+        history signature so any run with the same history hits).  Entries
+        whose cluster no longer exists are dropped — a stale entry served
+        under a wrong key would be worse than a cache miss.  Returns the
+        number of entries adopted.
+        """
+        staged, self._legacy_warmup = self._legacy_warmup, []
+        adopted = 0
+        section = self._caches.get("warmup")
+        for key, value in staged:
+            try:
+                cluster, rows, seed, batch = key
+                new_key = (signature_of(cluster), rows, seed, batch)
+            except Exception:  # noqa: BLE001 — unknown cluster/odd key: drop
+                continue
+            if section is not None:
+                section.put(new_key, value)
+                adopted += 1
+        return adopted
 
 
 class SharedGEDCache:

@@ -37,6 +37,7 @@ from repro.core.finetune import (
     build_warmup_dataset,
     distill_rows,
     shared_structure_key,
+    warmup_cache_key,
 )
 
 #: Effective demand of a resume-covered campaign's entries: always worth
@@ -116,6 +117,7 @@ def prewarm_caches(
 
     # -- demand accounting over the expensive sections ------------------
     warmup_demand: dict[tuple, int] = {}
+    warmup_cluster: dict[tuple, int] = {}    # warmup key -> builder cluster id
     shared_demand: dict[tuple, int] = {}
     exemplar: dict[tuple, tuple] = {}        # shared key -> (flow, rates)
     for position, spec in enumerate(specs):
@@ -123,8 +125,14 @@ def prewarm_caches(
         if cluster is None:
             continue
         demand = demands[position]
-        warmup_key = (cluster, spec.warmup_rows, spec.seed, fit_dedup)
+        # Same signature-based key the tuner consults (the cluster *id*
+        # stays out of the key — it is a pretrain-run-local artifact — but
+        # the builder still needs it to reach the right encoder/history).
+        warmup_key = warmup_cache_key(
+            pretrained, cluster, spec.warmup_rows, spec.seed, fit_dedup
+        )
         warmup_demand[warmup_key] = warmup_demand.get(warmup_key, 0) + demand
+        warmup_cluster[warmup_key] = cluster
         seen: set = set()
         for multiplier in spec.multipliers:
             rates = spec.query.rates_at(multiplier)
@@ -139,7 +147,8 @@ def prewarm_caches(
     for warmup_key, demand in warmup_demand.items():
         if demand < min_demand:
             continue
-        cluster, max_rows, seed, batch_encode = warmup_key
+        _, max_rows, seed, batch_encode = warmup_key
+        cluster = warmup_cluster[warmup_key]
         compute(
             "warmup",
             warmup_key,

@@ -332,18 +332,26 @@ def _init_worker(
     shared_sections: dict | None = None,
     backend: str = "process",
     warm_entries: dict | None = None,
+    shm_payload: dict | None = None,
 ) -> None:
     """Per-process initialiser: install the model and fresh local caches.
 
     The pretrained artifact arrives once per worker (pickled or inherited
-    via fork), not once per campaign.  Bulky numpy-laden cache sections
-    are process-local; ``shared_sections`` carries the manager-backed
-    stores (cluster assignment — GED entries travel inside
+    via fork), not once per campaign.  ``shared_sections`` carries the
+    manager-backed stores (cluster assignment — GED entries travel inside
     ``pretrained.clustering``'s shared cache) that are cheap enough to
-    share across every worker.  ``warm_entries`` carries the parent's
-    pre-warmed section entries (``kind -> [(key, value), ...]``), so a
-    worker starts with every shared pure computation already paid for
-    instead of rebuilding warm-up datasets and embeddings per process.
+    share across every worker.
+
+    Warm cache entries arrive over one of two planes:
+
+    * ``shm_payload`` — the shared-memory plane (the default on the
+      process backend): ``kind -> [(key, descriptor)]`` where numpy-heavy
+      payloads are :class:`~repro.service.shm.SharedArrayRef` descriptors
+      into parent-owned segments.  The worker attaches read-only views
+      over the parent's pages — zero-copy, so N workers hold one copy of
+      every embedding matrix, warm-up dataset and distilled row set.
+    * ``warm_entries`` — the legacy pickled plane (``kind ->
+      [(key, value)]``), kept for callers that cannot share memory.
     """
     _WORKER["pretrained"] = pretrained
     caches = TuningCacheSet()
@@ -355,6 +363,20 @@ def _init_worker(
             continue
         for key, value in entries:
             section.put(key, value)
+    if shm_payload:
+        from repro.service.shm import SharedArrayStore, attach_sections
+
+        # The worker's store only attaches (never unlinks): it lives for
+        # the worker's lifetime in _WORKER so its mappings — and the views
+        # cached below — stay valid across every campaign the worker runs.
+        store = SharedArrayStore()
+        _WORKER["shm_store"] = store
+        for kind, entries in attach_sections(shm_payload, store).items():
+            section = caches._caches.get(kind)
+            if section is None:
+                continue
+            for key, value in entries:
+                section.put(key, value)
     _WORKER["caches"] = caches
     _WORKER["fit_dedup"] = fit_dedup
     _WORKER["backend"] = backend
@@ -435,6 +457,8 @@ class TuningService:
         manager=None,
         caches: TuningCacheSet | None = None,
         prewarm: "bool | str" = "auto",
+        start_method: str | None = None,
+        shm_store=None,
     ) -> None:
         """``backend`` selects the worker pool: ``thread`` (default; shares
         every cache section in-process), ``process`` (one Python per
@@ -466,6 +490,19 @@ class TuningService:
         everything, ``False`` disables pre-warming.  Pre-warmed entries
         come from the exact builders the tuner would run on a miss, so
         results are bit-identical either way.
+
+        ``start_method`` pins the process backend's multiprocessing start
+        method (``"fork"``, ``"spawn"`` or ``"forkserver"``; ``None``
+        keeps the platform default).  Results are bit-identical across
+        start methods — shared-memory descriptors attach by name, with no
+        fork-inherited state involved.
+
+        ``shm_store`` injects the :class:`~repro.service.shm.
+        SharedArrayStore` the process backend publishes warm numpy
+        payloads through (for example one a snapshot was materialized
+        into, so publication is descriptor-only with no further copy);
+        the caller then owns its lifecycle.  ``None`` (default) creates
+        and closes a store per process-backend stream.
         """
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -473,8 +510,18 @@ class TuningService:
             raise ValueError(
                 f"prewarm must be True, False or 'auto', got {prewarm!r}"
             )
+        if start_method is not None:
+            import multiprocessing
+
+            allowed = multiprocessing.get_all_start_methods()
+            if start_method not in allowed:
+                raise ValueError(
+                    f"start_method must be one of {allowed}, got {start_method!r}"
+                )
         self.pretrained = pretrained
         self.backend = backend
+        self.start_method = start_method
+        self._shm_store = shm_store
         self.max_workers = max_workers or min(8, (os.cpu_count() or 1) * 2)
         self.scheduler = BackpressureScheduler() if prioritize_backpressure else FifoScheduler()
         self.fit_dedup = fit_dedup
@@ -485,6 +532,17 @@ class TuningService:
         #: Sections newly computed by the most recent stream's pre-warm.
         self.last_prewarm: dict[str, int] = {}
         self.caches = caches if caches is not None else self._make_cache_set()
+        if self.pretrained is not None and getattr(
+            self.caches, "_legacy_warmup", None
+        ):
+            # A v2 snapshot's warm-up entries were keyed by cluster id;
+            # only now — with the pretrained artifact in hand — can they
+            # be re-keyed to v3 history signatures and served.
+            from repro.core.finetune import cluster_history_signature
+
+            self.caches.adopt_legacy_warmup(
+                lambda cluster: cluster_history_signature(self.pretrained, cluster)
+            )
         #: Unit -> worker future of the stream currently draining (empty
         #: outside a stream); introspection for liveness tests/diagnostics.
         self._active_futures: dict = {}
@@ -797,8 +855,7 @@ class TuningService:
                 cache = self.caches.section(kind)
             except KeyError:
                 continue
-            with cache._lock:
-                items = list(cache._data.items())
+            items = cache.items_snapshot()
             if items:
                 entries[kind] = items
         return entries
@@ -876,28 +933,40 @@ class TuningService:
     def _stream_processes(self, specs, units):
         import multiprocessing
 
+        from repro.service.shm import SharedArrayStore, publish_sections
+
+        context = multiprocessing.get_context(self.start_method)
         manager = self._manager
         own_manager = False
         if manager is None:
             # The relay queue needs a manager even when the caches are
             # worker-local; own one for the duration of the stream.
-            manager = multiprocessing.Manager()
+            manager = context.Manager()
             own_manager = True
         shared_sections = None
         if self._manager is not None:
             # Manager-backed sections are proxy objects and pickle
             # cleanly to workers; thread-local sections would not.
             shared_sections = {"assign": self.caches.section("assign")}
-        # Pre-warmed entries travel once per worker in the initializer, so
-        # worker-local caches start hot instead of rebuilding per process.
+        # Warm entries cross the pool border as shared-memory descriptors:
+        # the parent publishes each numpy-heavy payload into one segment
+        # and workers attach read-only views — one copy for the whole
+        # fleet, instead of a pickled copy per worker.  The store is
+        # parent-owned; the ``finally`` below (which runs even when the
+        # drain loop turned a killed worker into a CampaignFailed) and the
+        # store's own atexit hook guarantee the segments are unlinked.
+        store = self._shm_store if self._shm_store is not None else SharedArrayStore()
+        own_store = store is not self._shm_store
         warm_entries = self._warm_entries(exclude=set(shared_sections or ()))
+        shm_payload = publish_sections(warm_entries, store)
         relay = manager.Queue()
         pool = ProcessPoolExecutor(
             max_workers=self.max_workers,
+            mp_context=context,
             initializer=_init_worker,
             initargs=(
                 self.pretrained, self.fit_dedup, shared_sections,
-                self.backend, warm_entries,
+                self.backend, None, shm_payload,
             ),
         )
         try:
@@ -910,6 +979,8 @@ class TuningService:
             yield from self._drain(specs, futures, relay.get)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
+            if own_store:
+                store.close()
             if own_manager:
                 manager.shutdown()
 

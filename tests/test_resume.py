@@ -476,6 +476,45 @@ class TestDiscoverLatestLog:
         os.utime(second, (100, 100))
         assert discover_latest_log(tmp_path) == second
 
+    def test_equal_nanosecond_mtimes_pick_is_order_independent(self, tmp_path):
+        # Coarse-timestamp filesystems routinely stamp two logs with the
+        # exact same mtime.  Create the lexicographically-last log FIRST
+        # so directory iteration order disagrees with the tie-break: the
+        # winner must come from the path, not from creation order, and
+        # must be identical at nanosecond resolution.
+        import os
+
+        from repro.api.resume import discover_latest_log
+
+        last = tmp_path / "z.jsonl"
+        first = tmp_path / "a.jsonl"
+        last.write_text("{}\n")
+        first.write_text("{}\n")
+        stamp_ns = 1_700_000_000_123_456_789
+        os.utime(first, ns=(stamp_ns, stamp_ns))
+        os.utime(last, ns=(stamp_ns, stamp_ns))
+        assert first.stat().st_mtime_ns == last.stat().st_mtime_ns
+        for _ in range(3):                     # stable on every call
+            assert discover_latest_log(tmp_path) == last
+
+    def test_sub_second_mtime_difference_is_respected(self, tmp_path):
+        # One nanosecond apart must not read as a tie: float st_mtime
+        # would collapse these, st_mtime_ns keeps them ordered.
+        import os
+
+        from repro.api.resume import discover_latest_log
+
+        older = tmp_path / "z.jsonl"          # name would win a tie
+        newer = tmp_path / "a.jsonl"
+        older.write_text("{}\n")
+        newer.write_text("{}\n")
+        stamp_ns = 1_700_000_000_123_456_789
+        os.utime(older, ns=(stamp_ns, stamp_ns))
+        os.utime(newer, ns=(stamp_ns + 1, stamp_ns + 1))
+        if newer.stat().st_mtime_ns == older.stat().st_mtime_ns:
+            pytest.skip("filesystem does not store nanosecond mtimes")
+        assert discover_latest_log(tmp_path) == newer
+
     def test_exclude_removes_the_current_record_target(self, tmp_path):
         import os
 

@@ -1,0 +1,525 @@
+"""The shared-memory cache plane and the cache-plane bugfix sweep.
+
+Covers :mod:`repro.service.shm` (descriptor publication, zero-copy
+attach, parent-owned lifecycle, leak-free exits), the v3 snapshot layout
+with its v2 migration, worker counter isolation, deterministic proxied
+eviction, and bit-identical campaign results across start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.finetune import (
+    PredictionDataset,
+    cluster_history_signature,
+    warmup_cache_key,
+)
+from repro.service import CampaignSpec, TuningService
+from repro.service.cache import (
+    ConcurrentLRUCache,
+    SnapshotError,
+    TuningCacheSet,
+    merge_cache_stats,
+)
+from repro.service.shm import (
+    SEGMENT_PREFIX,
+    SharedArrayRef,
+    SharedArrayStore,
+    attach_sections,
+    decode_value,
+    encode_value,
+    publish_sections,
+)
+from repro.workloads import nexmark_query
+
+V2_FIXTURE = Path(__file__).parent / "data" / "cache_snapshot_v2.pkl"
+
+
+def shm_segments() -> list[str]:
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    return sorted(p.name for p in root.glob(f"{SEGMENT_PREFIX}*"))
+
+
+def _dataset(seed: int, rows: int = 5, dim: int = 3) -> PredictionDataset:
+    rng = np.random.default_rng(seed)
+    ds = PredictionDataset()
+    for i in range(rows):
+        ds.append(rng.normal(size=dim), int(i % 2))
+    return ds
+
+
+def _spec(name: str, multipliers=(3,), seed: int = 41) -> CampaignSpec:
+    return CampaignSpec(
+        query=nexmark_query(name, "flink"),
+        multipliers=tuple(multipliers),
+        engine_seed=31,
+        seed=seed,
+    )
+
+
+def _steps(outcome):
+    return [
+        [step.parallelisms for step in process.steps]
+        for process in outcome.result.processes
+    ]
+
+
+# ----------------------------------------------------------------------
+# SharedArrayStore
+# ----------------------------------------------------------------------
+
+class TestSharedArrayStore:
+    def test_share_attach_roundtrip_is_bit_identical(self):
+        source = np.random.default_rng(3).normal(size=(7, 5))
+        with SharedArrayStore() as store:
+            ref = store.share(source)
+            worker = SharedArrayStore()
+            view = worker.attach(ref)
+            np.testing.assert_array_equal(view, source)
+            assert view.tobytes() == source.tobytes()
+            assert not view.flags.writeable
+            worker.close()
+        assert shm_segments() == []
+
+    def test_descriptor_is_pickle_cheap(self):
+        big = np.zeros((512, 512))
+        with SharedArrayStore() as store:
+            ref = store.share(big)
+            shipped = pickle.dumps(ref, pickle.HIGHEST_PROTOCOL)
+            assert len(shipped) < 512          # descriptor, not payload
+            back = pickle.loads(shipped)
+            assert back == ref
+            assert ref.nbytes == big.nbytes
+
+    def test_share_all_packs_one_segment(self):
+        arrays = [np.full((4, 4), float(i)) for i in range(9)]
+        with SharedArrayStore() as store:
+            refs = store.share_all(arrays)
+            assert len({ref.name for ref in refs}) == 1
+            assert len(store.segment_names) == 1
+            worker = SharedArrayStore()
+            for ref, source in zip(refs, arrays):
+                np.testing.assert_array_equal(worker.attach(ref), source)
+            worker.close()
+        assert shm_segments() == []
+
+    def test_share_dedupes_by_identity(self):
+        array = np.ones((3, 3))
+        with SharedArrayStore() as store:
+            first = store.share(array)
+            second = store.share(array)
+            assert first == second
+            assert len(store.segment_names) == 1
+
+    def test_materialized_array_publishes_for_free(self):
+        source = np.random.default_rng(5).normal(size=(6, 2))
+        with SharedArrayStore() as store:
+            view = store.materialize(source.tobytes(), str(source.dtype), source.shape)
+            np.testing.assert_array_equal(view, source)
+            ref = store.share(view)           # already backed: same segment
+            assert len(store.segment_names) == 1
+            assert ref.name == store.segment_names[0]
+
+    def test_close_unlinks_owned_segments_and_is_idempotent(self):
+        store = SharedArrayStore()
+        store.share(np.zeros(16))
+        assert shm_segments() != []
+        store.close()
+        assert shm_segments() == []
+        store.close()                         # second close is a no-op
+        with pytest.raises(ValueError, match="closed"):
+            store.share(np.zeros(4))
+        with pytest.raises(ValueError, match="closed"):
+            store.attach(SharedArrayRef("nope", "float64", (1,)))
+
+    def test_fork_inherited_store_never_unlinks(self):
+        from multiprocessing import shared_memory
+
+        store = SharedArrayStore()
+        ref = store.share(np.arange(8.0))
+        try:
+            # Simulate the fork-inherited copy: same state, foreign pid.
+            store._owner_pid = os.getpid() + 1
+            store.close()
+            assert shm_segments() == [ref.name]   # parent's segment survived
+        finally:
+            orphan = shared_memory.SharedMemory(name=ref.name)
+            orphan.close()
+            orphan.unlink()
+        assert shm_segments() == []
+
+    def test_close_with_live_views_still_unlinks_names(self):
+        # A caller-held view cannot pin the name: close() unlinks and
+        # unmaps regardless (the view is invalid afterwards — same
+        # contract as SharedMemory itself).
+        store = SharedArrayStore()
+        view = store.materialize(np.arange(4.0).tobytes(), "float64", (4,))
+        copied = np.array(view)               # read before close: fine
+        store.close()
+        assert shm_segments() == []           # name gone regardless
+        np.testing.assert_array_equal(copied, np.arange(4.0))
+
+    def test_atexit_cleans_up_an_abandoned_store(self):
+        # A store the caller forgot to close must not leak past process
+        # exit: the atexit hook unlinks owned segments.
+        script = textwrap.dedent(
+            """
+            import numpy as np
+            from repro.service.shm import SharedArrayStore
+            store = SharedArrayStore()
+            ref = store.share(np.zeros((64, 64)))
+            print(ref.name)
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env,
+            cwd=Path(__file__).parent.parent, check=True,
+        )
+        name = result.stdout.strip()
+        assert name.startswith(SEGMENT_PREFIX)
+        assert not (Path("/dev/shm") / name).exists()
+
+
+# ----------------------------------------------------------------------
+# value codec + section publication
+# ----------------------------------------------------------------------
+
+class TestSectionCodec:
+    def test_array_roundtrip(self):
+        source = np.random.default_rng(7).normal(size=(4, 6))
+        with SharedArrayStore() as store:
+            encoded = encode_value(source, store)
+            assert encoded[0] == "array"
+            worker = SharedArrayStore()
+            back = decode_value(encoded, worker)
+            assert back.tobytes() == source.tobytes()
+            worker.close()
+
+    def test_dataset_roundtrip_bit_identical(self):
+        ds = _dataset(21)
+        with SharedArrayStore() as store:
+            encoded = encode_value(ds, store)
+            assert encoded[0] == "dataset"
+            worker = SharedArrayStore()
+            back = decode_value(encoded, worker)
+            assert isinstance(back, PredictionDataset)
+            assert back.labels == ds.labels
+            for mine, theirs in zip(ds.features, back.features):
+                assert mine.tobytes() == theirs.tobytes()
+            worker.close()
+
+    def test_ragged_dataset_falls_back_to_pickle(self):
+        ds = PredictionDataset()
+        ds.features = [np.zeros(3), np.zeros(5)]   # unstackable
+        ds.labels = [0, 1]
+        with SharedArrayStore() as store:
+            encoded = encode_value(ds, store)
+            assert encoded[0] == "pickled"
+            back = decode_value(encoded, store)
+            assert [f.shape for f in back.features] == [(3,), (5,)]
+
+    def test_non_numpy_values_ride_pickled(self):
+        with SharedArrayStore() as store:
+            encoded = encode_value({"cluster": 3}, store)
+            assert encoded[0] == "pickled"
+            assert decode_value(encoded, store) == {"cluster": 3}
+
+    def test_unknown_encoding_rejected(self):
+        with SharedArrayStore() as store:
+            with pytest.raises(ValueError, match="unknown"):
+                decode_value(("mystery", b""), store)
+
+    def test_publish_attach_sections_roundtrip(self):
+        entries = {
+            "embed": [(("k", i), np.full((3, 3), float(i))) for i in range(4)],
+            "warmup": [(("w", 0), _dataset(31))],
+            "assign": [(("sig",), 2)],
+        }
+        with SharedArrayStore() as store:
+            payload = publish_sections(entries, store)
+            # One arena for the whole publication.
+            assert len(store.segment_names) == 1
+            worker = SharedArrayStore()
+            back = attach_sections(payload, worker)
+            assert back["assign"] == [(("sig",), 2)]
+            for (_, mine), (_, theirs) in zip(entries["embed"], back["embed"]):
+                assert mine.tobytes() == theirs.tobytes()
+            assert back["warmup"][0][1].labels == entries["warmup"][0][1].labels
+            worker.close()
+        assert shm_segments() == []
+
+
+# ----------------------------------------------------------------------
+# S1: worker counters start at zero + stats merging
+# ----------------------------------------------------------------------
+
+class TestCounterIsolation:
+    def test_pickled_cache_zeroes_hit_miss_counters(self):
+        cache = ConcurrentLRUCache(maxsize=8)
+        cache.get_or_compute("a", lambda: 1)   # miss
+        cache.get_or_compute("a", lambda: 1)   # hit
+        assert (cache.hits, cache.misses) == (1, 1)
+        worker = pickle.loads(pickle.dumps(cache))
+        assert (worker.hits, worker.misses) == (0, 0)
+        assert worker.get("a") == 1            # data still travelled
+
+    def test_merge_cache_stats_sums_traffic_and_maxes_size(self):
+        parent = {"warmup": {"size": 3, "hits": 10, "misses": 2}}
+        worker_a = {"warmup": {"size": 3, "hits": 4, "misses": 1}}
+        worker_b = {
+            "warmup": {"size": 2, "hits": 1, "misses": 0},
+            "embed": {"size": 5, "hits": 7, "misses": 3},
+        }
+        merged = merge_cache_stats(parent, worker_a, worker_b)
+        assert merged["warmup"] == {"size": 3, "hits": 15, "misses": 3}
+        assert merged["embed"] == {"size": 5, "hits": 7, "misses": 3}
+
+
+# ----------------------------------------------------------------------
+# S3: deterministic eviction on proxy-backed mappings
+# ----------------------------------------------------------------------
+
+class TestProxiedEviction:
+    def test_local_cache_evicts_least_recently_used(self):
+        cache = ConcurrentLRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")                         # refresh a
+        cache.put("c", 3)                      # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_manager_backed_cache_evicts_oldest_insertion(self):
+        with multiprocessing.Manager() as manager:
+            cache = ConcurrentLRUCache(
+                maxsize=3, mapping=manager.dict(), lock=manager.RLock()
+            )
+            for key in ("a", "b", "c"):
+                cache.put(key, key.upper())
+            cache.put("d", "D")                # evicts a (oldest insertion)
+            assert cache.get("a") is None
+            assert [k for k, _ in cache.items_snapshot()] == ["b", "c", "d"]
+            cache.put("e", "E")                # then b
+            assert cache.get("b") is None
+            assert cache.get("c") == "C"
+            assert len(cache) == 3
+
+    def test_manager_backed_eviction_under_thread_contention(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with multiprocessing.Manager() as manager:
+            cache = ConcurrentLRUCache(
+                maxsize=8, mapping=manager.dict(), lock=manager.RLock()
+            )
+
+            def hammer(base):
+                for i in range(20):
+                    cache.put((base, i), i)
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                list(pool.map(hammer, range(4)))
+            # Size invariant held through 80 racing inserts, and the
+            # survivors are exactly the 8 newest insertion sequences.
+            assert len(cache) == 8
+            snapshot = cache.items_snapshot()
+            assert len(snapshot) == 8
+
+    def test_items_snapshot_matches_across_backings(self):
+        local = ConcurrentLRUCache(maxsize=8)
+        with multiprocessing.Manager() as manager:
+            proxied = ConcurrentLRUCache(
+                maxsize=8, mapping=manager.dict(), lock=manager.RLock()
+            )
+            for cache in (local, proxied):
+                cache.put("x", 1)
+                cache.put("y", 2)
+            assert local.items_snapshot() == proxied.items_snapshot()
+            assert local.stats()["size"] == proxied.stats()["size"] == 2
+
+
+# ----------------------------------------------------------------------
+# S2 + tentpole: v3 snapshots, shared-memory loading, v2 migration
+# ----------------------------------------------------------------------
+
+class TestSnapshotV3:
+    def _populated(self) -> TuningCacheSet:
+        caches = TuningCacheSet()
+        caches.section("assign").put(("sig",), 1)
+        caches.section("embed").put(("e", 0), np.random.default_rng(1).normal(size=(4, 3)))
+        caches.section("warmup").put(("w", 300, 17, True), _dataset(41))
+        caches.section("distill").put(("d", 0), _dataset(42))
+        return caches
+
+    def test_save_load_roundtrip_bit_identical(self, tmp_path):
+        caches = self._populated()
+        path = tmp_path / "caches.pkl"
+        caches.save(path)
+        loaded = TuningCacheSet.load(path)
+        embedded = loaded.section("embed").get(("e", 0))
+        assert embedded.tobytes() == caches.section("embed").get(("e", 0)).tobytes()
+        warm = loaded.section("warmup").get(("w", 300, 17, True))
+        original = caches.section("warmup").get(("w", 300, 17, True))
+        assert warm.labels == original.labels
+        for mine, theirs in zip(original.features, warm.features):
+            assert mine.tobytes() == theirs.tobytes()
+        assert loaded.section("assign").get(("sig",)) == 1
+
+    def test_load_into_shared_store_materializes_one_arena(self, tmp_path):
+        caches = self._populated()
+        path = tmp_path / "caches.pkl"
+        caches.save(path)
+        with SharedArrayStore() as store:
+            loaded = TuningCacheSet.load(path, shared=store)
+            assert len(store.segment_names) == 1
+            embedded = loaded.section("embed").get(("e", 0))
+            assert not embedded.flags.writeable
+            assert embedded.tobytes() == caches.section("embed").get(("e", 0)).tobytes()
+            # Publishing a materialized value reuses its segment.
+            ref = store.share(embedded)
+            assert ref.name == store.segment_names[0]
+        assert shm_segments() == []
+
+    def test_v2_snapshot_migrates_in_place(self, tiny_pretrained):
+        loaded = TuningCacheSet.load(V2_FIXTURE)
+        # Non-warmup sections load directly...
+        assert loaded.section("assign").get(("sig-a",)) == 0
+        assert loaded.section("embed").get((0, "sig-a", ((0, 1.5),))) is not None
+        # ...warmup entries stage until a pretrained artifact translates
+        # their cluster ids (one of the two names a vanished cluster).
+        assert len(loaded._legacy_warmup) == 2
+        service = TuningService(
+            tiny_pretrained, backend="sequential", caches=loaded
+        )
+        assert service.caches._legacy_warmup == []
+        key = warmup_cache_key(tiny_pretrained, 0, 300, 17, True)
+        assert loaded.section("warmup").get(key) is not None
+        assert loaded.section("warmup").stats()["size"] == 1  # stale one dropped
+
+    def test_v1_snapshot_is_a_targeted_migration_error(self, tmp_path):
+        stale = tmp_path / "ancient.pkl"
+        stale.write_bytes(pickle.dumps({
+            "format": "repro.service.TuningCacheSet",
+            "version": 1,
+            "sections": {},
+        }))
+        with pytest.raises(SnapshotError, match="cannot be migrated"):
+            TuningCacheSet.load(stale)
+
+    def test_adopt_legacy_warmup_counts_adoptions(self):
+        loaded = TuningCacheSet.load(V2_FIXTURE)
+        adopted = loaded.adopt_legacy_warmup(lambda cluster: {0: "sig-0"}[cluster])
+        assert adopted == 1                   # cluster 99 dropped
+        assert loaded.section("warmup").get(("sig-0", 300, 17, True)) is not None
+        # Staging is consumed: a second adoption has nothing to do.
+        assert loaded.adopt_legacy_warmup(lambda cluster: "x") == 0
+
+
+# ----------------------------------------------------------------------
+# warm-up signature sharing
+# ----------------------------------------------------------------------
+
+class TestWarmupSignature:
+    def test_signature_is_stable_and_memoized(self, tiny_pretrained):
+        first = cluster_history_signature(tiny_pretrained, 0)
+        second = cluster_history_signature(tiny_pretrained, 0)
+        assert first == second
+        assert len(first) == 64               # sha256 hex
+        assert tiny_pretrained._cluster_signatures[0] == first
+
+    def test_distinct_clusters_distinct_signatures(self, tiny_pretrained):
+        assert cluster_history_signature(
+            tiny_pretrained, 0
+        ) != cluster_history_signature(tiny_pretrained, 1)
+
+    def test_warmup_cache_key_carries_no_cluster_id(self, tiny_pretrained):
+        key = warmup_cache_key(tiny_pretrained, 0, 300, 17, True)
+        assert key == (
+            cluster_history_signature(tiny_pretrained, 0), 300, 17, True
+        )
+
+
+# ----------------------------------------------------------------------
+# S5 + tentpole: process fleets over the shared plane
+# ----------------------------------------------------------------------
+
+class TestProcessFleetSharedPlane:
+    def test_process_results_bit_identical_and_leak_free(self, tiny_pretrained):
+        specs = [_spec("q1")]
+        reference = TuningService(
+            tiny_pretrained, backend="sequential", prewarm=False
+        ).run(specs)
+        service = TuningService(tiny_pretrained, backend="process", max_workers=2)
+        outcomes = service.run(specs)
+        assert _steps(outcomes[0]) == _steps(reference[0])
+        assert service.last_prewarm["warmup"] >= 1
+        assert shm_segments() == []
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_start_methods_agree_bit_for_bit(self, tiny_pretrained, start_method):
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable on this platform")
+        reference = TuningService(
+            tiny_pretrained, backend="sequential", prewarm=False
+        ).run([_spec("q1")])
+        service = TuningService(
+            tiny_pretrained,
+            backend="process",
+            max_workers=2,
+            start_method=start_method,
+        )
+        outcomes = service.run([_spec("q1")])
+        assert _steps(outcomes[0]) == _steps(reference[0])
+        assert shm_segments() == []
+
+    def test_invalid_start_method_rejected(self, tiny_pretrained):
+        with pytest.raises(ValueError, match="start_method"):
+            TuningService(tiny_pretrained, start_method="teleport")
+
+    def test_injected_store_is_caller_owned(self, tiny_pretrained):
+        store = SharedArrayStore()
+        try:
+            service = TuningService(
+                tiny_pretrained, backend="process", max_workers=2,
+                shm_store=store,
+            )
+            service.run([_spec("q1")])
+            # The service must not have closed the injected store.
+            store.share(np.zeros(4))
+        finally:
+            store.close()
+        assert shm_segments() == []
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="patched worker reaches the pool only under fork",
+    )
+    def test_killed_worker_leaks_no_segments(self, tiny_pretrained, monkeypatch):
+        # A worker dying outright (no atexit in the child) must not
+        # strand segments: the parent owns them and cleans up in the
+        # stream's finally.
+        import repro.service.tuning as tuning
+        from repro.api.events import CampaignFailed
+
+        def _die_without_reporting(spec, unit, relay):
+            os._exit(13)
+
+        monkeypatch.setattr(tuning, "_run_in_worker", _die_without_reporting)
+        service = TuningService(tiny_pretrained, backend="process", max_workers=1)
+        service.poll_seconds = 0.05
+        events = list(service.stream([_spec("q1")]))   # must terminate
+        assert any(isinstance(e, CampaignFailed) for e in events)
+        assert shm_segments() == []
