@@ -61,6 +61,8 @@ from repro.api.events import (
     CampaignStarted,
     Event,
     EventBus,
+    JobStateChanged,
+    JobSubmitted,
     JsonlRecorder,
     MetricsAggregator,
     ProgressPrinter,
@@ -105,6 +107,8 @@ __all__ = [
     "ENGINES",
     "Event",
     "EventBus",
+    "JobStateChanged",
+    "JobSubmitted",
     "JsonlRecorder",
     "MODELS",
     "MetricsAggregator",

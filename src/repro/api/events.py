@@ -22,7 +22,12 @@ just writing the events down:
   re-executing (followed by the replayed :class:`CampaignFinished`);
 * :class:`CacheStats` — one per service run, after the last campaign;
 * :class:`SweepFinished` — one per :class:`~repro.api.plans.SweepPlan`
-  execution, after the last scenario.
+  execution, after the last scenario;
+* :class:`JobSubmitted` / :class:`JobStateChanged` — the daemon's job
+  lifecycle (:mod:`repro.daemon`): a plan accepted by ``repro serve``
+  and its transitions through ``queued``/``running``/``finished``/
+  ``failed``.  They share the event round-trip contract, so the daemon's
+  manifest is an event ledger like any ``--record`` log.
 
 Every event carries a stream-wide monotonic ``seq`` (re-stamped at the
 consumer, so merged shard/worker streams never interleave out of order),
@@ -57,6 +62,8 @@ __all__ = [
     "CampaignStarted",
     "Event",
     "EventBus",
+    "JobStateChanged",
+    "JobSubmitted",
     "JsonlRecorder",
     "MetricsAggregator",
     "ProgressPrinter",
@@ -254,6 +261,40 @@ class SweepFinished(Event):
     wall_seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class JobSubmitted(Event):
+    """The daemon accepted a plan submission (:mod:`repro.daemon`).
+
+    Carries everything needed to reconstruct the job after a restart:
+    the full plan payload, its tenant/priority, and the ledger file its
+    execution events are recorded to.
+    """
+
+    job: str = ""
+    tenant: str = "default"
+    priority: int = 0
+    plan_kind: str = ""
+    n_cells: int = 0                    # campaigns the plan will execute
+    ledger: str = ""                    # ledger filename, relative to the store
+    plan: dict = field(default_factory=dict)
+    submitted_at: float = 0.0           # unix time, operator-facing only
+
+
+@dataclass(frozen=True)
+class JobStateChanged(Event):
+    """A daemon job moved through its lifecycle.
+
+    ``state`` is one of :data:`repro.daemon.jobs.JOB_STATES`
+    (``queued``/``running``/``finished``/``failed``); ``error`` carries
+    the failure text on ``failed`` transitions.
+    """
+
+    job: str = ""
+    state: str = ""
+    error: str = ""
+    at: float = 0.0                     # unix time, operator-facing only
+
+
 # ----------------------------------------------------------------------
 # JSON round-trip: to_dict() output -> an equal event
 # ----------------------------------------------------------------------
@@ -326,6 +367,8 @@ EVENT_TYPES: dict[str, type] = {
         CampaignSkipped,
         CacheStats,
         SweepFinished,
+        JobSubmitted,
+        JobStateChanged,
     )
 }
 
@@ -479,12 +522,18 @@ class JsonlRecorder:
 
     The file opens lazily on the first event (truncating any previous
     log — one recorder, one run) and flushes per line, so a crash
-    mid-run leaves a readable prefix.  Usable as a context manager;
+    mid-run leaves a readable prefix.  ``fsync=True`` additionally
+    fsyncs per line: the interpreter flush only hands the line to the
+    OS page cache, which a SIGKILL survives but a power loss (or an
+    eager container teardown) does not — a daemon whose ledger *is* the
+    recovery source pays the sync so every recorded event is durable the
+    moment a client can observe it.  Usable as a context manager;
     otherwise call :meth:`close` (or let the interpreter do it).
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
         self.path = Path(path)
+        self.fsync = fsync
         self._handle = None
         self.n_events = 0
 
@@ -494,6 +543,10 @@ class JsonlRecorder:
             self._handle = open(self.path, "w", encoding="utf-8")
         self._handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
         self._handle.flush()
+        if self.fsync:
+            import os
+
+            os.fsync(self._handle.fileno())
         self.n_events += 1
 
     def close(self) -> None:

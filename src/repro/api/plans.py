@@ -279,13 +279,6 @@ class CampaignPlan:
             not isinstance(self.workers, int) or self.workers < 1
         ):
             raise PlanError(f"workers must be a positive integer, got {self.workers!r}")
-        if self.cache_path is not None and self.backend == "process":
-            raise PlanError(
-                "cache_path is not supported with the 'process' backend: "
-                "worker processes keep their own cache sets, so a snapshot "
-                "taken in the parent would stay empty — use the 'thread' or "
-                "'sequential' backend for persisted caches"
-            )
         if (
             self.cache_path is not None
             and not streamtune_variant(self.tuner)[0]

@@ -142,11 +142,26 @@ class TuningSession:
     share everything pure.  Pass ``pretrained=`` to inject an existing
     artifact (tests and notebooks), and ``manager=`` to share caches
     across a ``process`` backend's workers.
+
+    Long-lived hosts (the :mod:`repro.daemon` control plane) additionally
+    pass ``caches=`` — one :class:`~repro.service.cache.TuningCacheSet`
+    every plan this session runs shares, so the second job starts warm
+    where the first left off (process-backend fleets fold worker-learned
+    entries back in on drain) — and ``shm_store=`` — one caller-owned
+    :class:`~repro.service.shm.SharedArrayStore` the process backend
+    publishes warm payloads through, instead of creating and unlinking an
+    arena per run.  A plan carrying its own ``cache_path`` keeps its
+    legacy semantics: it loads and saves its private snapshot, leaving
+    the session set untouched.
     """
 
-    def __init__(self, *, pretrained=None, manager=None) -> None:
+    def __init__(
+        self, *, pretrained=None, manager=None, caches=None, shm_store=None
+    ) -> None:
         self._pretrained_override = pretrained
         self._manager = manager
+        self._caches = caches
+        self._shm_store = shm_store
 
     # -- artifact resolution -------------------------------------------
 
@@ -306,6 +321,8 @@ class TuningSession:
             if plan.cache_path is not None:
                 caches = self._load_caches(plan.cache_path)
                 params["caches"] = caches
+            elif self._caches is not None:
+                params["caches"] = self._caches
         tuner = build_tuner(
             plan.tuner, engine, self._resources_for(plan, scale), **params
         )
@@ -332,6 +349,8 @@ class TuningSession:
                 yield stamped(event)
         if caches is not None:
             caches.save(plan.cache_path)
+        elif params.get("caches") is not None:
+            caches = params["caches"]   # session-owned: report stats, no save
         wall = time.perf_counter() - started
         outcome = CampaignOutcome(
             spec_name=query.name, result=result, wall_seconds=wall, backend="inline"
@@ -390,9 +409,10 @@ class TuningSession:
 
             manager = multiprocessing.Manager()
             own_manager = True
-        caches = (
+        own_caches = (
             self._load_caches(plan.cache_path) if plan.cache_path is not None else None
         )
+        caches = own_caches if own_caches is not None else self._caches
         outcomes: dict[int, object] = {}
         failures: list = []
         stats: dict = {}
@@ -404,6 +424,7 @@ class TuningSession:
                 prioritize_backpressure=plan.prioritize_backpressure,
                 manager=manager,
                 caches=caches,
+                shm_store=self._shm_store,
             )
             for event in service.stream(
                 specs, trace_shards=plan.trace_shards, resume=resume
@@ -415,8 +436,8 @@ class TuningSession:
                 elif isinstance(event, CacheStats):
                     stats = event.stats
                 yield event
-            if caches is not None:
-                caches.save(plan.cache_path)
+            if own_caches is not None:
+                own_caches.save(plan.cache_path)
         finally:
             if own_manager:
                 manager.shutdown()
@@ -498,8 +519,13 @@ class AsyncTuningSession:
             ...
     """
 
-    def __init__(self, *, pretrained=None, manager=None) -> None:
-        self._session = TuningSession(pretrained=pretrained, manager=manager)
+    def __init__(
+        self, *, pretrained=None, manager=None, caches=None, shm_store=None
+    ) -> None:
+        self._session = TuningSession(
+            pretrained=pretrained, manager=manager, caches=caches,
+            shm_store=shm_store,
+        )
         #: Result of the most recently exhausted :meth:`stream` iteration.
         self.last_result: "SessionResult | SweepResult | None" = None
 

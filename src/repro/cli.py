@@ -367,6 +367,97 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# the daemon: serve / submit / jobs
+# ----------------------------------------------------------------------
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.daemon import TuningDaemon
+
+    daemon = TuningDaemon(
+        host=args.host,
+        port=args.port,
+        ledger_dir=args.ledger_dir,
+        max_queue_depth=args.max_queue_depth,
+        cache_path=args.cache_path,
+        resume=args.resume,
+        fsync=not args.no_fsync,
+    )
+
+    def announce(ready) -> None:
+        print(
+            f"repro daemon serving on {ready.url} "
+            f"(ledger: {ready.ledger_dir}); SIGTERM/SIGINT drains and exits",
+            file=sys.stderr,
+        )
+
+    daemon.serve(on_ready=announce)
+    print("repro daemon stopped cleanly", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api import event_from_dict
+    from repro.daemon import DaemonClient
+
+    client = DaemonClient(args.url)
+    job = client.submit_plan(
+        args.plan, tenant=args.tenant, priority=args.priority
+    )
+    print(
+        f"submitted {job['job']} ({job['plan_kind']}, {job['n_cells']} "
+        f"cell(s), tenant {job['tenant']}) -> "
+        f"{client.url}/v1/jobs/{job['job']}"
+    )
+    if not (args.follow or args.wait):
+        return 0
+    printer = ProgressPrinter() if args.follow else None
+    for data in client.follow(job["job"]):
+        if printer is None:
+            continue
+        try:
+            printer(event_from_dict(data))
+        except ValueError:
+            pass  # a daemon newer than this client; skip unknown events
+    final = client.job(job["job"])
+    suffix = f": {final['error']}" if final.get("error") else ""
+    print(f"job {final['job']} {final['state']}{suffix}")
+    return 1 if final["state"] == "failed" else 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.daemon import DaemonClient
+
+    client = DaemonClient(args.url)
+    if args.events:
+        for line in client.event_lines(args.events):
+            print(line)
+        return 0
+    jobs = client.jobs(tenant=args.tenant, state=args.state)
+    rows = [
+        (
+            job["job"],
+            job["tenant"],
+            job["priority"],
+            job["state"],
+            job["plan_kind"],
+            job["n_cells"],
+            job["n_events"],
+            "yes" if job["replayed"] else "no",
+        )
+        for job in jobs
+    ]
+    print(
+        format_table(
+            ["job", "tenant", "priority", "state", "kind", "cells",
+             "events", "replayed"],
+            rows,
+            title=f"jobs at {client.url}",
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # experiment harness passthroughs
 # ----------------------------------------------------------------------
 
@@ -589,6 +680,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.set_defaults(func=_cmd_perf)
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the persistent tuning daemon (HTTP plan submission, "
+             "per-tenant queueing, live event streams, /metrics)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port; 0 binds an ephemeral port (default: %(default)s)",
+    )
+    serve_cmd.add_argument(
+        "--ledger-dir", default="daemon-ledger", metavar="DIR",
+        help="where the job manifest and per-job JSONL ledgers live "
+             "(default: %(default)s)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue-depth", type=int, default=16,
+        help="queued jobs each tenant may hold before submissions get "
+             "429 (default: %(default)s)",
+    )
+    serve_cmd.add_argument(
+        "--cache-path", default=None, metavar="PATH",
+        help="load the shared cache plane from this snapshot at start and "
+             "save it back on shutdown",
+    )
+    serve_cmd.add_argument(
+        "--resume", choices=("auto",), default=None,
+        help="replay the ledger directory at start: finished jobs serve "
+             "their events bit-identically, interrupted jobs re-run only "
+             "their missing cells",
+    )
+    serve_cmd.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip the per-event fsync of ledgers (faster, loses "
+             "crash-durability of the tail)",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a plan file to a running daemon"
+    )
+    submit.add_argument("plan", help="path to a .json or .toml plan file")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="daemon base URL (default: %(default)s)",
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="higher dispatches first (default: %(default)s)",
+    )
+    submit.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's events live (one line per event) and exit "
+             "with the job's outcome",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes (no per-event output) and exit "
+             "with its outcome",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list a running daemon's jobs (or dump one job's events)"
+    )
+    jobs_cmd.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="daemon base URL (default: %(default)s)",
+    )
+    jobs_cmd.add_argument("--tenant", default=None, help="filter by tenant")
+    jobs_cmd.add_argument(
+        "--state", choices=("queued", "running", "finished", "failed"),
+        default=None, help="filter by lifecycle state",
+    )
+    jobs_cmd.add_argument(
+        "--events", default=None, metavar="JOB_ID",
+        help="print JOB_ID's event ledger as JSON lines instead of the table",
+    )
+    jobs_cmd.set_defaults(func=_cmd_jobs)
+
     experiments = sub.add_parser("experiments", help="run every paper experiment")
     experiments.add_argument("--scale", default="default")
     experiments.set_defaults(func=_cmd_experiments)
@@ -604,16 +776,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.daemon.client import DaemonClientError
     from repro.perf.report import PerfError
 
     try:
         return args.func(args)
     except (
         PlanError, UnknownComponentError, SnapshotError, ResumeError, PerfError,
+        DaemonClientError,
     ) as error:
         # Operator errors (bad plan file, unknown component, stale cache
-        # snapshot, unusable resume log, unusable perf baseline) exit 2
-        # with one line, never a traceback.
+        # snapshot, unusable resume log, unusable perf baseline, refused
+        # or unreachable daemon) exit 2 with one line, never a traceback.
         print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
     except CampaignExecutionError as error:

@@ -1,0 +1,167 @@
+"""A stdlib HTTP client for the ``repro serve`` daemon.
+
+:class:`DaemonClient` speaks the daemon's small JSON surface over
+``urllib`` — it backs ``repro submit`` / ``repro jobs`` and is the
+programmatic way to drive a daemon from tests and notebooks.  Errors the
+daemon reports (bad plan, full queue, draining, unknown job) surface as
+:class:`DaemonClientError` carrying the HTTP status and the daemon's own
+message, so CLI handling can treat them like any other operator error.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+__all__ = ["DaemonClient", "DaemonClientError"]
+
+
+class DaemonClientError(RuntimeError):
+    """The daemon refused a request (or was unreachable)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+class DaemonClient:
+    """Talk to one daemon at ``url`` (e.g. ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+        stream: bool = False,
+        timeout: float | None = None,
+    ):
+        request = urllib.request.Request(
+            self.url + path, data=body, method=method
+        )
+        if body is not None:
+            request.add_header("Content-Type", content_type)
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            )
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read().decode()).get("error", "")
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                pass
+            raise DaemonClientError(
+                detail or f"{error.code} {error.reason}", status=error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise DaemonClientError(
+                f"cannot reach daemon at {self.url}: {error.reason}"
+            ) from None
+        if stream:
+            return response
+        with response:
+            return json.loads(response.read().decode() or "null")
+
+    # -- the API --------------------------------------------------------
+
+    def submit_plan(
+        self,
+        plan: "dict | str | Path",
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> dict:
+        """Submit a plan (dict, or a ``.json``/``.toml`` file path).
+
+        File submissions ship the raw bytes with the matching content
+        type — the daemon does the parsing/validation, so client and
+        server can never disagree about what a plan means.
+        """
+        if isinstance(plan, (str, Path)):
+            path = Path(plan)
+            body = path.read_bytes()
+            content_type = (
+                "application/toml" if path.suffix.lower() == ".toml"
+                else "application/json"
+            )
+        else:
+            body = json.dumps(plan).encode()
+            content_type = "application/json"
+        query = f"?tenant={tenant}&priority={priority}"
+        return self._request(
+            "POST", f"/v1/plans{query}", body=body, content_type=content_type
+        )
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, tenant: str | None = None, state: str | None = None) -> list:
+        query = "&".join(
+            f"{key}={value}"
+            for key, value in (("tenant", tenant), ("state", state))
+            if value is not None
+        )
+        suffix = f"?{query}" if query else ""
+        return self._request("GET", f"/v1/jobs{suffix}")["jobs"]
+
+    def events(self, job_id: str) -> list[dict]:
+        """The job's recorded events so far, parsed from its NDJSON."""
+        response = self._request(
+            "GET", f"/v1/jobs/{job_id}/events", stream=True
+        )
+        with response:
+            return [
+                json.loads(line)
+                for line in response.read().decode().splitlines()
+                if line.strip()
+            ]
+
+    def event_lines(self, job_id: str) -> list[str]:
+        """The job's raw ledger lines — for bit-identity assertions."""
+        response = self._request(
+            "GET", f"/v1/jobs/{job_id}/events", stream=True
+        )
+        with response:
+            return [
+                line
+                for line in response.read().decode().splitlines()
+                if line.strip()
+            ]
+
+    def follow(self, job_id: str, timeout: float | None = None):
+        """Yield event dicts live until the job reaches a terminal state.
+
+        ``timeout`` bounds each read, not the whole job (default: no
+        bound — jobs can legitimately run for a long time).
+        """
+        response = self._request(
+            "GET",
+            f"/v1/jobs/{job_id}/events?follow=1",
+            stream=True,
+            timeout=timeout if timeout is not None else 86400.0,
+        )
+        with response:
+            for raw in response:
+                line = raw.decode().strip()
+                if line:
+                    yield json.loads(line)
+
+    def metrics_text(self) -> str:
+        response = self._request("GET", "/metrics", stream=True)
+        with response:
+            return response.read().decode()
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit (``POST /v1/shutdown``)."""
+        return self._request("POST", "/v1/shutdown", body=b"")

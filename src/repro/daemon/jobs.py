@@ -1,0 +1,321 @@
+"""Jobs and the durable job store behind the ``repro serve`` daemon.
+
+A **job** is one submitted plan travelling through the lifecycle
+``queued -> running -> finished | failed``.  Everything a job does is
+recorded twice, in the same typed-event currency the rest of the repo
+speaks:
+
+* the **manifest** (``manifest.jsonl`` in the store directory) is an
+  append-only ledger of :class:`~repro.api.events.JobSubmitted` and
+  :class:`~repro.api.events.JobStateChanged` events — the submissions
+  themselves (full plan payload included) and every state transition,
+  fsynced per line so a killed daemon can reconstruct its job table;
+* each job's **ledger** (``<job_id>.jsonl``) is the JSONL event log of
+  its execution, written by a per-event-fsynced
+  :class:`~repro.api.events.JsonlRecorder` — exactly the format
+  ``--record`` produces, so it doubles as the job's
+  :class:`~repro.api.resume.ResumeLog`.
+
+:meth:`JobStore.recover` is the restart path (``repro serve --resume
+auto``): it replays the manifest, marks jobs whose recorded state is
+terminal as replayed (their ledgers serve ``GET /v1/jobs/{id}/events``
+bit-identically), and re-queues interrupted jobs with their partial
+ledger as the resume source — so the restarted daemon executes exactly
+the cells the kill lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.api.events import JobStateChanged, JobSubmitted, event_from_dict
+from repro.api.plans import plan_from_dict
+from repro.api.resume import ResumeLog
+
+__all__ = ["JOB_STATES", "Job", "JobStore", "TERMINAL_STATES"]
+
+#: The lifecycle, in order.  ``failed`` covers both campaign failures
+#: (CampaignExecutionError after the fleet drained) and daemon-side
+#: errors; a failed job is terminal — resubmit to retry.
+JOB_STATES = ("queued", "running", "finished", "failed")
+TERMINAL_STATES = frozenset({"finished", "failed"})
+
+
+class Job:
+    """One submitted plan and its live, in-memory execution view.
+
+    ``events`` buffers the job's serialized event lines (identical bytes
+    to its on-disk ledger) for ``GET /v1/jobs/{id}/events``;
+    ``condition`` wakes followers streaming those lines live.  All
+    mutation goes through the owning :class:`JobStore`, under the store
+    lock.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        plan,
+        plan_data: dict,
+        tenant: str = "default",
+        priority: int = 0,
+        ledger_path: Path | None = None,
+        submitted_at: float = 0.0,
+    ) -> None:
+        self.id = job_id
+        self.plan = plan
+        self.plan_data = dict(plan_data)
+        self.tenant = tenant
+        self.priority = priority
+        self.ledger_path = Path(ledger_path) if ledger_path else None
+        self.state = "queued"
+        self.error = ""
+        self.submitted_at = submitted_at
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        #: Serialized event lines (no trailing newline), ledger-identical.
+        self.events: list[str] = []
+        self.condition = threading.Condition()
+        #: Set on recovery when the terminal state was replayed from a
+        #: previous daemon life rather than executed by this one.
+        self.replayed = False
+        #: ResumeLog for a recovered, partially executed job (else None).
+        self.resume: ResumeLog | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.plan.cell_keys())
+
+    def to_dict(self) -> dict:
+        """The job's API view (``GET /v1/jobs/{id}``)."""
+        return {
+            "job": self.id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "state": self.state,
+            "error": self.error,
+            "plan_kind": self.plan.kind,
+            "n_cells": self.n_cells,
+            "n_events": len(self.events),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "ledger": self.ledger_path.name if self.ledger_path else "",
+            "replayed": self.replayed,
+        }
+
+
+class JobStore:
+    """The daemon's job table, durably mirrored to a manifest ledger."""
+
+    def __init__(self, root: str | Path, *, fsync: bool = True) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.manifest_path = self.root / "manifest.jsonl"
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._next_id = 1
+        self._manifest_seq = 0
+        #: Submissions per tenant, over the store's whole recorded life.
+        self.submitted_per_tenant: dict[str, int] = {}
+
+    # -- durable manifest append ---------------------------------------
+
+    def _append_manifest(self, event) -> None:
+        import dataclasses
+
+        event = dataclasses.replace(event, seq=self._manifest_seq)
+        self._manifest_seq += 1
+        line = json.dumps(event.to_dict(), sort_keys=True) + "\n"
+        with open(self.manifest_path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    # -- the write path -------------------------------------------------
+
+    def submit(
+        self, plan, plan_data: dict, tenant: str = "default", priority: int = 0
+    ) -> Job:
+        """Create a job for an already-validated plan and record it."""
+        with self._lock:
+            job_id = f"j{self._next_id:06d}"
+            self._next_id += 1
+            job = Job(
+                job_id,
+                plan,
+                plan_data,
+                tenant=tenant,
+                priority=priority,
+                ledger_path=self.root / f"{job_id}.jsonl",
+                submitted_at=time.time(),
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self.submitted_per_tenant[tenant] = (
+                self.submitted_per_tenant.get(tenant, 0) + 1
+            )
+            self._append_manifest(JobSubmitted(
+                job=job.id,
+                tenant=tenant,
+                priority=priority,
+                plan_kind=plan.kind,
+                n_cells=job.n_cells,
+                ledger=job.ledger_path.name,
+                plan=dict(plan_data),
+                submitted_at=job.submitted_at,
+            ))
+            self._append_manifest(JobStateChanged(
+                job=job.id, state="queued", at=job.submitted_at,
+            ))
+        return job
+
+    def mark(self, job: Job, state: str, error: str = "") -> None:
+        """Transition ``job`` (durably) and wake its followers."""
+        if state not in JOB_STATES:
+            raise ValueError(
+                f"state must be one of {JOB_STATES}, got {state!r}"
+            )
+        now = time.time()
+        with self._lock:
+            self._append_manifest(JobStateChanged(
+                job=job.id, state=state, error=error, at=now,
+            ))
+        with job.condition:
+            job.state = state
+            job.error = error
+            if state == "running":
+                job.started_at = now
+            elif state in TERMINAL_STATES:
+                job.finished_at = now
+            job.condition.notify_all()
+
+    def append_event(self, job: Job, line: str) -> None:
+        """Buffer one serialized event line and wake live followers."""
+        with job.condition:
+            job.events.append(line)
+            job.condition.notify_all()
+
+    # -- the read path --------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every job, submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def counts_by_state(self) -> dict[str, int]:
+        counts = dict.fromkeys(JOB_STATES, 0)
+        for job in self.jobs():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # -- restart recovery ----------------------------------------------
+
+    def recover(self) -> list[Job]:
+        """Rebuild the job table from the manifest; return jobs to re-run.
+
+        * a job whose recorded state is terminal is **replayed**: its
+          ledger lines load into the event buffer verbatim, so clients
+          re-reading ``/events`` get bit-identical bytes;
+        * a job recorded ``queued``/``running`` (the kill interrupted it)
+          is returned for re-queueing, carrying its partial ledger as a
+          :class:`~repro.api.resume.ResumeLog` when one parses — the
+          re-run replays completed cells and executes only the missing
+          ones;
+        * malformed manifest/ledger tails (the crash's half-written last
+          line) are tolerated, exactly like ``--resume`` logs.
+        """
+        if not self.manifest_path.exists():
+            return []
+        with self._lock:
+            events = []
+            with self.manifest_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(event_from_dict(json.loads(line)))
+                    except ValueError:
+                        continue
+            for event in events:
+                self._manifest_seq = max(self._manifest_seq, event.seq + 1)
+                if isinstance(event, JobSubmitted):
+                    try:
+                        plan = plan_from_dict(event.plan)
+                    except Exception:  # noqa: BLE001 — foreign/stale manifest line
+                        continue
+                    job = Job(
+                        event.job,
+                        plan,
+                        event.plan,
+                        tenant=event.tenant,
+                        priority=event.priority,
+                        ledger_path=self.root / (
+                            event.ledger or f"{event.job}.jsonl"
+                        ),
+                        submitted_at=event.submitted_at,
+                    )
+                    self._jobs[job.id] = job
+                    self._order.append(job.id)
+                    self.submitted_per_tenant[job.tenant] = (
+                        self.submitted_per_tenant.get(job.tenant, 0) + 1
+                    )
+                    if event.job.startswith("j"):
+                        digits = event.job[1:]
+                        if digits.isdigit():
+                            self._next_id = max(self._next_id, int(digits) + 1)
+                elif isinstance(event, JobStateChanged):
+                    job = self._jobs.get(event.job)
+                    if job is None:
+                        continue
+                    job.state = event.state
+                    job.error = event.error
+                    if event.state == "running":
+                        job.started_at = event.at
+                    elif event.state in TERMINAL_STATES:
+                        job.finished_at = event.at
+            to_requeue: list[Job] = []
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.terminal:
+                    job.replayed = True
+                    job.events = self._ledger_lines(job)
+                    continue
+                job.resume = self._ledger_resume(job)
+                job.state = "queued"
+                to_requeue.append(job)
+        return to_requeue
+
+    @staticmethod
+    def _ledger_lines(job: Job) -> list[str]:
+        if job.ledger_path is None or not job.ledger_path.exists():
+            return []
+        lines = job.ledger_path.read_text(encoding="utf-8").splitlines()
+        return [line for line in lines if line.strip()]
+
+    @staticmethod
+    def _ledger_resume(job: Job) -> ResumeLog | None:
+        """The partial ledger as a resume source, when it holds any
+        completed campaign (an unparseable or empty ledger re-runs all)."""
+        if job.ledger_path is None or not job.ledger_path.exists():
+            return None
+        try:
+            log = ResumeLog.load(job.ledger_path)
+        except Exception:  # noqa: BLE001 — unusable ledger: full re-run
+            return None
+        return log if log.n_completed else None

@@ -1,0 +1,142 @@
+"""Per-tenant admission control and priority dispatch for the daemon.
+
+The control plane accepts plan submissions from many tenants but
+executes them through one long-lived session, so the queue is where
+fairness and overload policy live:
+
+* **admission control** — each tenant owns a bounded slice of the queue
+  (``max_depth`` jobs); a submission beyond it is rejected *at the front
+  door* with :class:`QueueFull` (HTTP 429 upstream), so one chatty
+  tenant can slow only itself, never grow the daemon's memory without
+  bound;
+* **priority ordering** — jobs dispatch highest ``priority`` first, FIFO
+  within a priority level (a stable total order: ties break on the
+  submission sequence number, so two equal submissions can never swap);
+* **draining** — once :meth:`close` is called (graceful shutdown) every
+  further ``push`` raises :class:`QueueDraining` (HTTP 503 upstream) and
+  ``pop`` returns ``None`` as soon as the queue is empty, letting the
+  dispatcher thread exit cleanly while leftover jobs stay queued in the
+  manifest for the next ``--resume auto`` start.
+
+The queue is plain ``threading`` — it synchronises the HTTP handler
+threads with the single dispatcher thread inside one process.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+__all__ = ["QueueDraining", "QueueFull", "TenantQueue"]
+
+
+class QueueFull(RuntimeError):
+    """A tenant's queue slice is at capacity; the submission was refused."""
+
+    def __init__(self, tenant: str, depth: int) -> None:
+        self.tenant = tenant
+        self.depth = depth
+        super().__init__(
+            f"tenant {tenant!r} already has {depth} queued job(s) (the "
+            "admission limit); retry after some complete"
+        )
+
+
+class QueueDraining(RuntimeError):
+    """The daemon is shutting down; no further submissions are admitted."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "the daemon is draining (shutdown in progress); resubmit after "
+            "it restarts"
+        )
+
+
+class TenantQueue:
+    """A bounded, priority-ordered, multi-tenant job queue."""
+
+    def __init__(self, max_depth: int = 16) -> None:
+        if not isinstance(max_depth, int) or max_depth < 1:
+            raise ValueError(
+                f"max_depth must be a positive integer, got {max_depth!r}"
+            )
+        self.max_depth = max_depth
+        self._lock = threading.Condition()
+        self._heap: list = []           # (-priority, seq, job)
+        self._seq = itertools.count()
+        self._depths: dict[str, int] = {}
+        self._draining = False
+
+    # -- producers ------------------------------------------------------
+
+    def push(self, job, force: bool = False) -> None:
+        """Admit ``job`` (its ``tenant``/``priority`` attributes decide
+        placement) or raise :class:`QueueFull`/:class:`QueueDraining`.
+
+        ``force=True`` skips admission (depth limit and draining) — the
+        restart-recovery path, which must never drop a manifest-recorded
+        job, even when a tenant had over-subscribed before the kill.
+        """
+        with self._lock:
+            if self._draining and not force:
+                raise QueueDraining()
+            depth = self._depths.get(job.tenant, 0)
+            if depth >= self.max_depth and not force:
+                raise QueueFull(job.tenant, depth)
+            self._depths[job.tenant] = depth + 1
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._lock.notify()
+
+    # -- the dispatcher -------------------------------------------------
+
+    def pop(self, timeout: float | None = None):
+        """The next job to run, or ``None`` on timeout / empty-and-draining.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``) for a job
+        to arrive.  Once draining, an empty queue returns ``None``
+        immediately — the dispatcher's exit signal.
+        """
+        with self._lock:
+            while not self._heap:
+                if self._draining:
+                    return None
+                if not self._lock.wait(timeout=timeout):
+                    return None
+            _, _, job = heapq.heappop(self._heap)
+            depth = self._depths.get(job.tenant, 0)
+            if depth <= 1:
+                self._depths.pop(job.tenant, None)
+            else:
+                self._depths[job.tenant] = depth - 1
+            return job
+
+    # -- introspection / shutdown --------------------------------------
+
+    def depth(self, tenant: str | None = None) -> int:
+        with self._lock:
+            if tenant is not None:
+                return self._depths.get(tenant, 0)
+            return len(self._heap)
+
+    def depths(self) -> dict[str, int]:
+        """Queued jobs per tenant (tenants with zero queued are absent)."""
+        with self._lock:
+            return dict(self._depths)
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def close(self) -> list:
+        """Start draining: refuse new pushes, return the jobs still queued.
+
+        The returned jobs are **not** removed — the dispatcher may still
+        pop them if it keeps running; callers that stop dispatching use
+        the list to mark leftovers resumable.
+        """
+        with self._lock:
+            self._draining = True
+            self._lock.notify_all()
+            return [job for _, _, job in sorted(self._heap)]

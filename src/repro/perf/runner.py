@@ -28,7 +28,11 @@ The hot paths:
 * ``shared_cache_fanout_*`` — shipping the warm cache sections to
   :data:`FANOUT_WORKERS` workers: the legacy plane (one pickled copy of
   every numpy payload per worker) vs the shared-memory plane (one
-  published copy, per-worker descriptor pickling + attach).
+  published copy, per-worker descriptor pickling + attach);
+* ``daemon_*`` — :data:`DAEMON_JOBS` tiny ds2 jobs through the ``repro
+  serve`` control plane (HTTP submission, queue, fsynced ledgers,
+  followed event streams) vs the same jobs inline through one session —
+  the pair prices the daemon's dispatch overhead.
 """
 
 from __future__ import annotations
@@ -220,6 +224,91 @@ def _bench_campaign_service_fullcore(fixtures: PerfFixtures):
 
 
 # ----------------------------------------------------------------------
+# daemon job throughput: submit -> dispatch -> stream -> finish
+# ----------------------------------------------------------------------
+
+#: Jobs per daemon-throughput repeat; fixed so the per-job dispatch cost
+#: (HTTP round-trips, queue admission, manifest + ledger writes) is
+#: comparable across hosts.
+DAEMON_JOBS = 4
+
+#: The job fleet: tiny history-free ds2 tuning plans — no pre-trained
+#: artifact resolution, so the timing is dominated by the machinery the
+#: pair differs in, not model work.
+_DAEMON_PLAN_QUERIES = ("q1", "q3", "q5", "q8")
+
+
+def _daemon_plan_dicts(fixtures: PerfFixtures) -> list[dict]:
+    return [
+        {
+            "kind": "tuning",
+            "query": _DAEMON_PLAN_QUERIES[index % len(_DAEMON_PLAN_QUERIES)],
+            "rates": [float(rate) for rate in fixtures.multipliers],
+            "tuner": "ds2",
+            "scale": fixtures.scale.name,
+            "seed": 17 + index,
+        }
+        for index in range(DAEMON_JOBS)
+    ]
+
+
+def _bench_daemon_inline_baseline(fixtures: PerfFixtures):
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.api import EventBus, JsonlRecorder, plan_from_dict
+    from repro.api.session import TuningSession
+
+    # The dispatch-free reference: the same jobs, the same per-event
+    # fsynced ledgers, one session — minus HTTP, queue and manifest.
+    workdir = Path(tempfile.mkdtemp(prefix="repro-perf-inline-"))
+    try:
+        session = TuningSession()
+        results = []
+        for index, data in enumerate(_daemon_plan_dicts(fixtures)):
+            recorder = JsonlRecorder(
+                workdir / f"job{index}.jsonl", fsync=True
+            )
+            try:
+                results.append(
+                    session.run(plan_from_dict(data), bus=EventBus(recorder))
+                )
+            finally:
+                recorder.close()
+        return results
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _bench_daemon_jobs_throughput(fixtures: PerfFixtures):
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.daemon import DaemonClient, TuningDaemon
+
+    # The real thing: submissions over a live socket, per-tenant queue
+    # admission, a dispatcher thread, fsynced manifest + ledgers, events
+    # followed back over chunked HTTP until every job finishes.
+    workdir = Path(tempfile.mkdtemp(prefix="repro-perf-daemon-"))
+    daemon = TuningDaemon(
+        port=0, ledger_dir=workdir / "ledger", use_shm=False
+    )
+    daemon.start()
+    try:
+        client = DaemonClient(daemon.url)
+        jobs = [
+            client.submit_plan(data)
+            for data in _daemon_plan_dicts(fixtures)
+        ]
+        return [list(client.follow(job["job"])) for job in jobs]
+    finally:
+        daemon.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
 # shared-cache fan-out: warm sections -> N workers
 # ----------------------------------------------------------------------
 
@@ -368,6 +457,28 @@ BENCHMARKS: tuple[Benchmark, ...] = (
         smoke_repeats=3,
     ),
     Benchmark(
+        name="daemon_inline_baseline",
+        hot_path="daemon-dispatch",
+        description=(
+            f"{DAEMON_JOBS} ds2 jobs inline through one session "
+            "(fsynced ledgers, no daemon)"
+        ),
+        run=_bench_daemon_inline_baseline,
+        repeats=3,
+        smoke_repeats=2,
+    ),
+    Benchmark(
+        name="daemon_jobs_throughput",
+        hot_path="daemon-dispatch",
+        description=(
+            f"{DAEMON_JOBS} ds2 jobs submitted and followed over the "
+            "daemon's HTTP control plane"
+        ),
+        run=_bench_daemon_jobs_throughput,
+        repeats=3,
+        smoke_repeats=2,
+    ),
+    Benchmark(
         name="campaign_sequential_baseline",
         hot_path="service-campaign",
         description="seed-path sequential per-query campaign (no caches)",
@@ -409,6 +520,13 @@ RATIO_DEFINITIONS: dict[str, tuple[str, str]] = {
     ),
     "shared_fanout_speedup": (
         "shared_cache_fanout_pickled", "shared_cache_fanout_shm"
+    ),
+    # slow/fast with the daemon as the "slow" side: the ratio is the
+    # multiplicative cost of the control plane (HTTP + queue + manifest)
+    # over inline execution of the same jobs — ~1.0 means the daemon
+    # dispatch is effectively free at job granularity.
+    "daemon_dispatch_overhead": (
+        "daemon_jobs_throughput", "daemon_inline_baseline"
     ),
 }
 

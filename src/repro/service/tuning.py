@@ -397,6 +397,41 @@ def _started_event_for(
     )
 
 
+def _collect_worker_entries(barrier, known: dict, timeout: float) -> dict:
+    """Snapshot this worker's locally computed cache entries.
+
+    One collection task runs per worker process after the fleet drains;
+    the manager-backed ``barrier`` holds every task until all workers
+    have claimed one, so no worker can serve two tasks (and none can be
+    skipped).  ``known`` maps section kind to the keys the parent
+    already holds — those entries shipped *to* the worker in the first
+    place, so only the worker's own computations travel back.  A broken
+    barrier (dead sibling worker) degrades gracefully: this worker still
+    returns what it has.
+    """
+    try:
+        barrier.wait(timeout)
+    except Exception:  # noqa: BLE001 — best-effort collection by design
+        pass
+    caches = _WORKER.get("caches")
+    if caches is None:
+        return {}
+    entries: dict = {}
+    for kind, known_keys in known.items():
+        try:
+            section = caches.section(kind)
+        except KeyError:
+            continue
+        fresh = [
+            (key, value)
+            for key, value in section.items_snapshot()
+            if key not in known_keys
+        ]
+        if fresh:
+            entries[kind] = fresh
+    return entries
+
+
 def _run_in_worker(spec: CampaignSpec, unit: "_Unit", relay) -> None:
     """Execute one unit in a worker process, relaying through ``relay``.
 
@@ -445,6 +480,11 @@ class TuningService:
     #: sentinel arriving before the sentinel is declared lost and the
     #: campaign failed (covers relay-queue latency on the process backend).
     sentinel_grace = 5.0
+    #: How long the post-drain worker-cache collection barrier (and each
+    #: collection future) may wait before collection is abandoned —
+    #: collection is best-effort: a timeout loses cache entries, never
+    #: results.
+    collect_timeout = 30.0
 
     def __init__(
         self,
@@ -459,6 +499,7 @@ class TuningService:
         prewarm: "bool | str" = "auto",
         start_method: str | None = None,
         shm_store=None,
+        collect_worker_caches: bool = True,
     ) -> None:
         """``backend`` selects the worker pool: ``thread`` (default; shares
         every cache section in-process), ``process`` (one Python per
@@ -503,6 +544,15 @@ class TuningService:
         into, so publication is descriptor-only with no further copy);
         the caller then owns its lifecycle.  ``None`` (default) creates
         and closes a store per process-backend stream.
+
+        ``collect_worker_caches`` (default ``True``) snapshots each
+        process-backend worker's locally computed cache entries back into
+        the parent's :class:`TuningCacheSet` when the fleet drains, so a
+        ``cache_path`` snapshot — or a long-lived daemon's cache plane —
+        keeps what workers learned instead of only what the parent
+        pre-warmed.  Collection is additive and best-effort: results are
+        bit-identical with it on or off, and a broken pool simply skips
+        it.
         """
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -522,6 +572,7 @@ class TuningService:
         self.backend = backend
         self.start_method = start_method
         self._shm_store = shm_store
+        self.collect_worker_caches = collect_worker_caches
         self.max_workers = max_workers or min(8, (os.cpu_count() or 1) * 2)
         self.scheduler = BackpressureScheduler() if prioritize_backpressure else FifoScheduler()
         self.fit_dedup = fit_dedup
@@ -977,12 +1028,72 @@ class TuningService:
                 for unit in units
             }
             yield from self._drain(specs, futures, relay.get)
+            if self.collect_worker_caches:
+                self._collect_from_workers(
+                    pool, manager, exclude=set(shared_sections or ())
+                )
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
             if own_store:
                 store.close()
             if own_manager:
                 manager.shutdown()
+
+    def _collect_from_workers(self, pool, manager, exclude=frozenset()) -> None:
+        """Merge worker-locally computed cache entries into the parent.
+
+        Runs after a successful drain, while the pool's workers are idle:
+        one :func:`_collect_worker_entries` task per live worker,
+        synchronised on a manager barrier so each worker answers exactly
+        once.  Only keys the parent does not already hold travel back
+        (the worker filters against the parent's snapshot), and the first
+        worker to return a key wins — entries are pure, so duplicates are
+        bit-identical anyway.  Any failure (broken pool after a killed
+        worker, barrier timeout, dead manager) abandons collection
+        silently: it can lose cache entries, never results.
+        """
+        n_workers = len(getattr(pool, "_processes", None) or {})
+        if not n_workers:
+            return
+        known: dict[str, set] = {}
+        for kind in ("assign", "warmup", "distill", "embed"):
+            if kind in exclude:
+                continue
+            try:
+                section = self.caches.section(kind)
+            except KeyError:
+                continue
+            known[kind] = {key for key, _ in section.items_snapshot()}
+        if not known:
+            return
+        try:
+            barrier = manager.Barrier(n_workers)
+            collectors = [
+                pool.submit(
+                    _collect_worker_entries, barrier, known, self.collect_timeout
+                )
+                for _ in range(n_workers)
+            ]
+        except Exception:  # noqa: BLE001 — broken pool/manager: skip collection
+            return
+        deadline = time.monotonic() + self.collect_timeout + self.sentinel_grace
+        for future in collectors:
+            try:
+                entries = future.result(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+            except Exception:  # noqa: BLE001 — a lost worker loses only entries
+                continue
+            for kind in sorted(entries):
+                seen = known.get(kind)
+                if seen is None:
+                    continue
+                section = self.caches.section(kind)
+                for key, value in entries[kind]:
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    section.put(key, value)
 
     def _drain(self, specs, futures: dict, get_event):
         """Yield worker-relayed events until every submitted unit resolves.

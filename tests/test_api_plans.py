@@ -135,11 +135,15 @@ class TestCampaignPlanValidation:
         assert "2 queries" in message
         assert "multiple" in message
 
-    def test_cache_path_with_process_backend_rejected(self):
-        with pytest.raises(PlanError, match="process"):
-            CampaignPlan(
-                queries=("q1",), backend="process", cache_path="caches.pkl"
-            )
+    def test_cache_path_with_process_backend_accepted(self):
+        # Historically rejected (worker-local cache sets left the parent's
+        # snapshot empty); the service now snapshots worker sections back
+        # to the parent on pool shutdown, so the combination is supported.
+        plan = CampaignPlan(
+            queries=("q1",), backend="process", cache_path="caches.pkl"
+        )
+        assert plan.cache_path == "caches.pkl"
+        assert plan.backend == "process"
 
     def test_rates_per_query_chunks_in_order(self):
         plan = CampaignPlan(

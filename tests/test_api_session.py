@@ -435,3 +435,47 @@ class TestAsyncStreaming:
         assert result is not None and _steps(result) == _steps(
             TuningSession(pretrained=tiny_pretrained).run(plan)
         )
+
+
+class TestSessionSharedCaches:
+    """The daemon's session-level cache plane: ``TuningSession(caches=)``."""
+
+    def test_session_caches_warm_across_runs(self, tiny_pretrained):
+        caches = TuningCacheSet()
+        session = TuningSession(pretrained=tiny_pretrained, caches=caches)
+        first = session.run(_smoke_plan())
+        warm_misses = caches.section("warmup").stats()["misses"]
+        assert warm_misses >= 1
+        second = session.run(_smoke_plan())
+        # The repeat run built no new warm-up datasets: the second job of
+        # a daemon starts warm.
+        assert caches.section("warmup").stats()["misses"] == warm_misses
+        assert _steps(first) == _steps(second)
+
+    def test_plan_cache_path_keeps_private_snapshot_semantics(
+        self, tiny_pretrained, tmp_path
+    ):
+        # A plan that asks for its own snapshot must not leak into (or
+        # read from) the session's shared plane.
+        caches = TuningCacheSet()
+        snapshot = tmp_path / "private.pkl"
+        session = TuningSession(pretrained=tiny_pretrained, caches=caches)
+        session.run(_smoke_plan(cache_path=str(snapshot)))
+        assert snapshot.exists()
+        assert caches.section("warmup").stats()["size"] == 0
+
+    def test_cache_path_with_process_backend_snapshots_worker_entries(
+        self, tiny_pretrained, tmp_path
+    ):
+        """The lifted restriction: worker-local cache sections snapshot
+        back to the parent on pool shutdown, so the saved file holds the
+        entries the workers computed."""
+        snapshot = tmp_path / "process.pkl"
+        plan = _smoke_plan(backend="process", workers=2, cache_path=str(snapshot))
+        result = TuningSession(pretrained=tiny_pretrained).run(plan)
+        assert [o.spec_name for o in result.outcomes] == [
+            "nexmark_q1_flink", "nexmark_q5_flink"
+        ]
+        assert snapshot.exists()
+        loaded = TuningCacheSet.load(snapshot)
+        assert loaded.section("warmup").stats()["size"] >= 1

@@ -1,0 +1,387 @@
+"""Unit tests for the daemon's core: queue, job store, metrics text.
+
+The HTTP surface (real sockets, kill/restart) lives in
+``test_daemon_http.py``; everything here runs in-process with no
+network.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.events import JsonlRecorder, StepCompleted, event_from_dict
+from repro.api.plans import TuningPlan
+from repro.daemon import (
+    JobStore,
+    QueueDraining,
+    QueueFull,
+    TenantQueue,
+    render_metrics,
+)
+
+
+class _FakeJob:
+    def __init__(self, name: str, tenant: str = "default", priority: int = 0):
+        self.name = name
+        self.tenant = tenant
+        self.priority = priority
+
+
+# ----------------------------------------------------------------------
+# TenantQueue
+# ----------------------------------------------------------------------
+
+class TestTenantQueue:
+    def test_fifo_within_priority(self):
+        queue = TenantQueue()
+        for name in ("a", "b", "c"):
+            queue.push(_FakeJob(name))
+        assert [queue.pop().name for _ in range(3)] == ["a", "b", "c"]
+
+    def test_higher_priority_dispatches_first(self):
+        queue = TenantQueue()
+        queue.push(_FakeJob("low", priority=0))
+        queue.push(_FakeJob("high", priority=5))
+        queue.push(_FakeJob("mid", priority=2))
+        assert [queue.pop().name for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_per_tenant_admission_limit(self):
+        queue = TenantQueue(max_depth=2)
+        queue.push(_FakeJob("a1", tenant="alice"))
+        queue.push(_FakeJob("a2", tenant="alice"))
+        with pytest.raises(QueueFull, match="alice"):
+            queue.push(_FakeJob("a3", tenant="alice"))
+        # The limit is per tenant, not global.
+        queue.push(_FakeJob("b1", tenant="bob"))
+        assert queue.depth("alice") == 2
+        assert queue.depth("bob") == 1
+        assert queue.depth() == 3
+
+    def test_pop_frees_tenant_slots(self):
+        queue = TenantQueue(max_depth=1)
+        queue.push(_FakeJob("a1", tenant="alice"))
+        with pytest.raises(QueueFull):
+            queue.push(_FakeJob("a2", tenant="alice"))
+        queue.pop()
+        queue.push(_FakeJob("a2", tenant="alice"))  # slot freed
+        assert queue.depths() == {"alice": 1}
+
+    def test_pop_timeout_returns_none(self):
+        assert TenantQueue().pop(timeout=0.01) is None
+
+    def test_pop_blocks_until_push(self):
+        queue = TenantQueue()
+        got = []
+
+        def consumer():
+            got.append(queue.pop(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        queue.push(_FakeJob("late"))
+        thread.join(timeout=5.0)
+        assert got[0].name == "late"
+
+    def test_draining_refuses_pushes_and_unblocks_pop(self):
+        queue = TenantQueue()
+        queue.push(_FakeJob("queued"))
+        leftovers = queue.close()
+        assert [job.name for job in leftovers] == ["queued"]
+        with pytest.raises(QueueDraining):
+            queue.push(_FakeJob("late"))
+        # Force bypasses draining (restart recovery must never drop jobs).
+        queue.push(_FakeJob("recovered"), force=True)
+        assert queue.pop().name == "queued"
+        assert queue.pop().name == "recovered"
+        assert queue.pop() is None  # empty + draining: dispatcher exit
+
+    def test_force_push_bypasses_depth_limit(self):
+        queue = TenantQueue(max_depth=1)
+        queue.push(_FakeJob("a1", tenant="alice"))
+        queue.push(_FakeJob("a2", tenant="alice"), force=True)
+        assert queue.depth("alice") == 2
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            TenantQueue(max_depth=0)
+
+
+# ----------------------------------------------------------------------
+# JobStore
+# ----------------------------------------------------------------------
+
+def _tiny_plan_data() -> dict:
+    return {
+        "kind": "tuning", "query": "q1", "rates": [3.0, 5.0],
+        "tuner": "ds2", "scale": "smoke",
+    }
+
+
+def _tiny_plan() -> TuningPlan:
+    data = _tiny_plan_data()
+    return TuningPlan(
+        query=data["query"], rates=tuple(data["rates"]),
+        tuner=data["tuner"], scale=data["scale"],
+    )
+
+
+class TestJobStore:
+    def test_submit_assigns_ids_and_records_manifest(self, tmp_path):
+        store = JobStore(tmp_path, fsync=False)
+        first = store.submit(_tiny_plan(), _tiny_plan_data(), "alice", 3)
+        second = store.submit(_tiny_plan(), _tiny_plan_data())
+        assert [first.id, second.id] == ["j000001", "j000002"]
+        assert first.state == "queued"
+        assert first.ledger_path == tmp_path / "j000001.jsonl"
+        assert store.submitted_per_tenant == {"alice": 1, "default": 1}
+        lines = (tmp_path / "manifest.jsonl").read_text().splitlines()
+        events = [event_from_dict(json.loads(line)) for line in lines]
+        kinds = [event.kind for event in events]
+        assert kinds == [
+            "JobSubmitted", "JobStateChanged",
+            "JobSubmitted", "JobStateChanged",
+        ]
+        assert events[0].plan == _tiny_plan_data()
+        assert events[0].tenant == "alice"
+        assert events[0].priority == 3
+
+    def test_mark_validates_and_stamps_times(self, tmp_path):
+        store = JobStore(tmp_path, fsync=False)
+        job = store.submit(_tiny_plan(), _tiny_plan_data())
+        store.mark(job, "running")
+        assert job.started_at is not None and not job.terminal
+        store.mark(job, "failed", error="boom")
+        assert job.terminal and job.error == "boom"
+        with pytest.raises(ValueError, match="state"):
+            store.mark(job, "exploded")
+
+    def test_append_event_wakes_followers(self, tmp_path):
+        store = JobStore(tmp_path, fsync=False)
+        job = store.submit(_tiny_plan(), _tiny_plan_data())
+        seen = []
+
+        def follower():
+            with job.condition:
+                while not job.events:
+                    job.condition.wait(timeout=5.0)
+                seen.extend(job.events)
+
+        thread = threading.Thread(target=follower)
+        thread.start()
+        store.append_event(job, '{"kind": "StepCompleted"}')
+        thread.join(timeout=5.0)
+        assert seen == ['{"kind": "StepCompleted"}']
+
+    def test_recover_replays_terminal_and_requeues_interrupted(self, tmp_path):
+        store = JobStore(tmp_path, fsync=False)
+        done = store.submit(_tiny_plan(), _tiny_plan_data(), "alice", 1)
+        hung = store.submit(_tiny_plan(), _tiny_plan_data(), "bob", 2)
+        queued = store.submit(_tiny_plan(), _tiny_plan_data())
+        ledger_line = json.dumps(
+            StepCompleted(campaign="c", step_index=0).to_dict(), sort_keys=True
+        )
+        done.ledger_path.write_text(ledger_line + "\n")
+        store.mark(done, "running")
+        store.mark(done, "finished")
+        store.mark(hung, "running")  # killed mid-run: never went terminal
+
+        recovered = JobStore(tmp_path, fsync=False)
+        to_requeue = recovered.recover()
+        assert [job.id for job in to_requeue] == [hung.id, queued.id]
+        replayed = recovered.get(done.id)
+        assert replayed.state == "finished" and replayed.replayed
+        # Bit-identical: the buffer holds the ledger's exact lines.
+        assert replayed.events == [ledger_line]
+        for job in to_requeue:
+            assert job.state == "queued" and not job.replayed
+        assert recovered.get(hung.id).tenant == "bob"
+        assert recovered.get(hung.id).priority == 2
+        # Fresh submissions continue the id sequence, never reuse one.
+        new = recovered.submit(_tiny_plan(), _tiny_plan_data())
+        assert new.id == "j000004"
+        assert recovered.submitted_per_tenant == {
+            "alice": 1, "bob": 1, "default": 2,
+        }
+
+    def test_recover_tolerates_truncated_manifest_tail(self, tmp_path):
+        store = JobStore(tmp_path, fsync=False)
+        job = store.submit(_tiny_plan(), _tiny_plan_data())
+        with open(store.manifest_path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "JobStateCha')  # the crash's last line
+        recovered = JobStore(tmp_path, fsync=False)
+        to_requeue = recovered.recover()
+        assert [j.id for j in to_requeue] == [job.id]
+
+    def test_recover_loads_partial_ledger_as_resume(self, tmp_path):
+        from repro.api.session import TuningSession
+
+        store = JobStore(tmp_path, fsync=False)
+        plan = _tiny_plan()
+        job = store.submit(plan, _tiny_plan_data())
+        store.mark(job, "running")
+        # A real partial ledger: record a full run, keep a prefix that
+        # still contains the campaign's CampaignFinished checkpoint.
+        recorder = JsonlRecorder(job.ledger_path)
+        from repro.api.events import EventBus
+
+        TuningSession().run(plan, bus=EventBus(recorder))
+        recorder.close()
+
+        recovered = JobStore(tmp_path, fsync=False)
+        (requeued,) = recovered.recover()
+        assert requeued.resume is not None
+        assert requeued.resume.n_completed == 1
+        recorded, missing = requeued.resume.covers(plan.cell_keys())
+        assert recorded and not missing
+
+    def test_recover_without_manifest_is_empty(self, tmp_path):
+        assert JobStore(tmp_path / "fresh", fsync=False).recover() == []
+
+
+# ----------------------------------------------------------------------
+# JsonlRecorder durability (fsync per event)
+# ----------------------------------------------------------------------
+
+class TestRecorderDurability:
+    def test_fsync_recorder_survives_sigkill_mid_stream(self, tmp_path):
+        """Every event recorded before a SIGKILL must be on disk."""
+        ledger = tmp_path / "ledger.jsonl"
+        script = (
+            "import os, sys\n"
+            "from repro.api.events import JsonlRecorder, StepCompleted\n"
+            "recorder = JsonlRecorder(sys.argv[1], fsync=True)\n"
+            "for index in range(5):\n"
+            "    recorder(StepCompleted(campaign='kill-test', step_index=index))\n"
+            "os.kill(os.getpid(), 9)  # no close(), no interpreter exit\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.run(
+            [sys.executable, "-c", script, str(ledger)],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert process.returncode == -signal.SIGKILL
+        lines = ledger.read_text().splitlines()
+        assert len(lines) == 5
+        events = [event_from_dict(json.loads(line)) for line in lines]
+        assert [event.step_index for event in events] == list(range(5))
+
+    def test_fsync_flag_defaults_off(self, tmp_path):
+        recorder = JsonlRecorder(tmp_path / "plain.jsonl")
+        assert recorder.fsync is False
+        recorder(StepCompleted(campaign="c"))
+        recorder.close()
+        fsynced = JsonlRecorder(tmp_path / "sync.jsonl", fsync=True)
+        fsynced(StepCompleted(campaign="c"))
+        fsynced.close()
+        # Same bytes either way; fsync changes durability, not content.
+        assert (
+            (tmp_path / "plain.jsonl").read_bytes()
+            == (tmp_path / "sync.jsonl").read_bytes()
+        )
+
+
+# ----------------------------------------------------------------------
+# /metrics rendering
+# ----------------------------------------------------------------------
+
+GOLDEN_SNAPSHOT = {
+    "jobs": {"queued": 2, "running": 1, "finished": 4, "failed": 1},
+    "queue_depths": {"bob": 1, "alice": 1},
+    "tenants_submitted": {"alice": 5, "bob": 3},
+    "campaigns_finished": 9,
+    "campaigns_failed": 1,
+    "steps": 42,
+    "reconfigurations": 17,
+    "events": 120,
+    "cache_stats": {
+        "assign": {"hits": 30, "misses": 10, "size": 10},
+        "warmup": {"hits": 0, "misses": 0, "size": 0},
+    },
+    "uptime_seconds": 12.5,
+}
+
+GOLDEN_TEXT = """\
+# HELP repro_jobs_total Jobs in the daemon's table, by lifecycle state.
+# TYPE repro_jobs_total gauge
+repro_jobs_total{state="queued"} 2
+repro_jobs_total{state="running"} 1
+repro_jobs_total{state="finished"} 4
+repro_jobs_total{state="failed"} 1
+# HELP repro_queue_depth Jobs currently queued, per tenant.
+# TYPE repro_queue_depth gauge
+repro_queue_depth{tenant="alice"} 1
+repro_queue_depth{tenant="bob"} 1
+# HELP repro_queue_depth_total Jobs currently queued, all tenants.
+# TYPE repro_queue_depth_total gauge
+repro_queue_depth_total 2
+# HELP repro_tenant_submitted_total Plan submissions accepted, per tenant.
+# TYPE repro_tenant_submitted_total counter
+repro_tenant_submitted_total{tenant="alice"} 5
+repro_tenant_submitted_total{tenant="bob"} 3
+# HELP repro_campaigns_finished_total Campaigns finished by this daemon process.
+# TYPE repro_campaigns_finished_total counter
+repro_campaigns_finished_total 9
+# HELP repro_campaigns_failed_total Campaigns failed in this daemon process.
+# TYPE repro_campaigns_failed_total counter
+repro_campaigns_failed_total 1
+# HELP repro_steps_total Tuning steps executed by this daemon process.
+# TYPE repro_steps_total counter
+repro_steps_total 42
+# HELP repro_reconfigurations_total Parallelism reconfigurations applied by this daemon process.
+# TYPE repro_reconfigurations_total counter
+repro_reconfigurations_total 17
+# HELP repro_events_total Typed events observed by this daemon process.
+# TYPE repro_events_total counter
+repro_events_total 120
+# HELP repro_cache_hits_total Shared cache plane hits, per section.
+# TYPE repro_cache_hits_total counter
+repro_cache_hits_total{section="assign"} 30
+repro_cache_hits_total{section="warmup"} 0
+# HELP repro_cache_misses_total Shared cache plane misses, per section.
+# TYPE repro_cache_misses_total counter
+repro_cache_misses_total{section="assign"} 10
+repro_cache_misses_total{section="warmup"} 0
+# HELP repro_cache_size Entries resident in the shared cache plane, per section.
+# TYPE repro_cache_size gauge
+repro_cache_size{section="assign"} 10
+repro_cache_size{section="warmup"} 0
+# HELP repro_cache_hit_ratio Hits over lookups in the shared cache plane, per section.
+# TYPE repro_cache_hit_ratio gauge
+repro_cache_hit_ratio{section="assign"} 0.75
+repro_cache_hit_ratio{section="warmup"} 0
+# HELP repro_uptime_seconds Seconds since this daemon process started serving.
+# TYPE repro_uptime_seconds gauge
+repro_uptime_seconds 12.5
+"""
+
+
+class TestRenderMetrics:
+    def test_golden(self):
+        assert render_metrics(GOLDEN_SNAPSHOT) == GOLDEN_TEXT
+
+    def test_empty_snapshot_renders_zeroes(self):
+        text = render_metrics({})
+        assert 'repro_jobs_total{state="queued"} 0' in text
+        assert "repro_queue_depth_total 0" in text
+        assert "repro_uptime_seconds 0" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        text = render_metrics(
+            {"queue_depths": {'we"ird\\ten\nant': 1}}
+        )
+        assert (
+            'repro_queue_depth{tenant="we\\"ird\\\\ten\\nant"} 1' in text
+        )

@@ -1,0 +1,340 @@
+"""End-to-end daemon tests over real sockets.
+
+The daemon here is the real thing: a bound ``ThreadingHTTPServer``, the
+real dispatcher thread, real fsynced ledgers — driven through
+:class:`~repro.daemon.DaemonClient` exactly as ``repro submit`` does.
+The kill test SIGKILLs a daemon subprocess outright and asserts the
+``--resume auto`` restart contract: finished jobs replay bit-identically,
+interrupted jobs execute only their missing cells.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.daemon import DaemonClient, DaemonClientError, TuningDaemon
+
+TINY_PLAN = {
+    "kind": "tuning", "query": "q1", "rates": [3.0, 5.0],
+    "tuner": "ds2", "scale": "smoke",
+}
+
+TWO_CELL_PLAN = {
+    "kind": "campaign", "queries": ["q1", "q5"], "rates": [3.0, 5.0],
+    "tuner": "ds2", "backend": "sequential", "scale": "smoke", "seed": 17,
+}
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A served, in-process daemon on an ephemeral port; always stopped."""
+    instance = TuningDaemon(port=0, ledger_dir=tmp_path / "ledger")
+    instance.start()
+    try:
+        yield instance
+    finally:
+        instance.stop()
+
+
+def _client(daemon: TuningDaemon) -> DaemonClient:
+    return DaemonClient(daemon.url, timeout=30.0)
+
+
+class TestSubmitFollowFinish:
+    def test_submit_runs_streams_and_persists(self, daemon, tmp_path):
+        client = _client(daemon)
+        assert client.health()["status"] == "ok"
+        job = client.submit_plan(TINY_PLAN, tenant="alice", priority=2)
+        assert job["job"] == "j000001"
+        assert job["tenant"] == "alice" and job["priority"] == 2
+        assert job["plan_kind"] == "tuning" and job["n_cells"] == 1
+
+        followed = list(client.follow(job["job"]))
+        kinds = [event["event"] for event in followed]
+        assert kinds[0] == "CampaignStarted"
+        assert "StepCompleted" in kinds
+        assert kinds[-2:] == ["CampaignFinished", "CacheStats"]
+
+        final = client.job(job["job"])
+        assert final["state"] == "finished" and not final["replayed"]
+        assert final["n_events"] == len(followed)
+
+        # The live stream, the re-read stream and the on-disk ledger are
+        # the same bytes.
+        lines = client.event_lines(job["job"])
+        ledger = tmp_path / "ledger" / "j000001.jsonl"
+        assert lines == ledger.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == followed
+
+    def test_jobs_listing_and_filters(self, daemon):
+        client = _client(daemon)
+        first = client.submit_plan(TINY_PLAN, tenant="alice")
+        second = client.submit_plan(TINY_PLAN, tenant="bob")
+        for job in (first, second):
+            list(client.follow(job["job"]))  # wait for both
+        assert [j["job"] for j in client.jobs()] == ["j000001", "j000002"]
+        assert [j["job"] for j in client.jobs(tenant="bob")] == ["j000002"]
+        assert len(client.jobs(state="finished")) == 2
+        assert client.jobs(state="failed") == []
+
+    def test_toml_submission(self, daemon, tmp_path):
+        plan_file = tmp_path / "plan.toml"
+        plan_file.write_text(
+            'kind = "tuning"\nquery = "q1"\nrates = [3.0, 5.0]\n'
+            'tuner = "ds2"\nscale = "smoke"\n'
+        )
+        client = _client(daemon)
+        job = client.submit_plan(plan_file)
+        assert job["plan_kind"] == "tuning"
+        list(client.follow(job["job"]))
+        assert client.job(job["job"])["state"] == "finished"
+
+    def test_metrics_scrape(self, daemon):
+        client = _client(daemon)
+        job = client.submit_plan(TINY_PLAN, tenant="alice")
+        list(client.follow(job["job"]))
+        text = client.metrics_text()
+        assert 'repro_jobs_total{state="finished"} 1' in text
+        assert 'repro_tenant_submitted_total{tenant="alice"} 1' in text
+        assert "repro_campaigns_finished_total 1" in text
+        assert "repro_steps_total 2" in text  # one per rate in the trace
+        assert "# TYPE repro_cache_hit_ratio gauge" in text
+        uptime = [
+            line for line in text.splitlines()
+            if line.startswith("repro_uptime_seconds ")
+        ]
+        assert len(uptime) == 1 and float(uptime[0].split()[1]) >= 0.0
+
+
+class TestHttpErrors:
+    def test_invalid_plan_is_400(self, daemon):
+        client = _client(daemon)
+        with pytest.raises(DaemonClientError) as excinfo:
+            client.submit_plan({"kind": "tuning", "query": "q1", "rates": []})
+        assert excinfo.value.status == 400
+        with pytest.raises(DaemonClientError) as excinfo:
+            client.submit_plan({"no": "kind"})
+        assert excinfo.value.status == 400
+
+    def test_unparseable_body_is_400(self, daemon):
+        with pytest.raises(DaemonClientError) as excinfo:
+            _client(daemon)._request(
+                "POST", "/v1/plans", body=b"not json {", stream=False
+            )
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_is_404(self, daemon):
+        client = _client(daemon)
+        for path in ("/v1/jobs/j999999", "/v1/jobs/j999999/events"):
+            with pytest.raises(DaemonClientError) as excinfo:
+                client._request("GET", path)
+            assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, daemon):
+        with pytest.raises(DaemonClientError) as excinfo:
+            _client(daemon)._request("GET", "/v2/everything")
+        assert excinfo.value.status == 404
+
+    def test_failed_plan_marks_job_failed(self, daemon):
+        client = _client(daemon)
+        # A model directory that does not exist passes plan validation
+        # (paths resolve at execution time) and fails in the run — the
+        # daemon must survive it, record the failure, and keep serving.
+        job = client.submit_plan({
+            "kind": "tuning", "query": "q1", "rates": [3.0],
+            "model": "/nonexistent/model", "scale": "smoke",
+        })
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            state = client.job(job["job"])["state"]
+            if state in ("finished", "failed"):
+                break
+            time.sleep(0.05)
+        final = client.job(job["job"])
+        assert final["state"] == "failed"
+        assert final["error"]
+        # The daemon is still alive and serving.
+        assert client.health()["status"] == "ok"
+        next_job = client.submit_plan(TINY_PLAN)
+        list(client.follow(next_job["job"]))
+        assert client.job(next_job["job"])["state"] == "finished"
+
+
+class TestAdmissionAndShutdown:
+    def test_backpressure_draining_and_graceful_drain(self, tmp_path):
+        daemon = TuningDaemon(
+            port=0, ledger_dir=tmp_path / "ledger", max_queue_depth=1
+        )
+        gate = threading.Event()
+        real_run = daemon.session.run
+
+        def gated_run(plan, **kwargs):
+            gate.wait(timeout=60)
+            return real_run(plan, **kwargs)
+
+        daemon.session.run = gated_run
+        daemon.start()
+        try:
+            client = _client(daemon)
+            running = client.submit_plan(TINY_PLAN, tenant="alice")
+            deadline = time.monotonic() + 10
+            while client.job(running["job"])["state"] != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            queued = client.submit_plan(TINY_PLAN, tenant="alice")
+            # alice's slice (depth 1) is now full: 429.
+            with pytest.raises(DaemonClientError) as excinfo:
+                client.submit_plan(TINY_PLAN, tenant="alice")
+            assert excinfo.value.status == 429
+            # Other tenants are unaffected by alice's backlog.
+            other = client.submit_plan(TINY_PLAN, tenant="bob")
+            text = client.metrics_text()
+            assert 'repro_queue_depth{tenant="alice"} 1' in text
+            assert 'repro_queue_depth{tenant="bob"} 1' in text
+
+            assert client.shutdown() == {"status": "draining"}
+            with pytest.raises(DaemonClientError) as excinfo:
+                client.submit_plan(TINY_PLAN, tenant="carol")
+            assert excinfo.value.status == 503
+
+            gate.set()
+            daemon.stop()
+            # The in-flight job drained to completion; the queued jobs
+            # stayed "queued" in the manifest, ready for --resume auto.
+            from repro.daemon import JobStore
+
+            recovered = JobStore(tmp_path / "ledger", fsync=False)
+            to_requeue = recovered.recover()
+            assert recovered.get(running["job"]).state == "finished"
+            assert {job.id for job in to_requeue} == {
+                queued["job"], other["job"],
+            }
+        finally:
+            gate.set()
+            daemon.stop()
+
+    def test_stop_leaves_no_shm_segments(self, tmp_path):
+        daemon = TuningDaemon(port=0, ledger_dir=tmp_path / "ledger")
+        daemon.start()
+        client = _client(daemon)
+        job = client.submit_plan(TINY_PLAN)
+        list(client.follow(job["job"]))
+        daemon.stop()
+        shm_dir = Path("/dev/shm")
+        if shm_dir.is_dir():
+            assert not [
+                path for path in shm_dir.iterdir()
+                if path.name.startswith("reprocache")
+            ]
+
+
+class TestResumeAuto:
+    def test_restart_executes_only_missing_cells(self, tmp_path):
+        """A job interrupted mid-campaign re-runs only what the partial
+        ledger does not cover (deterministic: the interruption is staged,
+        not raced)."""
+        from repro.api import EventBus, JsonlRecorder, plan_from_dict
+        from repro.api.session import TuningSession
+        from repro.daemon import JobStore
+
+        ledger_dir = tmp_path / "ledger"
+        store = JobStore(ledger_dir, fsync=False)
+        plan = plan_from_dict(TWO_CELL_PLAN)
+        job = store.submit(plan, TWO_CELL_PLAN)
+        store.mark(job, "running")
+        # Stage the kill point: the ledger holds cell 1 (q1) only — a
+        # single-query plan with identical axes stamps the same cell key.
+        one_cell = plan_from_dict({**TWO_CELL_PLAN, "queries": ["q1"]})
+        recorder = JsonlRecorder(job.ledger_path)
+        TuningSession().run(one_cell, bus=EventBus(recorder))
+        recorder.close()
+
+        daemon = TuningDaemon(
+            port=0, ledger_dir=ledger_dir, resume="auto"
+        )
+        daemon.start()
+        try:
+            client = _client(daemon)
+            events = list(client.follow(job.id))
+            kinds = [event["event"] for event in events]
+            # q1 was replayed from the checkpoint, q5 actually executed.
+            assert kinds.count("CampaignSkipped") == 1
+            assert kinds.count("CampaignFinished") == 2
+            skipped = next(e for e in events if e["event"] == "CampaignSkipped")
+            assert "q1" in skipped["cell_key"]
+            assert client.job(job.id)["state"] == "finished"
+        finally:
+            daemon.stop()
+
+    def test_sigkill_then_restart_replays_bit_identically(self, tmp_path):
+        """The full acceptance path: a real daemon process, a real -9."""
+        ledger_dir = tmp_path / "ledger"
+        script = (
+            "import sys\n"
+            "from repro.daemon import TuningDaemon\n"
+            "daemon = TuningDaemon(port=0, ledger_dir=sys.argv[1],\n"
+            "                      resume=(sys.argv[2] or None))\n"
+            "daemon.serve(on_ready=lambda ready: print(ready.url, flush=True))\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def spawn(resume: str) -> "tuple[subprocess.Popen, DaemonClient]":
+            process = subprocess.Popen(
+                [sys.executable, "-c", script, str(ledger_dir), resume],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                text=True,
+            )
+            url = process.stdout.readline().strip()
+            assert url.startswith("http://"), "daemon failed to start"
+            return process, DaemonClient(url, timeout=30.0)
+
+        process, client = spawn("")
+        try:
+            done = client.submit_plan(TINY_PLAN, tenant="alice")
+            list(client.follow(done["job"]))
+            assert client.job(done["job"])["state"] == "finished"
+            pre_kill_lines = client.event_lines(done["job"])
+            assert pre_kill_lines
+            # A second job goes in and the daemon dies immediately —
+            # whatever state the kill caught it in must be recoverable.
+            interrupted = client.submit_plan(TWO_CELL_PLAN, tenant="alice")
+        finally:
+            process.kill()  # SIGKILL: no drain, no atexit, no flush
+            process.wait(timeout=30)
+
+        process, client = spawn("auto")
+        try:
+            # The finished job replays bit-identically, marked as such.
+            replayed = client.job(done["job"])
+            assert replayed["state"] == "finished" and replayed["replayed"]
+            assert client.event_lines(done["job"]) == pre_kill_lines
+            # The interrupted job re-runs to completion.
+            deadline = time.monotonic() + 60
+            while client.job(interrupted["job"])["state"] != "finished":
+                assert time.monotonic() < deadline, "interrupted job hung"
+                time.sleep(0.05)
+            kinds = [
+                event["event"]
+                for event in client.events(interrupted["job"])
+            ]
+            # Every cell accounted for: executed or replayed, never lost
+            # and never run twice.
+            assert kinds.count("CampaignFinished") == 2
+            client.shutdown()
+            process.wait(timeout=30)
+            assert process.returncode == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)

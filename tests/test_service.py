@@ -541,3 +541,48 @@ class TestSnapshotErrors:
         garbage.write_bytes(b"definitely not a pickle")
         with pytest.raises(SnapshotError, match="not a TuningCacheSet"):
             TuningCacheSet.load(garbage)
+
+
+class TestWorkerCacheCollection:
+    """Process workers snapshot fresh cache entries back to the parent."""
+
+    def _specs(self):
+        return [
+            CampaignSpec(
+                query=nexmark_query(name, "flink"),
+                multipliers=(3, 7),
+                engine_seed=31,
+                seed=41,
+            )
+            for name in ("q1", "q5")
+        ]
+
+    def test_process_workers_report_entries_back(self, tiny_pretrained):
+        # prewarm=False so the parent computes nothing itself: a warm-up
+        # dataset can then only appear in the parent plane via the
+        # post-drain worker collection.
+        service = TuningService(
+            tiny_pretrained, backend="process", max_workers=2, prewarm=False
+        )
+        service.run(self._specs())
+        assert service.caches.section("warmup").stats()["size"] >= 1
+
+    def test_collection_can_be_disabled(self, tiny_pretrained):
+        service = TuningService(
+            tiny_pretrained, backend="process", max_workers=2, prewarm=False,
+            collect_worker_caches=False,
+        )
+        service.run(self._specs())
+        assert service.caches.section("warmup").stats()["size"] == 0
+
+    def test_collected_entries_warm_the_next_process_run(self, tiny_pretrained):
+        service = TuningService(
+            tiny_pretrained, backend="process", max_workers=2, prewarm=False
+        )
+        service.run(self._specs())
+        first_size = service.caches.section("warmup").stats()["size"]
+        assert first_size >= 1
+        # The next run ships the collected entries to its (fresh) workers,
+        # which then compute no new warm-up datasets to report back.
+        service.run(self._specs())
+        assert service.caches.section("warmup").stats()["size"] == first_size
