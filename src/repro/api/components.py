@@ -28,6 +28,7 @@ from repro.baselines.zerotune import ZeroTuneTuner
 from repro.core.tuner import StreamTuneTuner
 from repro.engines.faults import FaultInjectingFlink
 from repro.engines.flink import FlinkCluster
+from repro.engines.paced import DEFAULT_TELEMETRY_SECONDS, PacedFlink
 from repro.engines.scheduler import SchedulingAwareTimely
 from repro.engines.timely import TimelyCluster
 from repro.workloads.nexmark import NEXMARK_QUERY_NAMES, nexmark_query
@@ -85,6 +86,36 @@ def _build_faulty_flink(
     """Flink cluster whose operator instances can be failed and healed."""
     return FaultInjectingFlink(
         **_flink_kwargs(seed, task_managers, slots_per_task_manager, noise_std)
+    )
+
+
+@ENGINES.register(
+    "flink-paced",
+    aliases=("paced-flink",),
+    params=(
+        _SEED,
+        ParamSpec("task_managers", int, None),
+        ParamSpec("slots_per_task_manager", int, None),
+        _NOISE,
+        ParamSpec(
+            "telemetry_seconds",
+            float,
+            DEFAULT_TELEMETRY_SECONDS,
+            help="wall-clock metric-window latency per measurement",
+        ),
+    ),
+)
+def _build_paced_flink(
+    seed=None,
+    task_managers=None,
+    slots_per_task_manager=None,
+    noise_std=None,
+    telemetry_seconds=DEFAULT_TELEMETRY_SECONDS,
+):
+    """Flink whose telemetry costs wall-clock time (bit-identical results)."""
+    return PacedFlink(
+        telemetry_seconds=telemetry_seconds,
+        **_flink_kwargs(seed, task_managers, slots_per_task_manager, noise_std),
     )
 
 
@@ -150,6 +181,7 @@ def build_engine(name: str, **params):
 ENGINE_FAMILIES = {
     "flink": "flink",
     "flink-faulty": "flink",
+    "flink-paced": "flink",
     "timely": "timely",
     "timely-scheduled": "timely",
 }

@@ -33,10 +33,11 @@ from repro.api.registry import ENGINES, MODELS, TUNERS, UnknownComponentError
 from repro.workloads.nexmark import NEXMARK_QUERY_NAMES
 from repro.workloads.pqp import PQP_TEMPLATES, pqp_template_size
 
-#: Worker-pool backends a campaign may request (mirrors
-#: :data:`repro.service.tuning.BACKENDS`, kept literal here so plan
-#: validation never has to import the service layer).
-PLAN_BACKENDS = ("sequential", "thread", "process")
+#: Worker-pool backends a campaign may request: the in-process pools of
+#: :data:`repro.service.tuning.BACKENDS` plus the multi-host
+#: ``distributed`` executor (:mod:`repro.distributed`).  Kept literal
+#: here so plan validation never has to import the execution layers.
+PLAN_BACKENDS = ("sequential", "thread", "process", "distributed")
 
 
 class PlanError(ValueError):
@@ -244,6 +245,12 @@ class CampaignPlan:
     #: each dispatched as its own worker unit; merged results stay
     #: bit-identical to the unsharded run (shards replay their prefix).
     trace_shards: int = 1
+    #: Shared work-spool directory for the ``distributed`` backend: the
+    #: coordinator seeds cells there and worker agents on any host claim
+    #: them.  ``None`` with backend="distributed" means an ephemeral
+    #: local spool (the coordinator creates, populates with local
+    #: workers, and removes it).  Ignored by the in-process backends.
+    spool_dir: str | None = None
 
     kind = "campaign"
 
@@ -298,6 +305,11 @@ class CampaignPlan:
         _check_scale(self.scale)
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise PlanError(f"seed must be an integer, got {self.seed!r}")
+        if self.spool_dir is not None and not isinstance(self.spool_dir, str):
+            raise PlanError(
+                f"spool_dir must be a directory path string, got "
+                f"{self.spool_dir!r}"
+            )
 
     def rates_for(self) -> list[tuple[str, tuple[float, ...]]]:
         """The rate trace each query token runs, as (token, multipliers).
@@ -375,6 +387,9 @@ class SweepPlan:
     scale: str | None = None
     seed: int = 17
     trace_shards: int = 1
+    #: Shared work spool for the ``distributed`` backend (see
+    #: :class:`CampaignPlan.spool_dir`); passed through to every cell.
+    spool_dir: str | None = None
 
     kind = "sweep"
 
@@ -464,6 +479,7 @@ class SweepPlan:
                             scale=self.scale,
                             seed=self.seed,
                             trace_shards=self.trace_shards,
+                            spool_dir=self.spool_dir,
                         )
                     )
         return cells

@@ -48,6 +48,10 @@ def discover_latest_log(
     run — filesystems with coarse timestamps (1s/2s granularity) routinely
     stamp two logs identically, and directory iteration order is not
     stable across filesystems.
+    Zero-byte files are skipped: a recorder (or distributed worker) that
+    died between ``open`` and its first write leaves an empty ledger,
+    which is the *newest* file precisely when it matters — picking it
+    would resume from nothing while a usable log sits right beside it.
     Raises :class:`ResumeError` when the directory holds no candidate.
     """
     directory = Path(directory)
@@ -60,7 +64,9 @@ def discover_latest_log(
         (
             path
             for path in directory.glob("*.jsonl")
-            if path.is_file() and path.resolve() not in excluded
+            if path.is_file()
+            and path.stat().st_size > 0
+            and path.resolve() not in excluded
         ),
         key=lambda path: (path.stat().st_mtime_ns, str(path)),
     )

@@ -217,7 +217,17 @@ class TuningSession:
         the result can ``result = yield from session.stream(plan)``.
         """
         resume = self._coerce_resume(resume)
-        if isinstance(plan, TuningPlan):
+        if (
+            isinstance(plan, (CampaignPlan, SweepPlan))
+            and plan.backend == "distributed"
+        ):
+            # The multi-host executor owns the whole fleet lifecycle
+            # (spool seeding, worker agents, ledger merge); it emits the
+            # same event stream, so the bus wrapper below still applies.
+            from repro.distributed import DistributedSession
+
+            inner = DistributedSession().stream(plan, resume=resume)
+        elif isinstance(plan, TuningPlan):
             inner = self._stream_tuning(plan, resume)
         elif isinstance(plan, CampaignPlan):
             inner = self._stream_campaign(plan, resume)

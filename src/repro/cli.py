@@ -296,13 +296,13 @@ def _resume_log(plan, args: argparse.Namespace) -> ResumeLog | None:
     return log
 
 
-def _run_with_events(plan, args: argparse.Namespace):
+def _run_with_events(plan, args: argparse.Namespace, session=None):
     """Execute a plan through the streaming session, honouring
     ``--follow``/``--record``/``--resume``, and return its result."""
     resume = _resume_log(plan, args)
     bus, recorder = _event_bus(args)
     try:
-        result = TuningSession().run(plan, bus=bus, resume=resume)
+        result = (session or TuningSession()).run(plan, bus=bus, resume=resume)
     finally:
         if recorder is not None:
             recorder.close()
@@ -367,6 +367,78 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# the distributed fleet: worker agents + the dispatch coordinator
+# ----------------------------------------------------------------------
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.distributed import Spool, WorkerAgent
+
+    spool = Spool(args.spool, ttl_seconds=args.ttl)
+    agent = WorkerAgent(
+        spool,
+        worker_id=args.worker_id,
+        poll_seconds=args.poll,
+        exit_when_done=args.exit_when_done,
+        max_cells=args.max_cells,
+        fsync=not args.no_fsync,
+    )
+
+    def drain(signum, frame) -> None:
+        agent.request_stop()
+
+    # SIGTERM/SIGINT drain: finish the in-flight cell, then exit.  A
+    # SIGKILL needs no handling at all — the lease expires and a peer
+    # reclaims the cell.
+    signal.signal(signal.SIGTERM, drain)
+    signal.signal(signal.SIGINT, drain)
+    print(
+        f"worker {agent.worker_id} draining spool {spool.root} "
+        f"(lease TTL {spool.ttl_seconds:g}s)",
+        file=sys.stderr,
+    )
+    completed = agent.run()
+    abandoned = (
+        f", abandoned {agent.n_abandoned} reclaimed attempt(s)"
+        if agent.n_abandoned else ""
+    )
+    print(
+        f"worker {agent.worker_id} exiting: completed {completed} "
+        f"cell(s){abandoned}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    from repro.distributed import DistributedSession
+
+    plan = load_plan(args.plan)
+    if isinstance(plan, TuningPlan):
+        raise PlanError(
+            "dispatch executes campaign and sweep plans; a single-query "
+            "TuningPlan gains nothing from a fleet — use run-plan"
+        )
+    overrides = {"backend": "distributed"}
+    if args.spool_dir is not None:
+        overrides["spool_dir"] = args.spool_dir
+    plan = replace(plan, **overrides)
+    session = DistributedSession(
+        local_workers=args.local_workers,
+        ttl_seconds=args.ttl,
+        stall_seconds=args.stall_seconds,
+        fsync=not args.no_fsync,
+    )
+    result = _run_with_events(plan, args, session=session)
+    if isinstance(plan, SweepPlan):
+        _print_sweep_result(result)
+    else:
+        _print_campaign_outcomes(result)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # the daemon: serve / submit / jobs
 # ----------------------------------------------------------------------
 
@@ -381,6 +453,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_path=args.cache_path,
         resume=args.resume,
         fsync=not args.no_fsync,
+        spool_dir=args.spool_dir,
     )
 
     def announce(ready) -> None:
@@ -396,6 +469,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
     from repro.api import event_from_dict
     from repro.daemon import DaemonClient
 
@@ -403,28 +478,37 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     job = client.submit_plan(
         args.plan, tenant=args.tenant, priority=args.priority
     )
-    print(
-        f"submitted {job['job']} ({job['plan_kind']}, {job['n_cells']} "
-        f"cell(s), tenant {job['tenant']}) -> "
-        f"{client.url}/v1/jobs/{job['job']}"
-    )
+    if args.json:
+        print(json.dumps(job, sort_keys=True))
+    else:
+        print(
+            f"submitted {job['job']} ({job['plan_kind']}, {job['n_cells']} "
+            f"cell(s), tenant {job['tenant']}) -> "
+            f"{client.url}/v1/jobs/{job['job']}"
+        )
     if not (args.follow or args.wait):
         return 0
-    printer = ProgressPrinter() if args.follow else None
+    printer = ProgressPrinter() if args.follow and not args.json else None
     for data in client.follow(job["job"]):
-        if printer is None:
-            continue
-        try:
-            printer(event_from_dict(data))
-        except ValueError:
-            pass  # a daemon newer than this client; skip unknown events
+        if args.json and args.follow:
+            print(json.dumps(data, sort_keys=True))
+        elif printer is not None:
+            try:
+                printer(event_from_dict(data))
+            except ValueError:
+                pass  # a daemon newer than this client; skip unknown events
     final = client.job(job["job"])
-    suffix = f": {final['error']}" if final.get("error") else ""
-    print(f"job {final['job']} {final['state']}{suffix}")
+    if args.json:
+        print(json.dumps(final, sort_keys=True))
+    else:
+        suffix = f": {final['error']}" if final.get("error") else ""
+        print(f"job {final['job']} {final['state']}{suffix}")
     return 1 if final["state"] == "failed" else 0
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
     from repro.daemon import DaemonClient
 
     client = DaemonClient(args.url)
@@ -433,6 +517,10 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             print(line)
         return 0
     jobs = client.jobs(tenant=args.tenant, state=args.state)
+    if args.json:
+        for job in jobs:
+            print(json.dumps(job, sort_keys=True))
+        return 0
     rows = [
         (
             job["job"],
@@ -571,7 +659,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--engine", choices=engine_names, default="flink")
     serve.add_argument(
-        "--backend", choices=("sequential", "thread", "process"), default="thread"
+        "--backend",
+        choices=("sequential", "thread", "process", "distributed"),
+        default="thread",
     )
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument("--layer", choices=layer_names, default="svm")
@@ -613,7 +703,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_plan.add_argument("plan", help="path to a .json or .toml plan file")
     run_plan.add_argument(
-        "--backend", choices=("sequential", "thread", "process"), default=None,
+        "--backend",
+        choices=("sequential", "thread", "process", "distributed"),
+        default=None,
         help="override the plan's worker-pool backend",
     )
     run_plan.add_argument("--workers", type=int, default=None)
@@ -627,13 +719,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("plan", help="path to a .json or .toml sweep-plan file")
     sweep.add_argument(
-        "--backend", choices=("sequential", "thread", "process"), default=None,
+        "--backend",
+        choices=("sequential", "thread", "process", "distributed"),
+        default=None,
         help="override the sweep's worker-pool backend",
     )
     sweep.add_argument("--workers", type=int, default=None)
     sweep.add_argument("--scale", default=None, help="override the sweep's scale")
     add_stream_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    from repro.distributed.spool import DEFAULT_TTL_SECONDS
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a long-lived worker agent claiming campaign cells from "
+             "a shared work spool (see `dispatch`)",
+    )
+    worker.add_argument("spool", help="the spool directory to drain")
+    worker.add_argument(
+        "--ttl", type=float, default=DEFAULT_TTL_SECONDS, metavar="SECONDS",
+        help="lease time-to-live; a worker silent this long is presumed "
+             "dead and its cells are reclaimed (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle delay between spool scans (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--exit-when-done", action="store_true",
+        help="exit once every spooled cell has completed, instead of "
+             "polling for newly seeded work forever",
+    )
+    worker.add_argument(
+        "--max-cells", type=int, default=None,
+        help="exit after completing this many cells",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="stable identity in leases/ledgers (default: <host>-<pid>)",
+    )
+    worker.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip the per-event fsync of cell ledgers (faster, loses "
+             "crash-durability of the tail)",
+    )
+    worker.set_defaults(func=_cmd_worker)
+
+    dispatch = sub.add_parser(
+        "dispatch",
+        help="execute a campaign/sweep plan across a fleet of worker "
+             "agents via a shared work spool (backend=distributed)",
+    )
+    dispatch.add_argument("plan", help="path to a .json or .toml plan file")
+    dispatch.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="shared work spool a standing fleet of `repro worker` agents "
+             "is draining (default: an ephemeral local spool staffed by "
+             "--local-workers subprocesses)",
+    )
+    dispatch.add_argument(
+        "--local-workers", type=int, default=None, metavar="N",
+        help="spawn N local worker agents on this spool (default: the "
+             "plan's `workers`, else 2 for an ephemeral spool, 0 for a "
+             "--spool-dir fleet)",
+    )
+    dispatch.add_argument(
+        "--ttl", type=float, default=DEFAULT_TTL_SECONDS, metavar="SECONDS",
+        help="lease time-to-live for crash detection (default: %(default)s)",
+    )
+    dispatch.add_argument(
+        "--stall-seconds", type=float, default=None, metavar="SECONDS",
+        help="declare the fleet dead after this long with no live worker "
+             "and no completions (default: 4x --ttl)",
+    )
+    dispatch.add_argument(
+        "--no-fsync", action="store_true",
+        help="run local workers without per-event ledger fsync",
+    )
+    add_stream_flags(dispatch)
+    dispatch.set_defaults(func=_cmd_dispatch)
 
     from repro.perf.report import BENCH_FILENAME
 
@@ -716,6 +881,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-event fsync of ledgers (faster, loses "
              "crash-durability of the tail)",
     )
+    serve_cmd.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="shared work spool for backend=\"distributed\" plans: jobs "
+             "without their own spool_dir execute across the worker "
+             "agents draining DIR",
+    )
     serve_cmd.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -741,6 +912,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="block until the job finishes (no per-event output) and exit "
              "with its outcome",
     )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: one JSON object per line (the "
+             "submission, each --follow event, the final job state)",
+    )
     submit.set_defaults(func=_cmd_submit)
 
     jobs_cmd = sub.add_parser(
@@ -758,6 +934,11 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_cmd.add_argument(
         "--events", default=None, metavar="JOB_ID",
         help="print JOB_ID's event ledger as JSON lines instead of the table",
+    )
+    jobs_cmd.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: one JSON object per job instead of "
+             "the table",
     )
     jobs_cmd.set_defaults(func=_cmd_jobs)
 

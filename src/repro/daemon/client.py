@@ -6,14 +6,21 @@ programmatic way to drive a daemon from tests and notebooks.  Errors the
 daemon reports (bad plan, full queue, draining, unknown job) surface as
 :class:`DaemonClientError` carrying the HTTP status and the daemon's own
 message, so CLI handling can treat them like any other operator error.
+
+Connection-level failures (daemon restarting, socket not yet bound) are
+retried with jittered exponential backoff before giving up; HTTP errors
+are answers from a live daemon and are never retried.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import urllib.error
 import urllib.request
 from pathlib import Path
+
+from repro.utils.retry import with_retries
 
 __all__ = ["DaemonClient", "DaemonClientError"]
 
@@ -29,9 +36,18 @@ class DaemonClientError(RuntimeError):
 class DaemonClient:
     """Talk to one daemon at ``url`` (e.g. ``http://127.0.0.1:8642``)."""
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        *,
+        retries: int = 3,
+        retry_rng: random.Random | None = None,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(1, retries)
+        self.retry_rng = retry_rng
 
     # -- plumbing -------------------------------------------------------
 
@@ -44,24 +60,40 @@ class DaemonClient:
         stream: bool = False,
         timeout: float | None = None,
     ):
-        request = urllib.request.Request(
-            self.url + path, data=body, method=method
-        )
-        if body is not None:
-            request.add_header("Content-Type", content_type)
-        try:
-            response = urllib.request.urlopen(
-                request, timeout=self.timeout if timeout is None else timeout
+        def attempt():
+            request = urllib.request.Request(
+                self.url + path, data=body, method=method
             )
-        except urllib.error.HTTPError as error:
-            detail = ""
+            if body is not None:
+                request.add_header("Content-Type", content_type)
             try:
-                detail = json.loads(error.read().decode()).get("error", "")
-            except Exception:  # noqa: BLE001 — error body is best-effort
-                pass
-            raise DaemonClientError(
-                detail or f"{error.code} {error.reason}", status=error.code
-            ) from None
+                return urllib.request.urlopen(
+                    request,
+                    timeout=self.timeout if timeout is None else timeout,
+                )
+            except urllib.error.HTTPError as error:
+                # A status line is the daemon answering; surface it as-is
+                # (POSTs are not safely repeatable anyway).
+                detail = ""
+                try:
+                    detail = json.loads(error.read().decode()).get("error", "")
+                except Exception:  # noqa: BLE001 — error body is best-effort
+                    pass
+                raise DaemonClientError(
+                    detail or f"{error.code} {error.reason}", status=error.code
+                ) from None
+
+        try:
+            # Only the connection-level URLError is transient — the
+            # daemon may be mid-restart or its socket not yet bound.
+            response = with_retries(
+                attempt,
+                retryable=(urllib.error.URLError,),
+                attempts=self.retries,
+                rng=self.retry_rng,
+            )
+        except DaemonClientError:
+            raise
         except urllib.error.URLError as error:
             raise DaemonClientError(
                 f"cannot reach daemon at {self.url}: {error.reason}"

@@ -40,6 +40,7 @@ and closes the shared-memory arena so ``/dev/shm`` is left clean.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import signal
 import threading
@@ -87,6 +88,7 @@ class TuningDaemon:
         resume: str | None = None,
         fsync: bool = True,
         use_shm: bool = True,
+        spool_dir: "str | Path | None" = None,
     ) -> None:
         from repro.service.cache import TuningCacheSet
 
@@ -96,6 +98,10 @@ class TuningDaemon:
         self.cache_path = cache_path
         self.resume = resume
         self.fsync = fsync
+        #: Default shared work spool for ``backend="distributed"`` plans
+        #: submitted without their own ``spool_dir`` — the daemon then
+        #: dispatches them to whatever worker agents drain it.
+        self.spool_dir = None if spool_dir is None else str(spool_dir)
         self.store = JobStore(self.ledger_dir, fsync=fsync)
         self.queue = TenantQueue(max_depth=max_queue_depth)
         self.metrics = MetricsAggregator()
@@ -264,6 +270,14 @@ class TuningDaemon:
         :class:`~repro.daemon.queue.QueueDraining` (shutting down).
         """
         plan = plan_from_dict(plan_data)
+        if (
+            self.spool_dir is not None
+            and getattr(plan, "backend", None) == "distributed"
+            and getattr(plan, "spool_dir", None) is None
+        ):
+            # Distributed jobs without a spool of their own execute on
+            # the daemon's standing fleet.
+            plan = dataclasses.replace(plan, spool_dir=self.spool_dir)
         with self._admission:
             if self.queue.draining or self._stop.is_set():
                 raise QueueDraining()

@@ -1,0 +1,452 @@
+"""The coordinator: seed a spool from a plan, merge worker ledgers.
+
+:func:`plan_cells` flattens a :class:`~repro.api.plans.CampaignPlan` or
+:class:`~repro.api.plans.SweepPlan` into independent
+:class:`~repro.distributed.spool.SpoolCell` work units — one per
+campaign, each carrying a derived single-campaign plan whose
+deterministic ``cell_key`` equals the parent plan's.  Because the cell
+key pins the computation (query, engine + seed, tuner + layer, rate
+trace, tuner seed), *where* a cell runs cannot change *what* it
+computes: a fleet spread over N hosts produces results bit-identical to
+``backend="sequential"`` on one.
+
+:class:`DistributedSession` mirrors
+:meth:`~repro.api.session.TuningSession.stream`: it seeds the spool,
+optionally spawns local worker agents (``repro worker`` subprocesses),
+then re-emits every cell's ledger **in plan order** as one seq-restamped
+event stream — the same typed events, the same ordering guarantees, the
+same ``StopIteration.value`` result — so recorders, progress printers,
+the daemon and ``--resume`` all work unchanged on top of a fleet.
+
+Failure model: a worker that dies mid-cell simply stops heartbeating;
+its lease expires and any surviving worker reclaims and re-runs the cell
+(bit-identical, so the retry is invisible in the results).  Only when
+the *whole* fleet goes silent — no fresh worker heartbeat, no fresh
+lease, no new completion for ``stall_seconds`` — does the coordinator
+synthesise a :class:`~repro.api.events.CampaignFailed` per remaining
+cell and finish the stream: a dead fleet is a failed campaign, never a
+hang.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api.components import resolve_query
+from repro.api.events import (
+    CacheStats,
+    CampaignFailed,
+    CampaignFinished,
+    CampaignSkipped,
+    SweepFinished,
+    event_from_dict,
+)
+from repro.api.plans import CampaignPlan, PlanError, SweepPlan
+from repro.distributed.spool import DEFAULT_TTL_SECONDS, Spool, SpoolCell
+
+__all__ = ["DistributedSession", "plan_cells"]
+
+
+def _derived_plan(plan: CampaignPlan, token: str, rates) -> dict:
+    """The single-campaign plan one cell executes, as a plain dict.
+
+    The derived plan runs on the ``sequential`` backend (one campaign
+    needs no pool) and drops fleet-only machinery: ``cache_path`` stays
+    with the coordinator's host, the spool must not recurse, and trace
+    sharding is pointless inside a single sequential campaign.  Its
+    ``cell_keys()[0]`` equals the parent's key for this campaign — seed
+    and engine-seed conventions are the plan's own.
+    """
+    return CampaignPlan(
+        queries=(token,),
+        rates=tuple(rates),
+        engine=plan.engine,
+        tuner=plan.tuner,
+        backend="sequential",
+        layer=plan.layer,
+        prioritize_backpressure=plan.prioritize_backpressure,
+        model=plan.model,
+        scale=plan.scale,
+        seed=plan.seed,
+    ).to_dict()
+
+
+def plan_cells(plan: "CampaignPlan | SweepPlan") -> list[SpoolCell]:
+    """Flatten ``plan`` into spool cells, in plan (emission) order."""
+    if isinstance(plan, CampaignPlan):
+        fleets = [(None, plan)]
+    elif isinstance(plan, SweepPlan):
+        fleets = [(plan.scenario_label(cell), cell) for cell in plan.expand()]
+    else:
+        raise PlanError(
+            f"the distributed backend executes campaign and sweep plans, "
+            f"not a {type(plan).__name__}"
+        )
+    cells: list[SpoolCell] = []
+    for scenario, fleet in fleets:
+        keys = fleet.cell_keys()
+        for fleet_index, (token, rates) in enumerate(fleet.rates_for()):
+            cells.append(SpoolCell(
+                index=len(cells),
+                cell_key=keys[fleet_index],
+                campaign=resolve_query(token, fleet.engine).name,
+                plan=_derived_plan(fleet, token, rates),
+                scenario=scenario,
+                n_steps=len(rates),
+                fleet_index=fleet_index,
+            ))
+    return cells
+
+
+def _merge_stats(total: dict, stats: dict) -> dict:
+    """Accumulate one cell's cache counters into ``total`` (recursive)."""
+    for key, value in stats.items():
+        if isinstance(value, dict):
+            total[key] = _merge_stats(total.get(key) or {}, value)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            total[key] = total.get(key, 0) + value
+        else:
+            total[key] = value
+    return total
+
+
+class DistributedSession:
+    """Run campaign/sweep plans across a fleet of worker agents.
+
+    ``spool_dir`` (or the plan's own ``spool_dir``) names the shared
+    directory a standing fleet watches; when neither is set the session
+    creates an ephemeral spool under the system temp directory, staffs
+    it with ``local_workers`` (default: the plan's ``workers``, else 2)
+    ``repro worker`` subprocesses, and removes it afterwards.
+    ``local_workers=0`` dispatches without spawning anything — some
+    other host's agents must drain the spool.
+    """
+
+    def __init__(
+        self,
+        *,
+        spool_dir: "str | Path | None" = None,
+        local_workers: int | None = None,
+        ttl_seconds: float = DEFAULT_TTL_SECONDS,
+        poll_seconds: float = 0.05,
+        stall_seconds: float | None = None,
+        fsync: bool = True,
+    ) -> None:
+        self.spool_dir = spool_dir
+        self.local_workers = local_workers
+        self.ttl_seconds = ttl_seconds
+        self.poll_seconds = poll_seconds
+        # Generous by default: a stall is declared only after several
+        # missed lease TTLs, so slow worker start-up (interpreter +
+        # numpy import is >1s) can never masquerade as fleet death.
+        self.stall_seconds = (
+            stall_seconds if stall_seconds is not None else 4 * ttl_seconds
+        )
+        self.fsync = fsync
+
+    # -- the TuningSession-shaped surface -------------------------------
+
+    def run(self, plan, *, bus=None, resume=None):
+        stream = self.stream(plan, bus=bus, resume=resume)
+        while True:
+            try:
+                next(stream)
+            except StopIteration as stop:
+                return stop.value
+
+    def stream(self, plan, *, bus=None, resume=None):
+        from repro.api.session import TuningSession
+
+        inner = self._stream(plan, TuningSession._coerce_resume(resume))
+        if bus is None:
+            return inner
+        return TuningSession._published(inner, bus)
+
+    # -- execution ------------------------------------------------------
+
+    def _stream(self, plan, resume):
+        from repro.service import CampaignExecutionError
+
+        started = time.perf_counter()
+        cells = plan_cells(plan)
+        root = Path(
+            plan.spool_dir or self.spool_dir or tempfile.mkdtemp(prefix="repro-spool-")
+        )
+        ephemeral = plan.spool_dir is None and self.spool_dir is None
+        spool = Spool(root, ttl_seconds=self.ttl_seconds).ensure()
+
+        seq = 0
+        def stamped(event, cell):
+            nonlocal seq
+            changes: dict = {"seq": seq}
+            if cell.scenario is not None:
+                changes["scenario"] = cell.scenario
+            if hasattr(event, "index"):
+                changes["index"] = cell.fleet_index
+            if hasattr(event, "backend"):
+                changes["backend"] = "distributed"
+            seq += 1
+            return dataclasses.replace(event, **changes)
+
+        replayed = {
+            cell.id: outcome
+            for cell in cells
+            if (outcome := self._resume_outcome(resume, cell.cell_key)) is not None
+        }
+        pending = [cell for cell in cells if cell.id not in replayed]
+        spool.seed(pending)
+
+        outcomes: dict[int, object] = {}      # cell.index -> CampaignOutcome
+        failures: list = []
+        scenario_stats: dict = {}             # per-scenario cache counters
+        workers: list = []
+        fleet_dead = False
+        try:
+            if pending:
+                workers = self._spawn_local_workers(root, plan)
+            last_sign_of_life = time.time()
+            for position, cell in enumerate(cells):
+                if cell.id in replayed:
+                    yield from self._replay(
+                        stamped, cell, replayed[cell.id], resume, outcomes
+                    )
+                else:
+                    if not fleet_dead:
+                        payload, last_sign_of_life = self._await_done(
+                            spool, cell, workers, last_sign_of_life
+                        )
+                        fleet_dead = payload is None
+                    if fleet_dead:
+                        failure = stamped(CampaignFailed(
+                            campaign=cell.campaign,
+                            index=cell.fleet_index,
+                            backend="distributed",
+                            error_type="WorkerLost",
+                            error_message=(
+                                f"no live worker on spool {root} for "
+                                f"{self.stall_seconds:g}s; cell never completed"
+                            ),
+                            cell_key=cell.cell_key,
+                        ), cell)
+                        failures.append(failure)
+                        yield failure
+                    else:
+                        yield from self._emit_cell(
+                            stamped, spool, cell, payload, outcomes, failures,
+                            scenario_stats,
+                        )
+                # Flush this scenario's merged cache stats once its last
+                # cell has streamed (cells arrive in plan order, so the
+                # scenario changes exactly at fleet boundaries).
+                next_cell = cells[position + 1] if position + 1 < len(cells) else None
+                if next_cell is None or next_cell.scenario != cell.scenario:
+                    stats = scenario_stats.pop(cell.scenario, None)
+                    if stats is not None:
+                        yield stamped(CacheStats(stats=stats), cell)
+        finally:
+            self._drain_local_workers(workers, healthy=not fleet_dead)
+            if ephemeral and not fleet_dead:
+                shutil.rmtree(root, ignore_errors=True)
+
+        wall = time.perf_counter() - started
+        if isinstance(plan, SweepPlan):
+            yield SweepFinished(
+                n_scenarios=plan.n_scenarios,
+                n_campaigns=len(outcomes),
+                wall_seconds=wall,
+                seq=seq,
+            )
+            if failures:
+                raise CampaignExecutionError(failures)
+            return self._sweep_result(plan, cells, outcomes, wall)
+        if failures:
+            raise CampaignExecutionError(failures, outcomes)
+        return self._campaign_result(plan, cells, outcomes, wall)
+
+    # -- per-cell emission ----------------------------------------------
+
+    @staticmethod
+    def _resume_outcome(resume, cell_key):
+        if resume is None:
+            return None
+        if isinstance(resume, dict):
+            return resume.get(cell_key)
+        return resume.outcome_for(cell_key)
+
+    def _replay(self, stamped, cell, recorded, resume, outcomes):
+        """Re-emit a resume-log campaign without spooling anything."""
+        recorded.backend = "distributed"
+        outcomes[cell.index] = recorded
+        yield stamped(CampaignSkipped(
+            campaign=cell.campaign,
+            index=cell.fleet_index,
+            backend="distributed",
+            n_steps=len(recorded.result.processes),
+            resumed_from=str(getattr(resume, "path", "") or ""),
+            cell_key=cell.cell_key,
+        ), cell)
+        yield stamped(CampaignFinished(
+            campaign=cell.campaign,
+            index=cell.fleet_index,
+            backend="distributed",
+            n_steps=len(recorded.result.processes),
+            converged_steps=sum(
+                1 for p in recorded.result.processes if p.converged
+            ),
+            wall_seconds=recorded.wall_seconds,
+            outcome=recorded,
+            cell_key=cell.cell_key,
+        ), cell)
+
+    def _emit_cell(
+        self, stamped, spool, cell, payload, outcomes, failures, scenario_stats
+    ):
+        """Stream the authoritative attempt's ledger, restamped."""
+        ledger = spool.ledgers_dir / payload["ledger"]
+        for event in self._ledger_events(ledger):
+            if isinstance(event, CacheStats):
+                # Per-cell stats merge into one per-scenario report —
+                # a fleet shares caches per worker, not per campaign.
+                scenario_stats[cell.scenario] = _merge_stats(
+                    scenario_stats.get(cell.scenario) or {}, event.stats
+                )
+                continue
+            if isinstance(event, CampaignFinished) and event.outcome is not None:
+                event.outcome.backend = "distributed"
+                outcomes[cell.index] = event.outcome
+            event = stamped(event, cell)
+            if isinstance(event, CampaignFailed):
+                failures.append(event)
+            yield event
+
+    @staticmethod
+    def _ledger_events(ledger: Path):
+        """Parse one attempt ledger, tolerating a crash-truncated tail."""
+        try:
+            lines = ledger.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return []
+        events = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(event_from_dict(json.loads(line)))
+            except ValueError:
+                continue
+        return events
+
+    # -- waiting on the fleet -------------------------------------------
+
+    def _await_done(self, spool, cell, workers, last_sign_of_life):
+        """Block until ``cell`` completes; (payload, liveness) or (None, _).
+
+        A ``None`` payload means the fleet went silent: no fresh worker
+        heartbeat or lease, no running local worker and no new
+        completion for ``stall_seconds``.
+        """
+        while True:
+            payload = spool.done_payload(cell.id)
+            now = time.time()
+            if payload is not None:
+                return payload, now
+            if (
+                spool.has_live_activity()
+                or any(proc.poll() is None for proc, _ in workers)
+            ):
+                last_sign_of_life = now
+            elif now - last_sign_of_life > self.stall_seconds:
+                return None, last_sign_of_life
+            time.sleep(self.poll_seconds)
+
+    # -- local worker fleet ---------------------------------------------
+
+    def _local_worker_count(self, plan) -> int:
+        if self.local_workers is not None:
+            return self.local_workers
+        if plan.workers is not None:
+            return plan.workers
+        # A named spool implies a standing fleet elsewhere; an ephemeral
+        # spool must staff itself.
+        has_named_spool = plan.spool_dir is not None or self.spool_dir is not None
+        return 0 if has_named_spool else 2
+
+    def _spawn_local_workers(self, root: Path, plan) -> list:
+        """Start ``repro worker`` subprocesses draining ``root``."""
+        import repro
+
+        count = self._local_worker_count(plan)
+        env = os.environ.copy()
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+        workers = []
+        for index in range(count):
+            log = open(root / f"worker-{index}.log", "w", encoding="utf-8")
+            command = [
+                sys.executable, "-m", "repro.cli", "worker", str(root),
+                "--exit-when-done",
+                "--ttl", str(self.ttl_seconds),
+            ]
+            if not self.fsync:
+                command.append("--no-fsync")
+            workers.append((
+                subprocess.Popen(
+                    command, stdout=log, stderr=subprocess.STDOUT, env=env
+                ),
+                log,
+            ))
+        return workers
+
+    def _drain_local_workers(self, workers, *, healthy: bool) -> None:
+        """Let ``--exit-when-done`` agents finish, then insist."""
+        for proc, _ in workers:
+            if not healthy:
+                proc.terminate()
+        for proc, _ in workers:
+            try:
+                proc.wait(timeout=2 * self.ttl_seconds if healthy else 5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        for _, log in workers:
+            log.close()
+
+    # -- results --------------------------------------------------------
+
+    @staticmethod
+    def _campaign_result(plan, cells, outcomes, wall):
+        from repro.api.session import SessionResult
+
+        return SessionResult(
+            plan=plan,
+            outcomes=[outcomes[cell.index] for cell in cells],
+            wall_seconds=wall,
+            backend="distributed",
+        )
+
+    @staticmethod
+    def _sweep_result(plan, cells, outcomes, wall):
+        from repro.api.session import SessionResult, SweepResult
+
+        results = []
+        for fleet in plan.expand():
+            label = plan.scenario_label(fleet)
+            fleet_cells = [cell for cell in cells if cell.scenario == label]
+            fleet_outcomes = [outcomes[cell.index] for cell in fleet_cells]
+            results.append(SessionResult(
+                plan=fleet,
+                outcomes=fleet_outcomes,
+                wall_seconds=sum(o.wall_seconds for o in fleet_outcomes),
+                backend="distributed",
+            ))
+        return SweepResult(plan=plan, results=results, wall_seconds=wall)

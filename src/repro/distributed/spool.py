@@ -1,0 +1,388 @@
+"""The shared-directory work spool: claimable cells with leases.
+
+A spool is a directory (local, NFS, or any shared filesystem) that turns
+a campaign fleet into claimable work units.  Every campaign cell of a
+:class:`~repro.api.plans.CampaignPlan`/:class:`~repro.api.plans.SweepPlan`
+becomes one JSON file keyed by its deterministic ``cell_key``
+(:func:`~repro.api.events.campaign_cell_key`), and any worker on any
+host can claim, execute and complete it — idempotently, because the
+cell key pins the exact computation and the per-cell JSONL ledger is
+bit-identical however many times the cell runs.
+
+Layout (all paths under one root)::
+
+    cells/<cell_id>.json            the work unit (derived plan + key)
+    leases/<cell_id>.lease          claim: owner id inside, heartbeat mtime
+    ledgers/<cell_id>.<owner>.jsonl fsynced event ledger per attempt
+    done/<cell_id>.json             completion marker (exactly one winner)
+    workers/<worker_id>.json        worker liveness, heartbeat mtime
+
+Correctness rests on three POSIX atomicities (all of which NFSv3+
+honours):
+
+* **claim** — ``os.link`` of a private temp file onto the lease path;
+  creating a hard link is atomic and fails with ``EEXIST`` when the
+  lease exists, so exactly one claimant wins;
+* **reclaim** — an expired lease (heartbeat mtime older than
+  ``ttl_seconds``) is ``os.rename``\\ d aside to a unique stale name;
+  rename succeeds for exactly one stealer, and a crashed host is from
+  then on just unclaimed cells;
+* **completion** — the done marker is also ``os.link``\\ ed into place,
+  so when a presumed-dead worker and its reclaimer both finish, exactly
+  one attempt becomes the authoritative result (the marker names the
+  winning attempt's ledger file).
+
+Heartbeats are ``os.utime`` on the lease — a metadata write, no content
+race with readers.  Leases carry their owner id, so a worker whose lease
+was stolen (it was presumed dead but was merely slow) detects the loss
+on its next heartbeat and abandons the attempt instead of double
+completing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_TTL_SECONDS",
+    "LeaseLost",
+    "Spool",
+    "SpoolCell",
+    "cell_id_for",
+]
+
+#: Default lease/worker heartbeat time-to-live.  A worker heartbeats at
+#: a quarter of this, so a lease survives several missed beats before a
+#: reclaim — slow NFS metadata writes must not look like death.
+DEFAULT_TTL_SECONDS = 15.0
+
+
+class LeaseLost(RuntimeError):
+    """This worker's lease was reclaimed — it was presumed dead.
+
+    The only correct reaction is to abandon the in-flight attempt: a
+    reclaimer owns the cell now, and the done-marker link guarantees at
+    most one attempt publishes a result anyway.
+    """
+
+
+def cell_id_for(index: int, cell_key: str) -> str:
+    """A filesystem-safe, deterministic id for one cell.
+
+    Cell keys contain ``:`` and ``/`` (they are readable grep targets,
+    not filenames), so filenames use the plan position plus a digest.
+    The index prefix keeps directory listings in plan order.
+    """
+    digest = hashlib.sha1(cell_key.encode()).hexdigest()[:12]
+    return f"{index:04d}-{digest}"
+
+
+@dataclass(frozen=True)
+class SpoolCell:
+    """One claimable work unit: a single-campaign plan plus identity."""
+
+    index: int                      # position in the dispatched plan
+    cell_key: str                   # deterministic campaign identity
+    campaign: str                   # resolved query name (event labels)
+    plan: dict = field(hash=False)  # derived single-campaign CampaignPlan
+    scenario: str | None = None     # sweep grid label, when any
+    n_steps: int = 0                # rate changes (progress/failure events)
+    #: Position within the cell's own fleet/scenario — what campaign
+    #: events stamp as ``index`` (sweeps restart it per scenario, while
+    #: :attr:`index` keeps growing across the whole grid).
+    fleet_index: int = 0
+
+    @property
+    def id(self) -> str:
+        return cell_id_for(self.index, self.cell_key)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "cell_key": self.cell_key,
+            "campaign": self.campaign,
+            "plan": self.plan,
+            "scenario": self.scenario,
+            "n_steps": self.n_steps,
+            "fleet_index": self.fleet_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpoolCell":
+        return cls(
+            index=data["index"],
+            cell_key=data["cell_key"],
+            campaign=data["campaign"],
+            plan=data["plan"],
+            scenario=data.get("scenario"),
+            n_steps=data.get("n_steps", 0),
+            fleet_index=data.get("fleet_index", data["index"]),
+        )
+
+
+def _write_durable(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` and fsync it (content must not be lost
+    to a crash once another host can observe the file)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class Spool:
+    """One work spool rooted at a (possibly shared) directory."""
+
+    def __init__(
+        self, root: "str | Path", *, ttl_seconds: float = DEFAULT_TTL_SECONDS
+    ) -> None:
+        if ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self.root = Path(root)
+        self.ttl_seconds = ttl_seconds
+        self.cells_dir = self.root / "cells"
+        self.leases_dir = self.root / "leases"
+        self.ledgers_dir = self.root / "ledgers"
+        self.done_dir = self.root / "done"
+        self.workers_dir = self.root / "workers"
+        self._cell_cache: dict[str, SpoolCell] = {}
+
+    def ensure(self) -> "Spool":
+        for directory in (
+            self.cells_dir, self.leases_dir, self.ledgers_dir,
+            self.done_dir, self.workers_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- cells ----------------------------------------------------------
+
+    def seed(self, cells) -> int:
+        """Record every cell not already spooled; idempotent.
+
+        Returns how many cells were newly written.  Existing cell files
+        are left untouched — cell ids are deterministic, so re-seeding
+        the same plan (a coordinator restart, a second dispatcher) finds
+        its cells already in place.
+        """
+        self.ensure()
+        seeded = 0
+        for cell in cells:
+            target = self.cells_dir / f"{cell.id}.json"
+            if target.exists():
+                continue
+            tmp = self.cells_dir / f".seed-{uuid.uuid4().hex}"
+            _write_durable(tmp, json.dumps(cell.to_dict(), sort_keys=True) + "\n")
+            try:
+                os.link(tmp, target)
+                seeded += 1
+            except FileExistsError:
+                pass        # a concurrent seeder won; same deterministic cell
+            finally:
+                tmp.unlink(missing_ok=True)
+        return seeded
+
+    def cell(self, cell_id: str) -> SpoolCell:
+        cached = self._cell_cache.get(cell_id)
+        if cached is not None:
+            return cached
+        path = self.cells_dir / f"{cell_id}.json"
+        cell = SpoolCell.from_dict(json.loads(path.read_text(encoding="utf-8")))
+        self._cell_cache[cell_id] = cell
+        return cell
+
+    def cell_ids(self) -> list[str]:
+        """Every spooled cell id, in plan (index-prefix) order."""
+        if not self.cells_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.cells_dir.glob("*.json"))
+
+    def pending_ids(self) -> list[str]:
+        """Cells without a completion marker, in plan order."""
+        done = self.done_ids()
+        return [cell_id for cell_id in self.cell_ids() if cell_id not in done]
+
+    # -- leases ---------------------------------------------------------
+
+    def _lease_path(self, cell_id: str) -> Path:
+        return self.leases_dir / f"{cell_id}.lease"
+
+    def claim(self, cell_id: str, owner: str) -> bool:
+        """Try to claim ``cell_id`` for ``owner``; True on success.
+
+        An unexpired lease held by anyone (including a previous
+        incarnation of ``owner``) refuses the claim; an expired one is
+        stolen first — exactly one concurrent stealer wins the rename.
+        """
+        lease = self._lease_path(cell_id)
+        tmp = self.leases_dir / f".claim-{uuid.uuid4().hex}"
+        _write_durable(
+            tmp,
+            json.dumps({"owner": owner, "cell": cell_id}, sort_keys=True) + "\n",
+        )
+        try:
+            while True:
+                try:
+                    os.link(tmp, lease)
+                    return True
+                except FileExistsError:
+                    if not self._expire(lease):
+                        return False
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _expire(self, lease: Path) -> bool:
+        """Remove ``lease`` if its heartbeat went stale; True if the
+        caller may retry its claim."""
+        try:
+            age = time.time() - lease.stat().st_mtime
+        except FileNotFoundError:
+            return True                 # released/stolen concurrently
+        if age <= self.ttl_seconds:
+            return False
+        stale = self.leases_dir / f".stale-{uuid.uuid4().hex}"
+        try:
+            os.rename(lease, stale)     # one stealer wins
+        except FileNotFoundError:
+            return True                 # another stealer beat us; retry
+        stale.unlink(missing_ok=True)
+        return True
+
+    def lease_owner(self, cell_id: str) -> str | None:
+        try:
+            data = json.loads(self._lease_path(cell_id).read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        return data.get("owner")
+
+    def heartbeat(self, cell_id: str, owner: str) -> None:
+        """Refresh the lease's liveness; raises :class:`LeaseLost` when
+        the lease vanished or belongs to someone else."""
+        lease = self._lease_path(cell_id)
+        if self.lease_owner(cell_id) != owner:
+            raise LeaseLost(
+                f"lease on {cell_id} is no longer held by {owner!r} "
+                "(reclaimed after missed heartbeats?)"
+            )
+        try:
+            os.utime(lease)
+        except FileNotFoundError:
+            raise LeaseLost(f"lease on {cell_id} vanished under {owner!r}") from None
+
+    def release(self, cell_id: str, owner: str) -> None:
+        """Drop ``owner``'s lease (no-op when it is not theirs anymore)."""
+        if self.lease_owner(cell_id) == owner:
+            self._lease_path(cell_id).unlink(missing_ok=True)
+
+    def stale_leases(self) -> list[str]:
+        """Cell ids whose lease outlived its TTL (hygiene checks)."""
+        if not self.leases_dir.is_dir():
+            return []
+        now = time.time()
+        stale = []
+        for path in self.leases_dir.glob("*.lease"):
+            try:
+                if now - path.stat().st_mtime > self.ttl_seconds:
+                    stale.append(path.stem)
+            except FileNotFoundError:
+                continue
+        return sorted(stale)
+
+    def leases(self) -> list[str]:
+        """Cell ids currently under any lease (stale or fresh)."""
+        if not self.leases_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.leases_dir.glob("*.lease"))
+
+    # -- ledgers + completion -------------------------------------------
+
+    def ledger_path(self, cell_id: str, owner: str) -> Path:
+        """Where ``owner``'s attempt at ``cell_id`` records its events.
+
+        Per-attempt files (not one file per cell): a presumed-dead
+        worker may still be writing while its reclaimer re-runs the
+        cell, and two writers on one file would interleave garbage.  The
+        done marker names the attempt that counts.
+        """
+        safe_owner = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in owner
+        )
+        return self.ledgers_dir / f"{cell_id}.{safe_owner}.jsonl"
+
+    def mark_done(self, cell_id: str, payload: dict) -> bool:
+        """Publish the completion marker; False when another attempt won."""
+        done = self.done_dir / f"{cell_id}.json"
+        tmp = self.done_dir / f".done-{uuid.uuid4().hex}"
+        _write_durable(tmp, json.dumps(payload, sort_keys=True) + "\n")
+        try:
+            os.link(tmp, done)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def done_ids(self) -> set[str]:
+        if not self.done_dir.is_dir():
+            return set()
+        return {path.stem for path in self.done_dir.glob("*.json")}
+
+    def done_payload(self, cell_id: str) -> dict | None:
+        path = self.done_dir / f"{cell_id}.json"
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def all_done(self) -> bool:
+        return not self.pending_ids()
+
+    # -- worker liveness ------------------------------------------------
+
+    def worker_heartbeat(self, worker_id: str) -> None:
+        """Record (or refresh) a worker's liveness file."""
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
+        path = self.workers_dir / f"{worker_id}.json"
+        if path.exists():
+            os.utime(path)
+        else:
+            _write_durable(
+                path, json.dumps({"worker": worker_id}, sort_keys=True) + "\n"
+            )
+
+    def live_workers(self) -> list[str]:
+        """Workers whose heartbeat is within the TTL."""
+        if not self.workers_dir.is_dir():
+            return []
+        now = time.time()
+        live = []
+        for path in self.workers_dir.glob("*.json"):
+            try:
+                if now - path.stat().st_mtime <= self.ttl_seconds:
+                    live.append(path.stem)
+            except FileNotFoundError:
+                continue
+        return sorted(live)
+
+    def has_live_activity(self) -> bool:
+        """Any fresh worker heartbeat *or* fresh lease?
+
+        The coordinator's stall detector: a worker deep inside a long
+        campaign refreshes its lease and worker file from the heartbeat
+        thread, so "no fresh anything for a TTL" means the fleet is gone.
+        """
+        if self.live_workers():
+            return True
+        now = time.time()
+        for path in self.leases_dir.glob("*.lease"):
+            try:
+                if now - path.stat().st_mtime <= self.ttl_seconds:
+                    return True
+            except FileNotFoundError:
+                continue
+        return False

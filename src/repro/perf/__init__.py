@@ -7,7 +7,7 @@ The fleet's performance claims are measured, recorded and guarded here:
   warm-up dataset construction, weighted SVM fits, batched GNN encoding,
   the end-to-end smoke service campaign — and times each optimised path
   next to the path it replaced;
-* :mod:`repro.perf.report` emits the machine-readable ``BENCH_PR6.json``
+* :mod:`repro.perf.report` emits the machine-readable ``BENCH_PR8.json``
   and compares its speedup *ratios* against the committed baseline
   (``benchmarks/perf_baseline.json``), failing on regressions beyond the
   tolerance.

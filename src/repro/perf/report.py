@@ -1,6 +1,6 @@
 """Machine-readable perf reports and the baseline regression gate.
 
-A perf run emits one JSON document (``BENCH_PR6.json`` at the repo root
+A perf run emits one JSON document (``BENCH_PR8.json`` at the repo root
 by default) holding per-hot-path timings plus the dimensionless speedup
 ratios of :data:`repro.perf.runner.RATIO_DEFINITIONS` — the repository's
 performance trajectory, one file per PR.
@@ -25,7 +25,7 @@ import time
 from pathlib import Path
 
 #: Default report target, at the repository root (the perf trajectory).
-BENCH_FILENAME = "BENCH_PR6.json"
+BENCH_FILENAME = "BENCH_PR8.json"
 #: Default committed baseline the gate compares against.
 BASELINE_PATH = "benchmarks/perf_baseline.json"
 #: Report schema marker.
@@ -42,7 +42,7 @@ def build_report(results: dict, ratios: dict, smoke: bool) -> dict:
     return {
         "format": REPORT_FORMAT,
         "version": REPORT_VERSION,
-        "bench": "PR6",
+        "bench": "PR8",
         "smoke": smoke,
         "created_unix": time.time(),
         "python": sys.version.split()[0],

@@ -32,7 +32,12 @@ The hot paths:
 * ``daemon_*`` — :data:`DAEMON_JOBS` tiny ds2 jobs through the ``repro
   serve`` control plane (HTTP submission, queue, fsynced ledgers,
   followed event streams) vs the same jobs inline through one session —
-  the pair prices the daemon's dispatch overhead.
+  the pair prices the daemon's dispatch overhead;
+* ``distributed_fleet_*`` — a 100-campaign paced smoke sweep through
+  the spool-based distributed executor with one vs two local worker
+  agents: the paced engine's telemetry waits overlap across workers, so
+  the pair measures genuine fleet scale-out (claims, leases, ledger
+  merging included) rather than single-host core contention.
 """
 
 from __future__ import annotations
@@ -309,6 +314,52 @@ def _bench_daemon_jobs_throughput(fixtures: PerfFixtures):
 
 
 # ----------------------------------------------------------------------
+# distributed fleet scale-out: 1 vs N worker agents on one spool
+# ----------------------------------------------------------------------
+
+#: Worker agents on the scaled side of the ``distributed_fleet_*`` pair.
+#: Fixed at two (not ``cpu_count``): the paced engine makes the fleet
+#: wait-bound, so two agents demonstrate scale-out even on one core and
+#: the resulting ratio is comparable across hosts.
+FLEET_WORKERS = 2
+
+#: The fleet: every distinct smoke query under two rate traces — 100
+#: campaign cells of a few hundred milliseconds each, long enough that
+#: worker-agent spawn cost does not dominate the scaling measurement.
+_FLEET_NEXMARK = ("q1", "q2", "q3", "q5", "q8")
+_FLEET_PQP = (
+    tuple(f"linear/{index}" for index in range(8))
+    + tuple(f"2-way-join/{index}" for index in range(16))
+    + tuple(f"3-way-join/{index}" for index in range(21))
+)
+_FLEET_TRACES = ((3.0, 5.0, 4.0, 2.0), (5.0, 3.0, 6.0, 4.0))
+
+
+def _run_fleet(fixtures: PerfFixtures, workers: int):
+    from repro.api.plans import SweepPlan
+    from repro.distributed import DistributedSession
+
+    plan = SweepPlan(
+        queries=_FLEET_NEXMARK + _FLEET_PQP,
+        tuners=("ds2",),
+        engines=("flink-paced",),
+        rate_traces=_FLEET_TRACES,
+        backend="distributed",
+        scale=fixtures.scale.name,
+    )
+    session = DistributedSession(local_workers=workers, fsync=False)
+    return session.run(plan)
+
+
+def _bench_fleet_1worker(fixtures: PerfFixtures):
+    return _run_fleet(fixtures, workers=1)
+
+
+def _bench_fleet_2workers(fixtures: PerfFixtures):
+    return _run_fleet(fixtures, workers=FLEET_WORKERS)
+
+
+# ----------------------------------------------------------------------
 # shared-cache fan-out: warm sections -> N workers
 # ----------------------------------------------------------------------
 
@@ -504,6 +555,28 @@ BENCHMARKS: tuple[Benchmark, ...] = (
         repeats=2,
         smoke_repeats=1,
     ),
+    Benchmark(
+        name="distributed_fleet_1worker",
+        hot_path="distributed-fleet",
+        description=(
+            "100-campaign paced sweep through the spool with one worker "
+            "agent"
+        ),
+        run=_bench_fleet_1worker,
+        repeats=2,
+        smoke_repeats=2,
+    ),
+    Benchmark(
+        name="distributed_fleet_2workers",
+        hot_path="distributed-fleet",
+        description=(
+            f"the same fleet claimed by {FLEET_WORKERS} competing worker "
+            "agents"
+        ),
+        run=_bench_fleet_2workers,
+        repeats=2,
+        smoke_repeats=2,
+    ),
 )
 
 #: Speedup ratios the regression gate checks: ``slow / fast`` over the
@@ -527,6 +600,12 @@ RATIO_DEFINITIONS: dict[str, tuple[str, str]] = {
     # dispatch is effectively free at job granularity.
     "daemon_dispatch_overhead": (
         "daemon_jobs_throughput", "daemon_inline_baseline"
+    ),
+    # 1 -> N worker agents on the same spool; the paced engine's waits
+    # are the parallelisable resource, so the ratio approaches the
+    # worker count as campaigns get longer (spawn cost amortises out).
+    "distributed_fleet_speedup": (
+        "distributed_fleet_1worker", "distributed_fleet_2workers"
     ),
 }
 

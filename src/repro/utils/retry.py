@@ -1,0 +1,90 @@
+"""Jittered exponential backoff, deterministic under a seeded RNG.
+
+The distributed spool's lease heartbeats and the daemon client's HTTP
+calls both face the same problem: a transient failure (NFS hiccup,
+daemon restarting, socket refused) that resolves itself within a few
+hundred milliseconds, where failing on the first error turns a blip
+into a dead worker.  Both now share this helper.
+
+Determinism matters because the retry schedule participates in tests:
+``backoff_delays(..., rng=random.Random(seed))`` yields the exact same
+jittered schedule every run, so a test can assert the schedule (or the
+total sleep budget) without mocking time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["backoff_delays", "with_retries"]
+
+T = TypeVar("T")
+
+
+def backoff_delays(
+    *,
+    base: float = 0.05,
+    factor: float = 2.0,
+    max_delay: float = 2.0,
+    jitter: float = 0.25,
+    rng: random.Random | None = None,
+) -> Iterator[float]:
+    """Yield an endless jittered exponential backoff schedule.
+
+    Delay ``i`` is ``min(base * factor**i, max_delay)`` scaled by a
+    uniform jitter in ``[1 - jitter, 1 + jitter]``.  Pass a seeded
+    ``random.Random`` for a reproducible schedule; the default draws
+    from a fresh unseeded generator (fine for production, not tests).
+    """
+    if base <= 0:
+        raise ValueError(f"base must be positive, got {base}")
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    generator = rng if rng is not None else random.Random()
+    delay = base
+    while True:
+        yield delay * generator.uniform(1.0 - jitter, 1.0 + jitter)
+        delay = min(delay * factor, max_delay)
+
+
+def with_retries(
+    call: Callable[[], T],
+    *,
+    retryable: tuple[type[BaseException], ...],
+    attempts: int = 3,
+    base: float = 0.05,
+    factor: float = 2.0,
+    max_delay: float = 2.0,
+    jitter: float = 0.25,
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[BaseException, int, float], None] | None = None,
+) -> T:
+    """Run ``call``, retrying ``retryable`` exceptions with backoff.
+
+    Only exceptions in ``retryable`` are retried — anything else
+    propagates immediately (a daemon's *refusal* is an answer; only
+    *unreachability* is transient).  After ``attempts`` total tries the
+    last exception propagates unchanged.  ``on_retry(error, attempt,
+    delay)`` fires before each sleep, for logging.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    delays = backoff_delays(
+        base=base, factor=factor, max_delay=max_delay, jitter=jitter, rng=rng
+    )
+    for attempt in range(1, attempts + 1):
+        try:
+            return call()
+        except retryable as error:
+            if attempt == attempts:
+                raise
+            delay = next(delays)
+            if on_retry is not None:
+                on_retry(error, attempt, delay)
+            sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -97,7 +97,7 @@ class TestReportRoundTrip:
         loaded = load_report(path)
         assert loaded["ratios"] == {"service_speedup": 3.0}
         assert loaded["format"] == "repro.perf"
-        assert loaded["bench"] == "PR6"
+        assert loaded["bench"] == "PR8"
 
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(PerfError, match="does not exist"):
