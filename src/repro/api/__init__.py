@@ -59,6 +59,7 @@ from repro.api.events import (
     CampaignFinished,
     CampaignSkipped,
     CampaignStarted,
+    ChaosInjected,
     Event,
     EventBus,
     JobStateChanged,
@@ -95,6 +96,28 @@ from repro.api.session import (
     TuningSession,
 )
 
+#: Scenario-plane names resolved lazily (PEP 562): the scenarios package
+#: imports the registry machinery above, so an eager import here would
+#: be a cycle hazard — and most API users never touch chaos specs.
+_SCENARIO_EXPORTS = {
+    "ChaosSpec": "repro.scenarios.chaos",
+    "LatencySpike": "repro.scenarios.chaos",
+    "OperatorLoss": "repro.scenarios.chaos",
+    "ScenarioError": "repro.scenarios.library",
+    "TRACES": "repro.scenarios.library",
+    "TraceSpec": "repro.scenarios.library",
+}
+
+
+def __getattr__(name: str):
+    module = _SCENARIO_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
 __all__ = [
     "AsyncTuningSession",
     "CacheStats",
@@ -103,6 +126,8 @@ __all__ = [
     "CampaignPlan",
     "CampaignSkipped",
     "CampaignStarted",
+    "ChaosInjected",
+    "ChaosSpec",
     "ComponentEntry",
     "ENGINES",
     "Event",
@@ -110,8 +135,10 @@ __all__ = [
     "JobStateChanged",
     "JobSubmitted",
     "JsonlRecorder",
+    "LatencySpike",
     "MODELS",
     "MetricsAggregator",
+    "OperatorLoss",
     "ParamSpec",
     "PlanError",
     "ProgressPrinter",
@@ -121,12 +148,15 @@ __all__ = [
     "RegistryError",
     "ResumeError",
     "ResumeLog",
+    "ScenarioError",
     "SessionResult",
     "StepCompleted",
     "SweepFinished",
     "SweepPlan",
     "SweepResult",
+    "TRACES",
     "TUNERS",
+    "TraceSpec",
     "TunerResources",
     "TuningPlan",
     "TuningSession",

@@ -73,6 +73,8 @@ def _build_flink(
 @ENGINES.register(
     "flink-faulty",
     aliases=("faulty-flink",),
+    family="flink",
+    traits=("faults",),
     params=(
         _SEED,
         ParamSpec("task_managers", int, None),
@@ -92,6 +94,8 @@ def _build_faulty_flink(
 @ENGINES.register(
     "flink-paced",
     aliases=("paced-flink",),
+    family="flink",
+    traits=("paced",),
     params=(
         _SEED,
         ParamSpec("task_managers", int, None),
@@ -147,6 +151,7 @@ def _build_timely(seed=None, workers=None, max_parallelism=None, noise_std=None)
 @ENGINES.register(
     "timely-scheduled",
     aliases=("scheduling-timely",),
+    family="timely",
     params=(
         _SEED,
         ParamSpec("workers", int, None),
@@ -175,26 +180,23 @@ def build_engine(name: str, **params):
     return ENGINES.create(name, **params)
 
 
-#: Engine registry name -> workload family (the engine whose Table II rate
-#: units and query corpus it serves).  Variants like the fault-injecting
-#: Flink run the base engine's workloads.
-ENGINE_FAMILIES = {
-    "flink": "flink",
-    "flink-faulty": "flink",
-    "flink-paced": "flink",
-    "timely": "timely",
-    "timely-scheduled": "timely",
-}
-
-
 def engine_family(name: str) -> str:
     """The workload family of an engine name (aliases resolved).
 
-    Unmapped third-party engines default to their own name, so an engine
-    registered together with its own rate units keeps working.
+    Each engine variant declares the base engine whose Table II rate
+    units, query corpus and pretrained artifacts it serves via its
+    registry entry's ``family`` attribute — a new variant registered
+    with ``family="flink"`` is covered with no map to update.  Engines
+    that declare no family (third-party or base engines) are their own.
     """
-    canonical = ENGINES.entry(name).name
-    return ENGINE_FAMILIES.get(canonical, canonical)
+    entry = ENGINES.entry(name)
+    return entry.family or entry.name
+
+
+#: Engine registry name -> workload family, derived from the registry
+#: entries (kept as a mapping for back-compat; :func:`engine_family` is
+#: the lookup to use).
+ENGINE_FAMILIES = {name: engine_family(name) for name in ENGINES.names()}
 
 
 # ----------------------------------------------------------------------

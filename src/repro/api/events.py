@@ -10,6 +10,9 @@ just writing the events down:
   its :class:`CampaignFinished` or its :class:`CampaignFailed`;
 * :class:`StepCompleted` — one per tuning process (one source-rate change),
   with a per-campaign ``step_index`` that increases monotonically;
+* :class:`ChaosInjected` — a scheduled chaos effect (operator loss or
+  latency spike from the plan's :class:`~repro.scenarios.ChaosSpec`) was
+  applied, emitted before the affected step's tuning process runs;
 * :class:`Reconfigured` — one per stop-and-restart redeployment inside a
   step, emitted before its step's :class:`StepCompleted`;
 * :class:`CampaignFinished` — a campaign's last tuning process finished
@@ -60,6 +63,7 @@ __all__ = [
     "CampaignFinished",
     "CampaignSkipped",
     "CampaignStarted",
+    "ChaosInjected",
     "Event",
     "EventBus",
     "JobStateChanged",
@@ -84,6 +88,7 @@ def campaign_cell_key(
     *,
     layer: str | None = None,
     engine_seed: int | None = None,
+    chaos: str | None = None,
 ) -> str:
     """The deterministic identity of one campaign across runs.
 
@@ -98,6 +103,11 @@ def campaign_cell_key(
     responsibility, exactly as when resuming across code versions.  The
     key is readable on purpose: it is what operators grep for in a JSONL
     log.
+
+    ``chaos`` is the :meth:`~repro.scenarios.ChaosSpec.label` of the
+    campaign's chaos schedule, when it has one.  Chaos-free campaigns —
+    every campaign recorded before the chaos dimension existed — omit the
+    token entirely, keeping their keys byte-identical across versions.
     """
     trace = "-".join(repr(float(rate)) for rate in rates)
     key = f"{engine}:{tuner}:{query}:x{trace}"
@@ -107,6 +117,8 @@ def campaign_cell_key(
         key += f":s{seed}"
     if engine_seed is not None:
         key += f":e{engine_seed}"
+    if chaos is not None:
+        key += f":c{chaos}"
     return key
 
 
@@ -167,6 +179,26 @@ class StepCompleted(Event):
     @property
     def total_parallelism(self) -> int:
         return sum(self.parallelisms.values())
+
+
+@dataclass(frozen=True)
+class ChaosInjected(Event):
+    """A scheduled chaos effect was applied before/at a trace step.
+
+    Emitted by campaigns whose plan carries a
+    :class:`~repro.scenarios.ChaosSpec`, right before the affected step's
+    tuning process runs (and before that step's :class:`StepCompleted`).
+    ``effect`` is ``"operator-loss"`` (``operator``/``count`` say what
+    failed) or ``"latency-spike"`` (``seconds`` says by how much the
+    step's telemetry stretched).
+    """
+
+    campaign: str = ""
+    step_index: int = 0
+    effect: str = ""
+    operator: str = ""
+    count: int = 0
+    seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -361,6 +393,7 @@ EVENT_TYPES: dict[str, type] = {
     for cls in (
         CampaignStarted,
         StepCompleted,
+        ChaosInjected,
         Reconfigured,
         CampaignFinished,
         CampaignFailed,
@@ -475,6 +508,16 @@ class ProgressPrinter:
                 f"{event.n_steps}: rate x{event.multiplier:g} -> "
                 f"parallelism {event.total_parallelism} "
                 f"({event.reconfigurations} reconfig(s){note})",
+                event.scenario,
+            )
+        elif isinstance(event, ChaosInjected):
+            if event.effect == "operator-loss":
+                detail = f"lost {event.count} instance(s) of {event.operator}"
+            else:
+                detail = f"telemetry +{event.seconds:g}s"
+            self._write(
+                f"  ! {event.campaign} step {event.step_index + 1}: chaos "
+                f"{event.effect} ({detail})",
                 event.scenario,
             )
         elif isinstance(event, Reconfigured):

@@ -9,9 +9,18 @@ a code fork:
 * :class:`CampaignPlan` — a fleet of queries executed concurrently
   through the :class:`~repro.service.TuningService` (the
   ``repro serve-campaigns`` lifecycle).
-* :class:`SweepPlan` — a parameter grid (engines x tuners x rate traces,
-  each over the same query fleet) that expands into one
-  :class:`CampaignPlan` per cell (the ``repro sweep`` lifecycle).
+* :class:`SweepPlan` — a parameter grid (engines x tuners x rate traces
+  x chaos schedules, each over the same query fleet) that expands into
+  one :class:`CampaignPlan` per cell (the ``repro sweep`` and
+  ``repro matrix`` lifecycles).
+
+Rate traces come in two spellings everywhere a plan accepts them: a raw
+multiplier list (back-compat — cell keys stay byte-identical), or a named
+``{family, params, seed}`` spec resolved against the
+:data:`repro.scenarios.TRACES` registry and materialized at validation
+time.  Plans may also carry a ``chaos`` schedule
+(:class:`repro.scenarios.ChaosSpec`) of operator losses and latency
+spikes keyed to trace steps.
 
 Validation is *eager*: constructing a plan checks every name against its
 registry (engine, tuner, prediction model, query tokens), every numeric
@@ -24,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from dataclasses import dataclass, fields
 from pathlib import Path
 
@@ -139,9 +149,123 @@ def _as_rates(value, field_name: str = "rates") -> tuple[float, ...]:
     if not rates:
         raise PlanError(f"{field_name} must contain at least one multiplier")
     for rate in rates:
-        if not rate > 0:
-            raise PlanError(f"{field_name} multipliers must be > 0, got {rate:g}")
+        # isfinite also rejects NaN (which would sneak past `> 0` as
+        # False and past `<= 0` as False — be explicit).
+        if not (math.isfinite(rate) and rate > 0):
+            raise PlanError(
+                f"{field_name} multipliers must be finite and > 0, "
+                f"got {rate:g}"
+            )
     return rates
+
+
+def _is_trace_spec(value) -> bool:
+    from repro.scenarios.library import TraceSpec
+
+    return isinstance(value, TraceSpec)
+
+
+def _as_trace(value, field_name: str = "trace"):
+    """Normalize a trace field value to a :class:`TraceSpec` (or ``None``)."""
+    if value is None:
+        return None
+    from repro.scenarios.library import ScenarioError, TraceSpec
+
+    if isinstance(value, TraceSpec):
+        return value
+    if isinstance(value, dict):
+        try:
+            return TraceSpec.from_dict(value)
+        except ScenarioError as error:
+            raise PlanError(f"{field_name}: {error}") from None
+    raise PlanError(
+        f"{field_name} must be a trace spec table ({{family, params, seed}}), "
+        f"got {value!r}"
+    )
+
+
+def _split_rates(rates, trace, field_name: str = "rates"):
+    """Let the ``rates`` field itself carry a ``{family, ...}`` spec.
+
+    Returns ``(raw_rates_or_None, trace_spec_or_None)`` — ``None`` raw
+    rates mean "materialize the spec".
+    """
+    if isinstance(rates, dict) or _is_trace_spec(rates):
+        if trace is not None:
+            raise PlanError(
+                f"pass the trace spec through either {field_name!r} or "
+                "'trace', not both"
+            )
+        return None, _as_trace(rates, field_name)
+    return rates, _as_trace(trace)
+
+
+def _resolve_trace(raw, trace, default_rates, field_name: str = "rates"):
+    """The concrete rate tuple of a plan whose ``trace`` spec is set."""
+    from repro.scenarios.library import ScenarioError
+
+    try:
+        materialized = trace.materialize()
+    except ScenarioError as error:
+        raise PlanError(f"trace: {error}") from None
+    if raw is None:
+        return materialized
+    rates = _as_rates(raw, field_name)
+    # An explicitly-spelled rate list must agree with the spec (the
+    # field default is treated as "omitted" — dataclasses cannot tell).
+    if rates != materialized and rates != default_rates:
+        raise PlanError(
+            f"{field_name} disagrees with the trace spec: the spec "
+            f"materializes to {list(materialized)} but {field_name} says "
+            f"{list(rates)}; drop {field_name} and let the spec drive"
+        )
+    return materialized
+
+
+def _as_chaos(value, field_name: str = "chaos"):
+    """Normalize a chaos field to a :class:`ChaosSpec`; no-ops to ``None``."""
+    if value is None:
+        return None
+    from repro.scenarios.chaos import ChaosSpec
+    from repro.scenarios.library import ScenarioError
+
+    if not isinstance(value, ChaosSpec):
+        if not isinstance(value, dict):
+            raise PlanError(
+                f"{field_name} must be a chaos spec table "
+                f"({{operator_loss, latency_spikes}}), got {value!r}"
+            )
+        try:
+            value = ChaosSpec.from_dict(value)
+        except ScenarioError as error:
+            raise PlanError(f"{field_name}: {error}") from None
+    return None if value.is_noop else value
+
+
+def _check_chaos_executes(chaos, engine: str, n_steps: int, field_name: str = "chaos") -> None:
+    """Eagerly reject a chaos schedule this plan could never execute."""
+    if chaos is None:
+        return
+    if chaos.max_step >= n_steps:
+        raise PlanError(
+            f"{field_name} schedules an effect at trace step "
+            f"{chaos.max_step}, but each campaign here runs only {n_steps} "
+            f"step(s) (indices 0..{n_steps - 1}); shorten the schedule or "
+            "lengthen the trace"
+        )
+    required = chaos.required_traits()
+    have = set(ENGINES.entry(engine).traits)
+    missing = sorted(required - have)
+    if missing:
+        capable = sorted(
+            name for name in ENGINES.names()
+            if required <= set(ENGINES.entry(name).traits)
+        )
+        raise PlanError(
+            f"{field_name} needs engine capability "
+            f"{', '.join(map(repr, missing))}, which engine {engine!r} does "
+            f"not declare (capable: {', '.join(capable) or 'no registered engine'})"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -161,12 +285,24 @@ class TuningPlan:
     scale: str | None = None           # None = $REPRO_SCALE / 'default'
     seed: int = 17
     cache_path: str | None = None      # persisted TuningCacheSet snapshot
+    #: Named rate-trace spec ({family, params, seed}); materializes into
+    #: ``rates``.  Raw ``rates`` lists stay first-class (trace = None).
+    trace: object = None
+    #: Deterministic fault / latency-spike schedule (ChaosSpec table);
+    #: a no-op schedule normalizes to None.
+    chaos: object = None
 
     kind = "tuning"
 
     def __post_init__(self) -> None:
         _check_query_token(self.query)
-        object.__setattr__(self, "rates", _as_rates(self.rates))
+        raw, trace = _split_rates(self.rates, self.trace)
+        object.__setattr__(self, "trace", trace)
+        if trace is not None:
+            rates = _resolve_trace(raw, trace, type(self).rates)
+        else:
+            rates = _as_rates(raw)
+        object.__setattr__(self, "rates", rates)
         _check_registry("engine", ENGINES, self.engine)
         _check_tuner(self.tuner)
         _check_registry("layer", MODELS, self.layer)
@@ -182,6 +318,8 @@ class TuningPlan:
                 f"baselines consult no tuning cache); remove it or drop "
                 f"tuner={self.tuner!r}"
             )
+        object.__setattr__(self, "chaos", _as_chaos(self.chaos))
+        _check_chaos_executes(self.chaos, self.engine, len(self.rates))
 
     def cell_keys(self) -> list[str]:
         """The deterministic campaign identity this plan will stamp on its
@@ -203,6 +341,7 @@ class TuningPlan:
                 # The inline tuning lifecycle seeds its engine from the
                 # scale, not the plan seed (unlike campaign fleets).
                 engine_seed=resolve_scale(self.scale).seed,
+                chaos=self.chaos.label() if self.chaos is not None else None,
             )
         ]
 
@@ -251,6 +390,12 @@ class CampaignPlan:
     #: local spool (the coordinator creates, populates with local
     #: workers, and removes it).  Ignored by the in-process backends.
     spool_dir: str | None = None
+    #: Named rate-trace spec ({family, params, seed}); materializes into
+    #: ``rates``.  Raw ``rates`` lists stay first-class (trace = None).
+    trace: object = None
+    #: Deterministic fault / latency-spike schedule (ChaosSpec table),
+    #: applied to every campaign of the fleet; no-op normalizes to None.
+    chaos: object = None
 
     kind = "campaign"
 
@@ -265,7 +410,13 @@ class CampaignPlan:
             raise PlanError("queries must contain at least one query token")
         for token in self.queries:
             _check_query_token(token)
-        object.__setattr__(self, "rates", _as_rates(self.rates))
+        raw, trace = _split_rates(self.rates, self.trace)
+        object.__setattr__(self, "trace", trace)
+        if trace is not None:
+            rates = _resolve_trace(raw, trace, type(self).rates)
+        else:
+            rates = _as_rates(raw)
+        object.__setattr__(self, "rates", rates)
         if self.rates_per_query and len(self.rates) % len(self.queries) != 0:
             raise PlanError(
                 f"rates has {len(self.rates)} multipliers for "
@@ -310,6 +461,12 @@ class CampaignPlan:
                 f"spool_dir must be a directory path string, got "
                 f"{self.spool_dir!r}"
             )
+        object.__setattr__(self, "chaos", _as_chaos(self.chaos))
+        _check_chaos_executes(
+            self.chaos,
+            self.engine,
+            min(len(rates) for _, rates in self.rates_for()),
+        )
 
     def rates_for(self) -> list[tuple[str, tuple[float, ...]]]:
         """The rate trace each query token runs, as (token, multipliers).
@@ -342,6 +499,7 @@ class CampaignPlan:
                 self.seed,
                 layer=(model_suffix or self.layer) if is_streamtune else None,
                 engine_seed=self.seed,   # fleet campaigns seed engines per plan
+                chaos=self.chaos.label() if self.chaos is not None else None,
             )
             for token, rates in self.rates_for()
         ]
@@ -376,8 +534,9 @@ class SweepPlan:
     queries: tuple[str, ...]
     tuners: tuple[str, ...] = ("streamtune",)
     engines: tuple[str, ...] = ("flink",)
-    #: One entry per rate trace (a list of multiplier lists in config files).
-    rate_traces: tuple[tuple[float, ...], ...] = ((3.0, 7.0, 4.0, 2.0),)
+    #: One entry per rate trace: a raw multiplier list, or a named
+    #: ``{family, params, seed}`` trace spec — mixed freely.
+    rate_traces: tuple = ((3.0, 7.0, 4.0, 2.0),)
     rates_per_query: bool = False
     backend: str = "thread"
     workers: int | None = None
@@ -390,6 +549,11 @@ class SweepPlan:
     #: Shared work spool for the ``distributed`` backend (see
     #: :class:`CampaignPlan.spool_dir`); passed through to every cell.
     spool_dir: str | None = None
+    #: The chaos grid axis: zero or more chaos spec tables, crossed with
+    #: every (engine, tuner, trace) cell.  Include ``{}`` (the no-op
+    #: schedule) to keep a clean baseline cell next to the chaotic ones.
+    #: An empty axis means no chaos dimension at all.
+    chaos: tuple = ()
 
     kind = "sweep"
 
@@ -431,18 +595,47 @@ class SweepPlan:
             )
         if not self.rate_traces:
             raise PlanError("rate_traces must contain at least one rate trace")
-        object.__setattr__(
-            self,
-            "rate_traces",
-            tuple(
-                _as_rates(trace, field_name=f"rate_traces[{index}]")
-                for index, trace in enumerate(self.rate_traces)
-            ),
-        )
+        entries = []
+        for index, trace in enumerate(self.rate_traces):
+            if isinstance(trace, dict) or _is_trace_spec(trace):
+                entries.append(_as_trace(trace, field_name=f"rate_traces[{index}]"))
+            else:
+                entries.append(_as_rates(trace, field_name=f"rate_traces[{index}]"))
+        object.__setattr__(self, "rate_traces", tuple(entries))
         if len(set(self.rate_traces)) != len(self.rate_traces):
             raise PlanError(
                 "rate_traces contains duplicate traces; each grid-axis "
                 "entry must be unique"
+            )
+        if isinstance(self.chaos, (str, bytes, dict)) or not isinstance(
+            self.chaos, (list, tuple)
+        ):
+            raise PlanError(
+                f"chaos must be a list of chaos spec tables (the grid axis; "
+                f"include {{}} for a clean baseline cell), got {self.chaos!r}"
+            )
+        from repro.scenarios.chaos import ChaosSpec
+        from repro.scenarios.library import ScenarioError
+
+        axis = []
+        for index, spec in enumerate(self.chaos):
+            if isinstance(spec, ChaosSpec):
+                axis.append(spec)
+                continue
+            if not isinstance(spec, dict):
+                raise PlanError(
+                    f"chaos[{index}] must be a chaos spec table "
+                    f"({{operator_loss, latency_spikes}}), got {spec!r}"
+                )
+            try:
+                axis.append(ChaosSpec.from_dict(spec))
+            except ScenarioError as error:
+                raise PlanError(f"chaos[{index}]: {error}") from None
+        object.__setattr__(self, "chaos", tuple(axis))
+        if len(set(self.chaos)) != len(self.chaos):
+            raise PlanError(
+                "chaos contains duplicate schedules; each grid-axis entry "
+                "must be unique"
             )
         # Delegate the remaining field checks (and rates_per_query shape,
         # per trace) to the cells themselves: a SweepPlan is valid exactly
@@ -451,37 +644,53 @@ class SweepPlan:
 
     @property
     def n_scenarios(self) -> int:
-        return len(self.engines) * len(self.tuners) * len(self.rate_traces)
+        return (
+            len(self.engines) * len(self.tuners) * len(self.rate_traces)
+            * max(1, len(self.chaos))
+        )
 
     def scenario_label(self, plan: "CampaignPlan") -> str:
         """The human label of one expanded cell (stamped on its events)."""
-        trace = "-".join(f"{rate:g}" for rate in plan.rates)
-        return f"{plan.tuner}@{plan.engine}/x{trace}"
+        if plan.trace is not None:
+            trace = plan.trace.label()
+        else:
+            trace = "x" + "-".join(f"{rate:g}" for rate in plan.rates)
+        label = f"{plan.tuner}@{plan.engine}/{trace}"
+        if self.chaos:
+            chaos = plan.chaos.label() if plan.chaos is not None else "none"
+            label += f"+{chaos}"
+        return label
 
     def expand(self) -> "list[CampaignPlan]":
-        """One validated :class:`CampaignPlan` per grid cell, grid order."""
+        """One validated :class:`CampaignPlan` per grid cell, grid order:
+        engines vary slowest, then tuners, traces, chaos fastest."""
         cells = []
+        chaos_axis = self.chaos if self.chaos else (None,)
         for engine in self.engines:
             for tuner in self.tuners:
                 for trace in self.rate_traces:
-                    cells.append(
-                        CampaignPlan(
-                            queries=self.queries,
-                            rates=trace,
-                            rates_per_query=self.rates_per_query,
-                            engine=engine,
-                            tuner=tuner,
-                            backend=self.backend,
-                            workers=self.workers,
-                            layer=self.layer,
-                            prioritize_backpressure=self.prioritize_backpressure,
-                            model=self.model,
-                            scale=self.scale,
-                            seed=self.seed,
-                            trace_shards=self.trace_shards,
-                            spool_dir=self.spool_dir,
-                        )
-                    )
+                    for chaos in chaos_axis:
+                        kwargs = {
+                            "queries": self.queries,
+                            "rates_per_query": self.rates_per_query,
+                            "engine": engine,
+                            "tuner": tuner,
+                            "backend": self.backend,
+                            "workers": self.workers,
+                            "layer": self.layer,
+                            "prioritize_backpressure": self.prioritize_backpressure,
+                            "model": self.model,
+                            "scale": self.scale,
+                            "seed": self.seed,
+                            "trace_shards": self.trace_shards,
+                            "spool_dir": self.spool_dir,
+                            "chaos": chaos,
+                        }
+                        if _is_trace_spec(trace):
+                            kwargs["trace"] = trace
+                        else:
+                            kwargs["rates"] = trace
+                        cells.append(CampaignPlan(**kwargs))
         return cells
 
     def cell_keys(self) -> list[str]:
@@ -511,6 +720,10 @@ class SweepPlan:
 def _listify(value):
     if isinstance(value, tuple):
         return [_listify(item) for item in value]
+    if hasattr(value, "to_dict"):        # TraceSpec / ChaosSpec fields
+        return value.to_dict()
+    if isinstance(value, dict):
+        return {key: _listify(item) for key, item in value.items()}
     return value
 
 
@@ -561,6 +774,10 @@ def plan_from_dict(data: dict) -> "TuningPlan | CampaignPlan | SweepPlan":
             "'sweep')"
         )
     if any(axis in data for axis in ("tuners", "engines", "rate_traces")):
+        return SweepPlan.from_dict(data)
+    if isinstance(data.get("chaos"), (list, tuple)):
+        # A chaos *list* is the sweep grid axis (campaign/tuning plans
+        # carry a single chaos table).
         return SweepPlan.from_dict(data)
     if "queries" in data:
         return CampaignPlan.from_dict(data)
@@ -653,6 +870,13 @@ def _toml_value(value) -> str:
         return json.dumps(value)   # JSON string escaping is valid TOML
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    if isinstance(value, dict):
+        items = ", ".join(
+            f"{key} = {_toml_value(item)}"
+            for key, item in value.items()
+            if item is not None
+        )
+        return "{" + items + "}"   # inline table (trace / chaos specs)
     raise PlanError(f"cannot serialise {value!r} to TOML")
 
 

@@ -115,6 +115,15 @@ class ComponentEntry:
     #: resources; such methods cannot run as service campaigns (plan
     #: validation consults this flag instead of hardcoding names).
     needs_history: bool = False
+    #: Base family this component is a variant of ("" means it is its own
+    #: family).  Engine variants declare the engine whose rate units,
+    #: corpora and pretrained artifacts they share, so lookups never need
+    #: a hand-maintained fallback map.
+    family: str = ""
+    #: Capability tags ("faults", "paced", ...) consumed by plan
+    #: validation — e.g. a chaos schedule checks the engine it targets
+    #: actually supports the scheduled effects.
+    traits: tuple[str, ...] = ()
 
     def param(self, name: str) -> ParamSpec | None:
         for spec in self.params:
@@ -142,6 +151,8 @@ class Registry:
         summary: str = "",
         allow_extra: bool = False,
         needs_history: bool = False,
+        family: str = "",
+        traits: tuple[str, ...] = (),
     ):
         """Decorator: register ``factory`` under ``name`` (+ ``aliases``)."""
 
@@ -159,6 +170,8 @@ class Registry:
                 summary=doc,
                 allow_extra=allow_extra,
                 needs_history=needs_history,
+                family=family,
+                traits=tuple(traits),
             )
             self._entries[name] = entry
             for alias in aliases:

@@ -346,13 +346,20 @@ class TuningSession:
             cell_key=cell_key,
         ))
         # The canonical campaign loop, one event block per tuning process.
-        iterator = iter_campaign(engine, tuner, query, list(plan.rates))
+        injected: list = []   # ChaosInjected events buffered per step
+        iterator = iter_campaign(
+            engine, tuner, query, list(plan.rates),
+            chaos=plan.chaos, chaos_sink=injected.append,
+        )
         while True:
             try:
                 index, multiplier, process = next(iterator)
             except StopIteration as stop:
                 result = stop.value
                 break
+            for event in injected:
+                yield stamped(dataclasses.replace(event, cell_key=cell_key))
+            injected.clear()
             for event in _step_events(
                 query.name, len(plan.rates), index, multiplier, process
             ):
@@ -399,6 +406,7 @@ class TuningSession:
                 seed=plan.seed,
                 tuner=plan.tuner,
                 model_kind=model_kind,
+                chaos=plan.chaos,
             )
             for token, rates in plan.rates_for()
         ]

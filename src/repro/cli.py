@@ -15,6 +15,7 @@ Subcommands mirror the library's lifecycle::
     python -m repro.cli serve-campaigns --queries q1,q2,q5 --rates 3,7,4,2
     python -m repro.cli run-plan  campaign.toml --follow
     python -m repro.cli sweep     sweep.toml --record events.jsonl
+    python -m repro.cli matrix    examples/matrix_smoke.toml --output BENCH_MATRIX.json
     python -m repro.cli perf      --smoke
     python -m repro.cli experiments --scale smoke
 
@@ -363,6 +364,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     plan = _apply_plan_overrides(plan, args)
     _print_sweep_result(_run_with_events(plan, args))
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    """Run a benchmark-matrix sweep and write its summary report."""
+    import json
+
+    from repro.scenarios import matrix_report
+
+    plan = load_plan(args.plan)
+    if not isinstance(plan, SweepPlan):
+        raise PlanError(
+            f"{args.plan} holds a {type(plan).__name__} (kind "
+            f"{plan.kind!r}); the matrix command needs kind = \"sweep\" — "
+            "a benchmark matrix is a sweep grid with a summary report"
+        )
+    plan = _apply_plan_overrides(plan, args)
+    session = None
+    if plan.backend == "distributed":
+        # Same execution path as `dispatch`, defaults only: an ephemeral
+        # local spool staffed by subprocess workers.
+        from repro.distributed import DistributedSession
+
+        session = DistributedSession()
+    result = _run_with_events(plan, args, session=session)
+    report = matrix_report(result, backend=plan.backend)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    _print_sweep_result(result)
+    print(
+        f"matrix report: {report['n_scenarios']} scenario(s), "
+        f"{report['n_campaigns']} campaign cell(s) -> {args.output}"
+    )
     return 0
 
 
@@ -728,6 +762,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", default=None, help="override the sweep's scale")
     add_stream_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="run a SweepPlan benchmark grid (queries x tuners x engines x "
+             "traces x chaos) and write a machine-readable summary report",
+    )
+    matrix.add_argument("plan", help="path to a .json or .toml sweep-plan file")
+    matrix.add_argument(
+        "--backend",
+        choices=("sequential", "thread", "process", "distributed"),
+        default=None,
+        help="override the matrix's worker-pool backend",
+    )
+    matrix.add_argument("--workers", type=int, default=None)
+    matrix.add_argument("--scale", default=None, help="override the matrix's scale")
+    matrix.add_argument(
+        "--output", default="BENCH_MATRIX.json", metavar="PATH",
+        help="summary report target (default: %(default)s)",
+    )
+    add_stream_flags(matrix)
+    matrix.set_defaults(func=_cmd_matrix)
 
     from repro.distributed.spool import DEFAULT_TTL_SECONDS
 

@@ -76,6 +76,10 @@ def _derived_plan(plan: CampaignPlan, token: str, rates) -> dict:
         model=plan.model,
         scale=plan.scale,
         seed=plan.seed,
+        # Chaos travels with the cell (it shapes results and the cell
+        # key); the trace spec does not — rates are already materialized
+        # per campaign here, possibly to a per-query chunk of the trace.
+        chaos=plan.chaos,
     ).to_dict()
 
 

@@ -16,8 +16,8 @@ import numpy as np
 from repro.baselines.api import TuningResult
 from repro.experiments import context
 from repro.experiments.scale import ExperimentScale
+from repro.scenarios.library import periodic_multipliers
 from repro.workloads.query import StreamingQuery
-from repro.workloads.rates import periodic_multipliers
 
 
 @dataclass
@@ -93,6 +93,9 @@ def iter_campaign(
     tuner,
     query: StreamingQuery,
     multipliers: list[int],
+    *,
+    chaos=None,
+    chaos_sink=None,
 ):
     """The canonical campaign loop, one tuning process at a time.
 
@@ -101,13 +104,32 @@ def iter_campaign(
     (via ``StopIteration.value``).  Every execution path — the blocking
     :func:`run_campaign`, the streaming session, the service's campaign
     workers — drives this one loop, so they cannot drift apart.
+
+    ``chaos`` is an optional :class:`~repro.scenarios.ChaosSpec`: its
+    scheduled effects are injected deterministically before each step's
+    tuning process, and the resulting
+    :class:`~repro.api.events.ChaosInjected` events go to ``chaos_sink``
+    (a callable taking one event) when one is given.
     """
     result = CampaignResult(query_name=query.name, method=tuner.name)
     tuner.prepare(query)
     initial = dict.fromkeys(query.flow.operator_names, 1)
     deployment = engine.deploy(query.flow, initial, query.rates_at(multipliers[0]))
+    injector = None
+    if chaos is not None and not chaos.is_noop:
+        from repro.scenarios.chaos import ChaosInjector
+
+        injector = ChaosInjector(chaos)
     for index, multiplier in enumerate(multipliers):
+        if injector is not None:
+            for event in injector.begin_step(
+                engine, deployment, index, campaign=query.name
+            ):
+                if chaos_sink is not None:
+                    chaos_sink(event)
         process = tuner.tune(deployment, query.rates_at(multiplier))
+        if injector is not None:
+            injector.end_step(engine)
         result.multipliers.append(multiplier)
         result.processes.append(process)
         yield index, multiplier, process

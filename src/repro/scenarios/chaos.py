@@ -1,0 +1,297 @@
+"""Chaos schedules: deterministic mid-campaign faults and latency spikes.
+
+A :class:`ChaosSpec` describes *when* and *how* a campaign's engine
+misbehaves, keyed to rate-trace step indices — so sweeps can cross
+scenarios x chaos and a chaos cell is exactly as reproducible as a clean
+one.  Two effect kinds, executed through machinery the engines already
+have:
+
+* :class:`OperatorLoss` — before step ``step``, fail ``count`` instances
+  of one operator (``operator=""`` picks the widest operator of the
+  current deployment deterministically).  Needs an engine with the
+  ``faults`` trait (``flink-faulty``): the loss surfaces as degraded
+  capacity -> backpressure, and the tuner's own stop-and-restart
+  reconfiguration heals it, exactly like a real TaskManager loss.
+* :class:`LatencySpike` — during step ``step``, telemetry takes
+  ``seconds`` longer per measurement.  Needs the ``paced`` trait
+  (``flink-paced``); the spike stretches wall-clock only, never touching
+  the engine RNG, so results stay bit-identical to the unspiked run.
+
+Injections are surfaced as typed
+:class:`~repro.api.events.ChaosInjected` events through the campaign's
+ordinary event stream, and the chaos schedule participates in the
+campaign's ``cell_key`` — a chaos run can never be confused with (or
+resumed from) a clean one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["ChaosInjector", "ChaosSpec", "LatencySpike", "OperatorLoss"]
+
+from repro.scenarios.library import ScenarioError
+
+
+def _check_step(step, what: str) -> None:
+    if not isinstance(step, int) or isinstance(step, bool) or step < 0:
+        raise ScenarioError(
+            f"chaos {what}: step must be a non-negative trace index, got {step!r}"
+        )
+
+
+@dataclass(frozen=True)
+class OperatorLoss:
+    """Fail ``count`` instances of one operator before step ``step``."""
+
+    step: int
+    count: int = 1
+    #: Operator to degrade; "" picks the operator with the highest
+    #: configured parallelism at injection time (first in flow order on
+    #: ties) — deterministic, and always an operator that exists.
+    operator: str = ""
+
+    def __post_init__(self) -> None:
+        _check_step(self.step, "operator_loss")
+        if not isinstance(self.count, int) or isinstance(self.count, bool) or self.count < 1:
+            raise ScenarioError(
+                f"chaos operator_loss: count must be a positive integer, "
+                f"got {self.count!r}"
+            )
+        if not isinstance(self.operator, str):
+            raise ScenarioError(
+                f"chaos operator_loss: operator must be a name string, "
+                f"got {self.operator!r}"
+            )
+
+    def to_dict(self) -> dict:
+        data = {"step": self.step, "count": self.count}
+        if self.operator:
+            data["operator"] = self.operator
+        return data
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Stretch every telemetry wait of step ``step`` by ``seconds``."""
+
+    step: int
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_step(self.step, "latency_spikes")
+        seconds = self.seconds
+        if isinstance(seconds, int) and not isinstance(seconds, bool):
+            seconds = float(seconds)
+            object.__setattr__(self, "seconds", seconds)
+        if not isinstance(seconds, float) or not (
+            math.isfinite(seconds) and seconds > 0
+        ):
+            raise ScenarioError(
+                f"chaos latency_spikes: seconds must be a positive finite "
+                f"number, got {self.seconds!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"step": self.step, "seconds": self.seconds}
+
+
+def _entries(value, cls, what: str) -> tuple:
+    if isinstance(value, (str, bytes)) or not isinstance(value, (list, tuple)):
+        raise ScenarioError(
+            f"chaos {what} must be a list of tables, got {value!r}"
+        )
+    entries = []
+    for item in value:
+        if isinstance(item, cls):
+            entries.append(item)
+        elif isinstance(item, dict):
+            known = {spec.name for spec in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+            unknown = sorted(set(item) - known)
+            if unknown:
+                raise ScenarioError(
+                    f"chaos {what} does not understand field(s) "
+                    f"{', '.join(map(repr, unknown))} (valid: "
+                    f"{', '.join(sorted(known))})"
+                )
+            if "step" not in item:
+                raise ScenarioError(f"chaos {what}: every entry needs a 'step'")
+            entries.append(cls(**item))
+        else:
+            raise ScenarioError(
+                f"chaos {what} entries must be tables, got {item!r}"
+            )
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A deterministic schedule of engine misbehaviour for one campaign."""
+
+    operator_loss: tuple = field(default=())
+    latency_spikes: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "operator_loss",
+            _entries(self.operator_loss, OperatorLoss, "operator_loss"),
+        )
+        object.__setattr__(
+            self,
+            "latency_spikes",
+            _entries(self.latency_spikes, LatencySpike, "latency_spikes"),
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.operator_loss and not self.latency_spikes
+
+    @property
+    def max_step(self) -> int:
+        """The largest trace step index the schedule references (-1: none)."""
+        steps = [entry.step for entry in self.operator_loss]
+        steps += [entry.step for entry in self.latency_spikes]
+        return max(steps, default=-1)
+
+    def required_traits(self) -> frozenset:
+        """Engine registry traits this schedule needs to execute."""
+        traits = set()
+        if self.operator_loss:
+            traits.add("faults")
+        if self.latency_spikes:
+            traits.add("paced")
+        return frozenset(traits)
+
+    def label(self) -> str:
+        """Compact deterministic identity (participates in ``cell_key``)."""
+        if self.is_noop:
+            return "none"
+        parts = []
+        for loss in self.operator_loss:
+            note = f"[{loss.operator}]" if loss.operator else ""
+            parts.append(f"loss@{loss.step}x{loss.count}{note}")
+        for spike in self.latency_spikes:
+            parts.append(f"spike@{spike.step}x{spike.seconds:g}")
+        return "+".join(parts)
+
+    def to_dict(self) -> dict:
+        data: dict = {}
+        if self.operator_loss:
+            data["operator_loss"] = [entry.to_dict() for entry in self.operator_loss]
+        if self.latency_spikes:
+            data["latency_spikes"] = [entry.to_dict() for entry in self.latency_spikes]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSpec":
+        if not isinstance(data, dict):
+            raise ScenarioError(
+                f"a chaos spec must be a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"operator_loss", "latency_spikes"})
+        if unknown:
+            raise ScenarioError(
+                f"chaos spec does not understand field(s) "
+                f"{', '.join(map(repr, unknown))} (valid: operator_loss, "
+                "latency_spikes)"
+            )
+        return cls(
+            operator_loss=data.get("operator_loss") or (),
+            latency_spikes=data.get("latency_spikes") or (),
+        )
+
+
+class ChaosInjector:
+    """Execute one campaign's :class:`ChaosSpec` against a live engine.
+
+    Stateful per campaign (it remembers the paced engine's base telemetry
+    latency between :meth:`begin_step` and :meth:`end_step`) but driven
+    purely by the deterministic schedule — injection never touches an
+    engine RNG.
+    """
+
+    def __init__(self, spec: ChaosSpec) -> None:
+        self.spec = spec
+        self._base_telemetry: float | None = None
+
+    def begin_step(self, engine, deployment, step_index: int, campaign: str = ""):
+        """Apply this step's scheduled effects; returns the typed events."""
+        from repro.api.events import ChaosInjected
+
+        events = []
+        for loss in self.spec.operator_loss:
+            if loss.step != step_index:
+                continue
+            operator = loss.operator or self._widest_operator(deployment)
+            if not hasattr(engine, "fail_instances"):
+                from repro.engines.base import EngineError
+
+                raise EngineError(
+                    f"chaos operator_loss needs a fault-capable engine "
+                    f"(e.g. flink-faulty); {getattr(engine, 'name', type(engine).__name__)!r} "
+                    "cannot fail instances"
+                )
+            configured = deployment.parallelisms.get(operator)
+            if configured is None:
+                from repro.engines.base import EngineError
+
+                raise EngineError(
+                    f"chaos operator_loss names operator {operator!r}, which "
+                    f"this campaign's query does not have (operators: "
+                    f"{', '.join(deployment.parallelisms)})"
+                )
+            already = 0
+            if hasattr(engine, "lost_instances"):
+                already = engine.lost_instances(deployment).get(operator, 0)
+            # At least one instance must survive; a schedule asking for
+            # more than the deployment can lose degrades to the maximum
+            # injectable count (deterministic — the map is deterministic).
+            count = min(loss.count, configured - already - 1)
+            if count < 1:
+                continue
+            engine.fail_instances(deployment, operator, count)
+            events.append(ChaosInjected(
+                campaign=campaign,
+                step_index=step_index,
+                effect="operator-loss",
+                operator=operator,
+                count=count,
+            ))
+        for spike in self.spec.latency_spikes:
+            if spike.step != step_index:
+                continue
+            if not hasattr(engine, "telemetry_seconds"):
+                from repro.engines.base import EngineError
+
+                raise EngineError(
+                    f"chaos latency_spikes needs a paced engine (e.g. "
+                    f"flink-paced); {getattr(engine, 'name', type(engine).__name__)!r} "
+                    "has no telemetry latency to stretch"
+                )
+            if self._base_telemetry is None:
+                self._base_telemetry = engine.telemetry_seconds
+            engine.telemetry_seconds = self._base_telemetry + spike.seconds
+            events.append(ChaosInjected(
+                campaign=campaign,
+                step_index=step_index,
+                effect="latency-spike",
+                seconds=spike.seconds,
+            ))
+        return events
+
+    def end_step(self, engine) -> None:
+        """Restore any per-step effect (latency spikes end with the step)."""
+        if self._base_telemetry is not None:
+            engine.telemetry_seconds = self._base_telemetry
+            self._base_telemetry = None
+
+    @staticmethod
+    def _widest_operator(deployment) -> str:
+        """Highest configured parallelism, first in flow order on ties."""
+        best_name, best_width = "", -1
+        for name, width in deployment.parallelisms.items():
+            if width > best_width:
+                best_name, best_width = name, width
+        return best_name

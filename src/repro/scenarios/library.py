@@ -1,0 +1,415 @@
+"""The trace library: named, seeded source-rate trace families.
+
+The paper evaluates on one load shape — the §V-A periodic pattern.  Real
+deployments see many more (the elasticity survey's catalogue: diurnal
+day/night curves, bursty flash crowds, linear ramps, noisy periodics),
+and an adaptive tuner must be stress-tested against all of them.  This
+module turns "a rate trace" from an anonymous float list into a named,
+reproducible artifact:
+
+* :data:`TRACES` — a :class:`~repro.api.registry.Registry` of trace
+  *families* (the same machinery as ENGINES/TUNERS): each family is a
+  deterministic generator ``(rng, **params) -> multipliers`` whose
+  parameter surface is declared as typed :class:`ParamSpec` rows;
+* :class:`TraceSpec` — a frozen ``{family, params, seed}`` value that
+  round-trips dict/JSON/TOML and :meth:`~TraceSpec.materialize`\\ s into
+  the concrete multiplier tuple, bit-identically for the same spec.
+
+Every family emits multipliers in units of Wu (the Table II rate units),
+finite and strictly positive, typically in the paper's 1..10 band.  All
+randomness flows through one :func:`~repro.utils.rng.seeded_rng`
+generator derived from the spec's seed, so a spec *is* its trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.registry import ParamSpec, REQUIRED, Registry, RegistryError, UnknownComponentError
+from repro.utils.rng import seeded_rng
+
+__all__ = [
+    "BASIC_CYCLE",
+    "TRACES",
+    "ScenarioError",
+    "TraceSpec",
+    "periodic_multipliers",
+]
+
+
+class ScenarioError(ValueError):
+    """A trace or chaos spec failed validation or materialization."""
+
+
+#: §V-A basic cycle of source-rate multipliers (x Wu).
+BASIC_CYCLE: tuple[int, ...] = (3, 7, 4, 2, 1, 10, 8, 5, 6, 9)
+
+#: The registry of named trace families.
+TRACES = Registry("trace family")
+
+
+def periodic_multipliers(
+    n_permutations: int = 6,
+    cycle: tuple[int, ...] = BASIC_CYCLE,
+    seed: int | None = None,
+) -> list[int]:
+    """The §V-A rate-multiplier sequence.
+
+    Each permutation of the basic cycle is replicated once (20 entries);
+    ``n_permutations`` permutations concatenate to ``20 * n`` multipliers
+    (120 at the paper's scale).  The first permutation is the identity so
+    small campaigns still start with the canonical cycle.
+    """
+    if n_permutations < 1:
+        raise ValueError("n_permutations must be >= 1")
+    return _periodic(seeded_rng(seed), n_permutations=n_permutations, cycle=cycle)
+
+
+# ----------------------------------------------------------------------
+# the families
+# ----------------------------------------------------------------------
+
+_N_STEPS = ParamSpec("n_steps", int, None, help="trace length in rate changes")
+
+
+def _check_steps(n_steps: int, family: str) -> None:
+    if n_steps < 1:
+        raise ScenarioError(f"trace family {family!r}: n_steps must be >= 1")
+
+
+def _check_band(low: float, high: float, family: str) -> None:
+    if not (math.isfinite(low) and low > 0):
+        raise ScenarioError(f"trace family {family!r}: low must be a positive finite number")
+    if not (math.isfinite(high) and high > low):
+        raise ScenarioError(f"trace family {family!r}: high must be finite and > low")
+
+
+@TRACES.register(
+    "inline",
+    params=(ParamSpec("rates", tuple, REQUIRED, help="the literal multiplier list"),),
+)
+def _inline(rng, rates):
+    """A literal multiplier list wrapped as a spec (raw-list back-compat)."""
+    del rng
+    return tuple(float(rate) for rate in rates)
+
+
+@TRACES.register(
+    "periodic",
+    params=(
+        ParamSpec("n_permutations", int, 6, help="permutations of the basic cycle"),
+        ParamSpec("cycle", tuple, None, help="base cycle (default: the §V-A cycle)"),
+        _N_STEPS,
+    ),
+)
+def _periodic_family(rng, n_permutations=6, cycle=None, n_steps=None):
+    """The paper's §V-A periodic pattern (permuted, replicated cycles)."""
+    if n_permutations < 1:
+        raise ScenarioError("trace family 'periodic': n_permutations must be >= 1")
+    sequence = _periodic(
+        rng, n_permutations=n_permutations,
+        cycle=tuple(cycle) if cycle is not None else BASIC_CYCLE,
+    )
+    if n_steps is not None:
+        _check_steps(n_steps, "periodic")
+        sequence = sequence[:n_steps]
+    return sequence
+
+
+def _periodic(rng, n_permutations: int, cycle: tuple[int, ...]) -> list[int]:
+    sequence: list[int] = []
+    for index in range(n_permutations):
+        if index == 0:
+            perm = list(cycle)
+        else:
+            perm = [int(x) for x in rng.permutation(np.asarray(cycle))]
+        sequence.extend(perm + perm)
+    return sequence
+
+
+@TRACES.register(
+    "diurnal",
+    params=(
+        _N_STEPS,
+        ParamSpec("low", float, 1.0, help="overnight trough rate (x Wu)"),
+        ParamSpec("high", float, 8.0, help="midday peak rate (x Wu)"),
+        ParamSpec("period", int, None, help="steps per day (default n_steps)"),
+        ParamSpec("jitter", float, 0.0, help="relative gaussian jitter per step"),
+    ),
+)
+def _diurnal(rng, n_steps=None, low=1.0, high=8.0, period=None, jitter=0.0):
+    """Day/night sinusoid: trough at step 0, peak half a period later."""
+    n_steps = 24 if n_steps is None else n_steps
+    _check_steps(n_steps, "diurnal")
+    _check_band(low, high, "diurnal")
+    period = n_steps if period is None else period
+    if period < 2:
+        raise ScenarioError("trace family 'diurnal': period must be >= 2")
+    steps = np.arange(n_steps)
+    curve = low + (high - low) * 0.5 * (1.0 - np.cos(2.0 * np.pi * steps / period))
+    if jitter:
+        if not (math.isfinite(jitter) and 0 < jitter < 1):
+            raise ScenarioError("trace family 'diurnal': jitter must be in (0, 1)")
+        curve = curve * (1.0 + jitter * rng.standard_normal(n_steps))
+    return np.maximum(curve, low / 10.0)
+
+
+@TRACES.register(
+    "bursty",
+    params=(
+        _N_STEPS,
+        ParamSpec("base", float, 2.0, help="steady-state rate between bursts"),
+        ParamSpec("spike", float, 9.0, help="flash-crowd rate during a burst"),
+        ParamSpec("p_burst", float, 0.2, help="per-step burst start probability"),
+        ParamSpec("burst_length", int, 2, help="steps a burst lasts"),
+    ),
+)
+def _bursty(rng, n_steps=None, base=2.0, spike=9.0, p_burst=0.2, burst_length=2):
+    """Flash crowds: a steady base rate with seeded multi-step spikes."""
+    n_steps = 16 if n_steps is None else n_steps
+    _check_steps(n_steps, "bursty")
+    _check_band(base, spike, "bursty")
+    if not 0.0 <= p_burst <= 1.0:
+        raise ScenarioError("trace family 'bursty': p_burst must be in [0, 1]")
+    if burst_length < 1:
+        raise ScenarioError("trace family 'bursty': burst_length must be >= 1")
+    values = []
+    remaining = 0
+    any_burst = False
+    for _ in range(n_steps):
+        if remaining == 0 and rng.random() < p_burst:
+            remaining = burst_length
+            any_burst = True
+        if remaining > 0:
+            values.append(spike)
+            remaining -= 1
+        else:
+            values.append(base)
+    if not any_burst and n_steps > 1:
+        # A flash-crowd trace with no crowd tests nothing: guarantee one
+        # burst mid-trace (deterministic — the draws above already ran).
+        for offset in range(min(burst_length, n_steps - n_steps // 2)):
+            values[n_steps // 2 + offset] = spike
+    return values
+
+
+@TRACES.register(
+    "ramp",
+    params=(
+        _N_STEPS,
+        ParamSpec("start", float, 1.0, help="first step's rate (x Wu)"),
+        ParamSpec("stop", float, 10.0, help="last step's rate (x Wu)"),
+    ),
+)
+def _ramp(rng, n_steps=None, start=1.0, stop=10.0):
+    """Linear scale-up (or scale-down) from ``start`` to ``stop``."""
+    del rng
+    n_steps = 8 if n_steps is None else n_steps
+    _check_steps(n_steps, "ramp")
+    for name, value in (("start", start), ("stop", stop)):
+        if not (math.isfinite(value) and value > 0):
+            raise ScenarioError(
+                f"trace family 'ramp': {name} must be a positive finite number"
+            )
+    if n_steps == 1:
+        return [float(start)]
+    return np.linspace(start, stop, n_steps)
+
+
+@TRACES.register(
+    "sinusoid-noise",
+    aliases=("sinusoid",),
+    params=(
+        _N_STEPS,
+        ParamSpec("mean", float, 5.0, help="carrier mean rate (x Wu)"),
+        ParamSpec("amplitude", float, 3.0, help="carrier amplitude"),
+        ParamSpec("period", int, 8, help="steps per carrier cycle"),
+        ParamSpec("noise_std", float, 0.4, help="additive gaussian noise std"),
+    ),
+)
+def _sinusoid_noise(rng, n_steps=None, mean=5.0, amplitude=3.0, period=8, noise_std=0.4):
+    """A sinusoid carrier with seeded additive measurement-like noise."""
+    n_steps = 16 if n_steps is None else n_steps
+    _check_steps(n_steps, "sinusoid-noise")
+    if not (math.isfinite(mean) and mean > 0):
+        raise ScenarioError("trace family 'sinusoid-noise': mean must be > 0")
+    if not (math.isfinite(amplitude) and 0 <= amplitude < mean):
+        raise ScenarioError(
+            "trace family 'sinusoid-noise': amplitude must satisfy "
+            "0 <= amplitude < mean (rates stay positive)"
+        )
+    if period < 2:
+        raise ScenarioError("trace family 'sinusoid-noise': period must be >= 2")
+    if not (math.isfinite(noise_std) and noise_std >= 0):
+        raise ScenarioError("trace family 'sinusoid-noise': noise_std must be >= 0")
+    steps = np.arange(n_steps)
+    carrier = mean + amplitude * np.sin(2.0 * np.pi * steps / period)
+    if noise_std:
+        carrier = carrier + noise_std * rng.standard_normal(n_steps)
+    floor = max((mean - amplitude) / 4.0, 1e-3)
+    return np.maximum(carrier, floor)
+
+
+@TRACES.register(
+    "adversarial",
+    params=(
+        _N_STEPS,
+        ParamSpec("low", float, 1.0, help="lowest rate visited"),
+        ParamSpec("high", float, 10.0, help="highest rate visited"),
+    ),
+)
+def _adversarial(rng, n_steps=None, low=1.0, high=10.0):
+    """Worst case for the predictor's cluster assignment: every step jumps
+    between the extremes of the rate band (maximal step-to-step variation,
+    so warm-up datasets from adjacent steps disagree as much as possible),
+    with the extreme pairing seeded-shuffled for reproducible variety."""
+    n_steps = 12 if n_steps is None else n_steps
+    _check_steps(n_steps, "adversarial")
+    _check_band(low, high, "adversarial")
+    grid = np.linspace(low, high, n_steps)
+    half = n_steps // 2
+    lows, highs = grid[:half], grid[half:][::-1]
+    order = rng.permutation(half)
+    values: list[float] = []
+    for position in order:
+        values.append(float(lows[position]))
+        values.append(float(highs[position]))
+    if n_steps % 2:
+        values.append(float(grid[half]))
+    return values
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+
+def _freeze(value):
+    """Canonicalize a param value for hashable, order-stable storage."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (int, float, str)):
+        return value
+    raise ScenarioError(
+        f"trace params must be numbers, strings, booleans or lists of "
+        f"those, got {type(value).__name__} ({value!r})"
+    )
+
+
+def _thaw(value):
+    """The JSON-facing view of a canonical param value."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A named, seeded rate trace: ``{family, params, seed}`` as a value.
+
+    ``params`` accepts a dict at construction and is stored canonically
+    (sorted key/value pairs, lists frozen to tuples), so two specs built
+    from differently ordered dicts compare — and hash — equal.  The spec
+    is the identity: :meth:`materialize` always returns the same
+    multipliers for an equal spec.
+    """
+
+    family: str
+    params: tuple = field(default=())
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        try:
+            entry = TRACES.entry(self.family)
+        except UnknownComponentError as error:
+            raise ScenarioError(str(error)) from None
+        object.__setattr__(self, "family", entry.name)
+        params = self.params
+        if isinstance(params, dict):
+            items = params.items()
+        elif isinstance(params, (list, tuple)):
+            items = [tuple(pair) for pair in params]
+        else:
+            raise ScenarioError(
+                f"trace params must be a mapping, got {type(params).__name__}"
+            )
+        frozen = {str(key): _freeze(value) for key, value in items}
+        try:
+            validated = TRACES.validate_kwargs(entry.name, frozen)
+        except (RegistryError, UnknownComponentError) as error:
+            raise ScenarioError(str(error)) from None
+        object.__setattr__(
+            self, "params", tuple(sorted((k, _freeze(v)) for k, v in validated.items()))
+        )
+        if self.seed is not None and (
+            not isinstance(self.seed, int) or isinstance(self.seed, bool)
+        ):
+            raise ScenarioError(f"trace seed must be an integer, got {self.seed!r}")
+
+    @classmethod
+    def inline(cls, rates) -> "TraceSpec":
+        """Wrap a literal multiplier list as an ``inline`` spec."""
+        return cls(family="inline", params={"rates": tuple(rates)})
+
+    def materialize(self) -> tuple[float, ...]:
+        """The concrete multiplier tuple (bit-identical per equal spec)."""
+        try:
+            values = TRACES.create(self.family, seeded_rng(self.seed), **dict(self.params))
+        except ScenarioError:
+            raise
+        except (RegistryError, UnknownComponentError) as error:
+            raise ScenarioError(str(error)) from None
+        rates = tuple(float(value) for value in values)
+        if not rates:
+            raise ScenarioError(
+                f"trace family {self.family!r} produced an empty trace"
+            )
+        for rate in rates:
+            if not (math.isfinite(rate) and rate > 0):
+                raise ScenarioError(
+                    f"trace family {self.family!r} produced a non-positive or "
+                    f"non-finite rate ({rate!r}); fix the family's parameters"
+                )
+        return rates
+
+    def label(self) -> str:
+        """A short, unique, human-scannable identity for scenario labels."""
+        import hashlib
+
+        digest = hashlib.sha1(
+            repr((self.family, self.params, self.seed)).encode("utf-8")
+        ).hexdigest()[:6]
+        seed_note = f"s{self.seed}." if self.seed is not None else ""
+        return f"{self.family}#{seed_note}{digest}"
+
+    def to_dict(self) -> dict:
+        data: dict = {"family": self.family}
+        if self.params:
+            data["params"] = {key: _thaw(value) for key, value in self.params}
+        if self.seed is not None:
+            data["seed"] = self.seed
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceSpec":
+        if not isinstance(data, dict):
+            raise ScenarioError(
+                f"a trace spec must be a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"family", "params", "seed"})
+        if unknown:
+            raise ScenarioError(
+                f"trace spec does not understand field(s) "
+                f"{', '.join(map(repr, unknown))} (valid: family, params, seed)"
+            )
+        if "family" not in data:
+            raise ScenarioError("a trace spec needs a 'family' name")
+        return cls(
+            family=data["family"],
+            params=data.get("params") or {},
+            seed=data.get("seed"),
+        )

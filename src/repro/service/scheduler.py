@@ -40,6 +40,10 @@ class CampaignSpec:
     max_iterations: int = 8
     warmup_rows: int = 300
     tuner_overrides: dict = field(default_factory=dict, hash=False, compare=False)
+    #: Optional :class:`~repro.scenarios.ChaosSpec` executed alongside
+    #: the campaign (``None`` = clean run).  Frozen and hashable, so it
+    #: participates in spec identity and pickles into workers.
+    chaos: object = None
 
     def __post_init__(self) -> None:
         if not self.multipliers:
@@ -75,6 +79,7 @@ class CampaignSpec:
             # carry no model, so their keys stay layer-free.
             layer=(model_suffix or self.model_kind) if is_streamtune else None,
             engine_seed=self.engine_seed,
+            chaos=self.chaos.label() if self.chaos is not None else None,
         )
 
     def make_engine(self) -> EngineCluster:

@@ -57,7 +57,7 @@ import queue
 import time
 import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.api.events import (
     CacheStats,
@@ -86,6 +86,11 @@ class CampaignOutcome:
     result: CampaignResult
     wall_seconds: float
     backend: str
+    #: :class:`~repro.api.events.ChaosInjected` events of the recorded
+    #: chunk, in execution order.  Kept on the outcome so backends that
+    #: replay a finished campaign (sequential, sharded) emit the same
+    #: stream a live worker does.
+    chaos_events: list = field(default_factory=list)
 
 
 class CampaignExecutionError(RuntimeError):
@@ -222,7 +227,21 @@ def execute_campaign(
     multipliers = (
         spec.multipliers if stop_at is None else spec.multipliers[:stop_at]
     )
-    iterator = iter_campaign(engine, tuner, spec.query, list(multipliers))
+    chaos_sink = None
+    chaos_events: list = []
+    if spec.chaos is not None:
+        def chaos_sink(event):
+            # Shards replay their trace prefix silently — chaos included —
+            # so only the recorded chunk's injections reach the stream
+            # (live) and the outcome (for backends that replay it).
+            if event.step_index >= keep_from:
+                chaos_events.append(event)
+                if sink is not None:
+                    sink(event)
+    iterator = iter_campaign(
+        engine, tuner, spec.query, list(multipliers),
+        chaos=spec.chaos, chaos_sink=chaos_sink,
+    )
     while True:
         try:
             index, multiplier, process = next(iterator)
@@ -245,6 +264,7 @@ def execute_campaign(
         result=result,
         wall_seconds=time.perf_counter() - started,
         backend="worker",
+        chaos_events=chaos_events,
     )
 
 
@@ -303,14 +323,17 @@ def _merge_outcomes(
     result = CampaignResult(
         query_name=spec.query.name, method=parts[0].result.method
     )
+    chaos_events: list = []
     for shard_index in sorted(parts):
         part = parts[shard_index].result
         result.multipliers.extend(part.multipliers)
         result.processes.extend(part.processes)
+        chaos_events.extend(getattr(parts[shard_index], "chaos_events", []))
     walls = [part.wall_seconds for part in parts.values()]
     return CampaignOutcome(
         spec_name=spec.name,
         result=result,
+        chaos_events=chaos_events,
         # On a pool the campaign is as slow as its slowest shard; on the
         # sequential backend shards run one after another, so the honest
         # figure is their sum (prefix replay included).
@@ -704,9 +727,13 @@ class TuningService:
         """The full event block of a completed campaign (steps re-derived
         from the recorded result — identical to live emission)."""
         yield self._started_event(spec, index, n_shards)
+        chaos_by_step: dict[int, list] = {}
+        for event in getattr(outcome, "chaos_events", []):
+            chaos_by_step.setdefault(event.step_index, []).append(event)
         for step_index, (multiplier, process) in enumerate(
             zip(outcome.result.multipliers, outcome.result.processes)
         ):
+            yield from chaos_by_step.get(step_index, ())
             yield from _step_events(
                 spec.name, len(spec.multipliers), step_index, multiplier, process
             )

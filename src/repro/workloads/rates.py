@@ -4,18 +4,19 @@ The paper drives every query with a periodic pattern: a basic cycle of ten
 multipliers ``[3, 7, 4, 2, 1, 10, 8, 5, 6, 9]`` (in units of Wu), replicated
 to a sequence of 20, with six permutations generated per query — 120 source
 rate changes in total.
+
+The pattern generator now lives in :mod:`repro.scenarios.library` as the
+``periodic`` family of the ``TRACES`` registry; :data:`BASIC_CYCLE` and
+:func:`periodic_multipliers` stay importable from here for back-compat
+(lazily, so the workload layer does not pull in the scenario plane just
+to look up Table II units).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.utils.rng import seeded_rng
-
-#: §V-A basic cycle of source-rate multipliers (x Wu).
-BASIC_CYCLE: tuple[int, ...] = (3, 7, 4, 2, 1, 10, 8, 5, 6, 9)
+__all__ = ["BASIC_CYCLE", "RateSchedule", "periodic_multipliers", "rate_units"]
 
 #: Table II — source rate units Wu in records/s, keyed by
 #: (workload, query, engine) -> {source name: Wu}.
@@ -46,29 +47,13 @@ def rate_units(workload: str, query: str, engine: str) -> dict[str, float]:
         ) from None
 
 
-def periodic_multipliers(
-    n_permutations: int = 6,
-    cycle: tuple[int, ...] = BASIC_CYCLE,
-    seed: int | None = None,
-) -> list[int]:
-    """The §V-A rate-multiplier sequence.
+def __getattr__(name: str):
+    # Lazy back-compat re-exports of the relocated §V-A generator.
+    if name in ("BASIC_CYCLE", "periodic_multipliers"):
+        from repro.scenarios import library
 
-    Each permutation of the basic cycle is replicated once (20 entries);
-    ``n_permutations`` permutations concatenate to ``20 * n`` multipliers
-    (120 at the paper's scale).  The first permutation is the identity so
-    small campaigns still start with the canonical cycle.
-    """
-    if n_permutations < 1:
-        raise ValueError("n_permutations must be >= 1")
-    rng = seeded_rng(seed)
-    sequence: list[int] = []
-    for index in range(n_permutations):
-        if index == 0:
-            perm = list(cycle)
-        else:
-            perm = [int(x) for x in rng.permutation(np.asarray(cycle))]
-        sequence.extend(perm + perm)
-    return sequence
+        return getattr(library, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -92,6 +77,8 @@ class RateSchedule:
         seed: int | None = None,
     ) -> "RateSchedule":
         """Build the periodic schedule for a :class:`StreamingQuery`."""
+        from repro.scenarios.library import periodic_multipliers
+
         multipliers = periodic_multipliers(n_permutations=n_permutations, seed=seed)
         steps = tuple(query.rates_at(m) for m in multipliers)
         return cls(query_name=query.name, steps=steps)

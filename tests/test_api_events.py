@@ -147,9 +147,9 @@ class TestEventRoundTrip:
         # registry so a new event class cannot dodge the property test.
         assert set(EVENT_TYPES) == {
             "CacheStats", "CampaignFailed", "CampaignFinished",
-            "CampaignSkipped", "CampaignStarted", "JobStateChanged",
-            "JobSubmitted", "Reconfigured", "StepCompleted",
-            "SweepFinished",
+            "CampaignSkipped", "CampaignStarted", "ChaosInjected",
+            "JobStateChanged", "JobSubmitted", "Reconfigured",
+            "StepCompleted", "SweepFinished",
         }
 
     @settings(max_examples=50, deadline=None)
