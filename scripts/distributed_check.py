@@ -15,78 +15,31 @@ Exit status 0 when the contract holds, 1 with a diff summary otherwise.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
+# The checks themselves live in the library (the soak supervisor asserts
+# the same contract after every churn episode); this script is the thin
+# CI shell.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-def _lines(path: Path) -> list[dict]:
-    records = []
-    for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if line:
-            records.append(json.loads(line))
-    return records
-
-
-def _deterministic_result(record: dict) -> dict:
-    result = json.loads(json.dumps(record["result"]))   # deep copy
-    for process in result["processes"]:
-        for step in process["steps"]:
-            step.pop("recommendation_seconds", None)
-    return result
-
-
-def _results_by_key(records: list[dict]) -> dict[str, dict]:
-    results = {}
-    for record in records:
-        if record["event"] == "CampaignFinished":
-            key = f"{record.get('scenario') or ''}/{record.get('cell_key') or record['campaign']}"
-            results[key] = _deterministic_result(record)
-    return results
+from repro.faults.invariants import (  # noqa: E402 — after the path bootstrap
+    compare_event_streams,
+    load_event_log,
+)
 
 
 def _compare(args: argparse.Namespace) -> int:
-    sequential = _lines(Path(args.sequential))
-    distributed = _lines(Path(args.distributed))
-    failures = []
-
-    if any(r["event"] == "CampaignFailed" for r in distributed):
-        failures.append("distributed run recorded CampaignFailed event(s)")
-    campaign_events = [
-        r for r in distributed if r["event"].startswith("Campaign")
-    ]
-    off_backend = sorted({
-        r["backend"] for r in campaign_events
-        if r.get("backend") not in (None, "distributed")
-    })
-    if off_backend:
-        failures.append(
-            f"campaign events carry non-distributed backend(s): {off_backend}"
-        )
-    seqs = [r["seq"] for r in distributed]
-    if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
-        failures.append("distributed event seq is not strictly increasing")
-
-    seq_results = _results_by_key(sequential)
-    dist_results = _results_by_key(distributed)
-    if set(seq_results) != set(dist_results):
-        failures.append(
-            "campaign sets differ: "
-            f"only-sequential={sorted(set(seq_results) - set(dist_results))}, "
-            f"only-distributed={sorted(set(dist_results) - set(seq_results))}"
-        )
-    else:
-        for key in sorted(seq_results):
-            if seq_results[key] != dist_results[key]:
-                failures.append(f"result payload differs for {key}")
-
+    sequential = load_event_log(args.sequential)
+    distributed = load_event_log(args.distributed)
+    failures = compare_event_streams(sequential, distributed)
     if failures:
         for failure in failures:
             print(f"distributed check FAILED: {failure}", file=sys.stderr)
         return 1
+    finished = sum(1 for r in distributed if r["event"] == "CampaignFinished")
     print(
-        f"distributed check ok: {len(dist_results)} campaign(s) "
+        f"distributed check ok: {finished} campaign(s) "
         "bit-identical to the sequential run"
     )
     return 0

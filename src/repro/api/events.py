@@ -57,6 +57,8 @@ import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.faults.plane import fire as _fault_fire, hard_exit, trip as _fault_trip
+
 __all__ = [
     "CacheStats",
     "CampaignFailed",
@@ -189,8 +191,9 @@ class ChaosInjected(Event):
     :class:`~repro.scenarios.ChaosSpec`, right before the affected step's
     tuning process runs (and before that step's :class:`StepCompleted`).
     ``effect`` is ``"operator-loss"`` (``operator``/``count`` say what
-    failed) or ``"latency-spike"`` (``seconds`` says by how much the
-    step's telemetry stretched).
+    failed), ``"latency-spike"`` (``seconds`` says by how much the
+    step's telemetry stretched) or ``"trace-dropout"`` (``factor`` says
+    what fraction of the step's source rate survived the outage).
     """
 
     campaign: str = ""
@@ -199,6 +202,7 @@ class ChaosInjected(Event):
     operator: str = ""
     count: int = 0
     seconds: float = 0.0
+    factor: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -584,11 +588,22 @@ class JsonlRecorder:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "w", encoding="utf-8")
-        self._handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        line = json.dumps(event.to_dict(), sort_keys=True) + "\n"
+        torn = _fault_trip("ledger.write.torn-tail")
+        if torn is not None:
+            # Cooperative torn-tail injection: persist only a prefix of
+            # the line, then die mid-write — the exact artifact a crash
+            # during write() leaves, which every ledger reader (resume,
+            # coordinator merge) must tolerate.
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            hard_exit(torn.exit_code)
+        self._handle.write(line)
         self._handle.flush()
         if self.fsync:
             import os
 
+            _fault_fire("ledger.fsync.crash-before")
             os.fsync(self._handle.fileno())
         self.n_events += 1
 

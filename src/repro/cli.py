@@ -409,6 +409,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     from repro.distributed import Spool, WorkerAgent
 
+    if args.fault_plan is not None:
+        from repro.faults import activate, load_fault_plan
+
+        activate(load_fault_plan(args.fault_plan))
     spool = Spool(args.spool, ttl_seconds=args.ttl)
     agent = WorkerAgent(
         spool,
@@ -475,6 +479,75 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # the daemon: serve / submit / jobs
 # ----------------------------------------------------------------------
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.supervisor import (
+        ChurnSpec,
+        FleetSupervisor,
+        RestartPolicy,
+    )
+
+    plan = load_plan(args.plan)
+    if isinstance(plan, TuningPlan):
+        raise PlanError(
+            "soak churns a worker fleet over campaign and sweep plans; a "
+            "single-query TuningPlan has no fleet to churn — use run-plan"
+        )
+    plan = replace(plan, backend="distributed")
+    supervisor = FleetSupervisor(
+        plan,
+        workers=args.workers,
+        churn=ChurnSpec(
+            kills_per_worker=args.kills_per_worker,
+            min_gap_cells=args.min_gap_cells,
+            max_gap_cells=args.max_gap_cells,
+            warmup_cells=args.warmup_cells,
+            seed=args.seed,
+        ),
+        restart=RestartPolicy(max_restarts=args.max_restarts),
+        ttl_seconds=args.ttl,
+        stall_seconds=args.stall_seconds,
+        spool_dir=args.spool_dir,
+        fsync=not args.no_fsync,
+        fault_plan=args.fault_plan,
+    )
+    progress = (
+        None if args.json
+        else (lambda message: print(message, file=sys.stderr))
+    )
+    report = supervisor.run(
+        record=args.record,
+        reference=not args.no_reference,
+        progress=progress,
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+            )
+    if args.json:
+        print(json.dumps(
+            report.deterministic_view(), indent=2, sort_keys=True
+        ))
+    else:
+        verdict = "ok" if report.ok else "FAILED"
+        checks = report.invariant_failures + (report.stream_failures or [])
+        print(
+            f"soak {verdict}: {report.n_cells} cell(s) on {report.workers} "
+            f"worker(s), {len(report.kills)}/{len(report.schedule)} "
+            f"scheduled kill(s), {report.unplanned_respawns} unplanned "
+            f"respawn(s), {report.wall_seconds:.1f}s"
+        )
+        if report.stream_failures is not None and not report.stream_failures:
+            print("event stream bit-identical to the sequential reference")
+        for failure in checks:
+            print(f"  violation: {failure}", file=sys.stderr)
+        if report.error is not None:
+            print(f"  error: {report.error}", file=sys.stderr)
+    return 0 if report.ok else 1
+
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.daemon import TuningDaemon
@@ -819,6 +892,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-event fsync of cell ledgers (faster, loses "
              "crash-durability of the tail)",
     )
+    worker.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="activate a deterministic failpoint plan (.json/.toml) in "
+             "this agent — fault-injection testing only",
+    )
     worker.set_defaults(func=_cmd_worker)
 
     dispatch = sub.add_parser(
@@ -854,6 +932,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_stream_flags(dispatch)
     dispatch.set_defaults(func=_cmd_dispatch)
+
+    soak = sub.add_parser(
+        "soak",
+        help="run a campaign/sweep plan through an N-worker fleet under a "
+             "seeded worker-churn schedule, then assert the standing "
+             "invariants (exactly-once, zero stale leases, bit-identical "
+             "event stream)",
+    )
+    soak.add_argument("plan", help="path to a .json or .toml plan file")
+    soak.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="fleet size (default: %(default)s)",
+    )
+    soak.add_argument(
+        "--kills-per-worker", type=int, default=2, metavar="N",
+        help="SIGKILL every worker slot this many times (default: %(default)s)",
+    )
+    soak.add_argument(
+        "--seed", type=int, default=0,
+        help="churn-schedule seed; the same seed replays the same kill "
+             "schedule and report (default: %(default)s)",
+    )
+    soak.add_argument(
+        "--min-gap-cells", type=int, default=1, metavar="N",
+        help="minimum done-cell gap between kills (default: %(default)s)",
+    )
+    soak.add_argument(
+        "--max-gap-cells", type=int, default=6, metavar="N",
+        help="maximum done-cell gap between kills (default: %(default)s)",
+    )
+    soak.add_argument(
+        "--warmup-cells", type=int, default=1, metavar="N",
+        help="done cells before the first kill (default: %(default)s)",
+    )
+    soak.add_argument(
+        "--max-restarts", type=int, default=16, metavar="N",
+        help="per-slot restart budget (default: %(default)s)",
+    )
+    soak.add_argument(
+        "--ttl", type=float, default=2.0, metavar="SECONDS",
+        help="lease time-to-live; short, so killed workers' cells are "
+             "reclaimed quickly (default: %(default)s)",
+    )
+    soak.add_argument(
+        "--stall-seconds", type=float, default=None, metavar="SECONDS",
+        help="declare the fleet dead after this long with no live worker "
+             "and no completions (default: 4x --ttl)",
+    )
+    soak.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="keep the spool (ledgers, logs, done markers) here instead "
+             "of an ephemeral temp directory",
+    )
+    soak.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write the merged distributed event stream to this JSONL file",
+    )
+    soak.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the full soak report (JSON) here",
+    )
+    soak.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="failpoint plan (.json/.toml) activated inside every worker",
+    )
+    soak.add_argument(
+        "--no-reference", action="store_true",
+        help="skip the in-process sequential reference run and the "
+             "bit-identity check",
+    )
+    soak.add_argument(
+        "--no-fsync", action="store_true",
+        help="run workers without per-event ledger fsync",
+    )
+    soak.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic report view as JSON (the part that "
+             "must be identical across same-seed episodes)",
+    )
+    soak.set_defaults(func=_cmd_soak)
 
     from repro.perf.report import BENCH_FILENAME
 
@@ -1013,17 +1171,19 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     from repro.daemon.client import DaemonClientError
+    from repro.faults import FaultError
     from repro.perf.report import PerfError
 
     try:
         return args.func(args)
     except (
         PlanError, UnknownComponentError, SnapshotError, ResumeError, PerfError,
-        DaemonClientError,
+        DaemonClientError, FaultError,
     ) as error:
         # Operator errors (bad plan file, unknown component, stale cache
         # snapshot, unusable resume log, unusable perf baseline, refused
-        # or unreachable daemon) exit 2 with one line, never a traceback.
+        # or unreachable daemon, malformed fault/churn plan) exit 2 with
+        # one line, never a traceback.
         print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
     except CampaignExecutionError as error:

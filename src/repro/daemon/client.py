@@ -20,6 +20,7 @@ import urllib.error
 import urllib.request
 from pathlib import Path
 
+from repro.faults.plane import fire as _fire
 from repro.utils.retry import with_retries
 
 __all__ = ["DaemonClient", "DaemonClientError"]
@@ -67,6 +68,10 @@ class DaemonClient:
             if body is not None:
                 request.add_header("Content-Type", content_type)
             try:
+                # Failpoint before the socket ever opens: an injected
+                # URLError here exercises the same retry schedule a real
+                # connection refusal would.
+                _fire("daemon.client.conn-drop")
                 return urllib.request.urlopen(
                     request,
                     timeout=self.timeout if timeout is None else timeout,

@@ -54,6 +54,7 @@ from repro.api.plans import PlanError, plan_from_dict
 from repro.daemon.jobs import JOB_STATES, JobStore
 from repro.daemon.metrics_endpoint import render_metrics
 from repro.daemon.queue import QueueDraining, QueueFull, TenantQueue
+from repro.faults.plane import fire as _fire
 
 __all__ = ["TuningDaemon"]
 
@@ -484,6 +485,10 @@ def _make_handler(daemon: TuningDaemon):
                         terminal = job.terminal
                         stopping = daemon._stop.is_set()
                     for line in fresh:
+                        # An injected ConnectionResetError lands in the
+                        # handler below exactly like a real mid-stream
+                        # hang-up: the follower drops, the job survives.
+                        _fire("daemon.server.stream.drop")
                         payload = (line + "\n").encode()
                         self.wfile.write(
                             f"{len(payload):X}\r\n".encode()

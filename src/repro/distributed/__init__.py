@@ -22,6 +22,7 @@ from repro.distributed.spool import (
     LeaseLost,
     Spool,
     SpoolCell,
+    SpoolError,
     cell_id_for,
 )
 from repro.distributed.worker import WorkerAgent, default_worker_id
@@ -32,6 +33,7 @@ __all__ = [
     "LeaseLost",
     "Spool",
     "SpoolCell",
+    "SpoolError",
     "WorkerAgent",
     "cell_id_for",
     "default_worker_id",

@@ -37,6 +37,7 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -51,6 +52,7 @@ from repro.api.events import (
 )
 from repro.api.plans import CampaignPlan, PlanError, SweepPlan
 from repro.distributed.spool import DEFAULT_TTL_SECONDS, Spool, SpoolCell
+from repro.faults.plane import fire as _fire
 
 __all__ = ["DistributedSession", "plan_cells"]
 
@@ -213,9 +215,24 @@ class DistributedSession:
         scenario_stats: dict = {}             # per-scenario cache counters
         workers: list = []
         fleet_dead = False
+        churn_stop = threading.Event()
+        churn_thread = None
         try:
             if pending:
                 workers = self._spawn_local_workers(root, plan)
+                entries = self._churn_entries(plan)
+                if entries and workers:
+                    # Infrastructure chaos: kill/respawn local agents at
+                    # done-count thresholds.  Results stay bit-identical
+                    # (lease reclaim re-runs interrupted cells), so the
+                    # in-process backends rightly ignore these entries.
+                    churn_thread = threading.Thread(
+                        target=self._churn_loop,
+                        args=(spool, root, workers, entries, churn_stop),
+                        name="worker-churn",
+                        daemon=True,
+                    )
+                    churn_thread.start()
             last_sign_of_life = time.time()
             for position, cell in enumerate(cells):
                 if cell.id in replayed:
@@ -256,7 +273,16 @@ class DistributedSession:
                     if stats is not None:
                         yield stamped(CacheStats(stats=stats), cell)
         finally:
+            churn_stop.set()
+            if churn_thread is not None:
+                churn_thread.join()
             self._drain_local_workers(workers, healthy=not fleet_dead)
+            if not fleet_dead:
+                # A worker killed between mark_done and release leaves a
+                # lease on a *done* cell — debris no claimant ever
+                # reclaims (the cell is not pending).  Sweep it so a
+                # standing spool never accumulates phantom stale leases.
+                spool.sweep_done_leases()
             if ephemeral and not fleet_dead:
                 shutil.rmtree(root, ignore_errors=True)
 
@@ -359,6 +385,7 @@ class DistributedSession:
         completion for ``stall_seconds``.
         """
         while True:
+            _fire("coordinator.poll.delay")
             payload = spool.done_payload(cell.id)
             now = time.time()
             if payload is not None:
@@ -384,32 +411,78 @@ class DistributedSession:
         has_named_spool = plan.spool_dir is not None or self.spool_dir is not None
         return 0 if has_named_spool else 2
 
-    def _spawn_local_workers(self, root: Path, plan) -> list:
-        """Start ``repro worker`` subprocesses draining ``root``."""
+    def _spawn_one(self, root: Path, index: int, *, respawn: bool = False):
+        """Start one ``repro worker`` subprocess draining ``root``.
+
+        A respawned worker appends to the slot's log so the kill/restart
+        history of a churned slot reads as one continuous transcript.
+        """
         import repro
 
-        count = self._local_worker_count(plan)
         env = os.environ.copy()
         src = str(Path(repro.__file__).resolve().parent.parent)
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
-        workers = []
-        for index in range(count):
-            log = open(root / f"worker-{index}.log", "w", encoding="utf-8")
-            command = [
-                sys.executable, "-m", "repro.cli", "worker", str(root),
-                "--exit-when-done",
-                "--ttl", str(self.ttl_seconds),
-            ]
-            if not self.fsync:
-                command.append("--no-fsync")
-            workers.append((
-                subprocess.Popen(
-                    command, stdout=log, stderr=subprocess.STDOUT, env=env
-                ),
-                log,
-            ))
-        return workers
+        log = open(
+            root / f"worker-{index}.log",
+            "a" if respawn else "w",
+            encoding="utf-8",
+        )
+        command = [
+            sys.executable, "-m", "repro.cli", "worker", str(root),
+            "--exit-when-done",
+            "--ttl", str(self.ttl_seconds),
+        ]
+        if not self.fsync:
+            command.append("--no-fsync")
+        return (
+            subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT, env=env
+            ),
+            log,
+        )
+
+    def _spawn_local_workers(self, root: Path, plan) -> list:
+        """Start ``repro worker`` subprocesses draining ``root``."""
+        count = self._local_worker_count(plan)
+        return [self._spawn_one(root, index) for index in range(count)]
+
+    # -- worker churn ----------------------------------------------------
+
+    @staticmethod
+    def _churn_entries(plan) -> list:
+        """``(after_cells, slot)`` kill thresholds from the plan's chaos.
+
+        Sweep fleets share one local worker pool, so their churn entries
+        union (deduped) over one schedule keyed to the *total* done-cell
+        count across the spool.
+        """
+        fleets = plan.expand() if isinstance(plan, SweepPlan) else [plan]
+        entries = {
+            (churn.after_cells, churn.slot)
+            for fleet in fleets
+            if fleet.chaos is not None
+            for churn in fleet.chaos.worker_churn
+        }
+        return sorted(entries)
+
+    def _churn_loop(self, spool, root, workers, entries, stop) -> None:
+        remaining = list(entries)
+        while remaining and not stop.is_set():
+            done = len(spool.done_ids())
+            while remaining and done >= remaining[0][0]:
+                _, slot = remaining.pop(0)
+                self._kill_and_respawn(root, workers, slot)
+            stop.wait(timeout=self.poll_seconds)
+
+    def _kill_and_respawn(self, root, workers, slot: int) -> None:
+        index = slot % len(workers)
+        proc, log = workers[index]
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        log.close()
+        workers[index] = self._spawn_one(root, index, respawn=True)
 
     def _drain_local_workers(self, workers, *, healthy: bool) -> None:
         """Let ``--exit-when-done`` agents finish, then insist."""

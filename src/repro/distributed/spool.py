@@ -49,11 +49,14 @@ import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.faults.plane import fire as _fire
+
 __all__ = [
     "DEFAULT_TTL_SECONDS",
     "LeaseLost",
     "Spool",
     "SpoolCell",
+    "SpoolError",
     "cell_id_for",
 ]
 
@@ -61,6 +64,15 @@ __all__ = [
 #: a quarter of this, so a lease survives several missed beats before a
 #: reclaim — slow NFS metadata writes must not look like death.
 DEFAULT_TTL_SECONDS = 15.0
+
+
+class SpoolError(RuntimeError):
+    """A spool file is unreadable or corrupt; the message names the file.
+
+    Raised instead of a bare ``json.JSONDecodeError`` so an operator
+    staring at a wedged fleet sees *which* cell or done marker carries a
+    torn final write, not an anonymous parse error.
+    """
 
 
 class LeaseLost(RuntimeError):
@@ -124,6 +136,23 @@ class SpoolCell:
             n_steps=data.get("n_steps", 0),
             fleet_index=data.get("fleet_index", data["index"]),
         )
+
+
+def _read_json(path: Path, what: str) -> dict:
+    """Parse one spool JSON file, naming it on corruption.
+
+    ``FileNotFoundError`` propagates (absence has per-caller meaning —
+    a missing done marker is "not done", a missing cell is a caller
+    bug); a *present but unparseable* file is always a
+    :class:`SpoolError` — the signature of a torn write.
+    """
+    text = path.read_text(encoding="utf-8")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SpoolError(
+            f"{what} {path} is corrupt or truncated (torn write?): {error}"
+        ) from None
 
 
 def _write_durable(path: Path, text: str) -> None:
@@ -192,7 +221,7 @@ class Spool:
         if cached is not None:
             return cached
         path = self.cells_dir / f"{cell_id}.json"
-        cell = SpoolCell.from_dict(json.loads(path.read_text(encoding="utf-8")))
+        cell = SpoolCell.from_dict(_read_json(path, "spool cell"))
         self._cell_cache[cell_id] = cell
         return cell
 
@@ -225,6 +254,7 @@ class Spool:
             tmp,
             json.dumps({"owner": owner, "cell": cell_id}, sort_keys=True) + "\n",
         )
+        _fire("spool.claim.race-delay")
         try:
             while True:
                 try:
@@ -236,11 +266,29 @@ class Spool:
         finally:
             tmp.unlink(missing_ok=True)
 
+    def _heartbeat_age(self, mtime: float, now: float) -> float:
+        """Age of a heartbeat mtime, robust to clock skew.
+
+        A mtime *ahead* of our clock (NFS server skew, a backward clock
+        step on this host) would make ``now - mtime`` negative and the
+        heartbeat look fresh forever.  Skew within one TTL is plausible
+        for a live heartbeater and clamps to a fresh age of ``0``; a
+        mtime further in the future than any live writer plus skew could
+        produce is implausible and treated as already stale (``inf``) —
+        a lease that can never be refreshed must be reclaimable.
+        """
+        age = now - mtime
+        if age >= 0:
+            return age
+        if -age <= self.ttl_seconds:
+            return 0.0
+        return float("inf")
+
     def _expire(self, lease: Path) -> bool:
         """Remove ``lease`` if its heartbeat went stale; True if the
         caller may retry its claim."""
         try:
-            age = time.time() - lease.stat().st_mtime
+            age = self._heartbeat_age(lease.stat().st_mtime, time.time())
         except FileNotFoundError:
             return True                 # released/stolen concurrently
         if age <= self.ttl_seconds:
@@ -263,6 +311,7 @@ class Spool:
     def heartbeat(self, cell_id: str, owner: str) -> None:
         """Refresh the lease's liveness; raises :class:`LeaseLost` when
         the lease vanished or belongs to someone else."""
+        _fire("spool.heartbeat.stall")
         lease = self._lease_path(cell_id)
         if self.lease_owner(cell_id) != owner:
             raise LeaseLost(
@@ -287,10 +336,11 @@ class Spool:
         stale = []
         for path in self.leases_dir.glob("*.lease"):
             try:
-                if now - path.stat().st_mtime > self.ttl_seconds:
-                    stale.append(path.stem)
+                age = self._heartbeat_age(path.stat().st_mtime, now)
             except FileNotFoundError:
                 continue
+            if age > self.ttl_seconds:
+                stale.append(path.stem)
         return sorted(stale)
 
     def leases(self) -> list[str]:
@@ -333,10 +383,18 @@ class Spool:
         return {path.stem for path in self.done_dir.glob("*.json")}
 
     def done_payload(self, cell_id: str) -> dict | None:
+        """The completion marker's payload; ``None`` when not done yet.
+
+        A *present but corrupt* marker raises :class:`SpoolError` naming
+        the file: the marker is written via fsynced-temp-then-link, so a
+        torn one means real filesystem trouble — silently treating it as
+        "not done" would make the coordinator wait forever on a cell the
+        spool believes is finished.
+        """
         path = self.done_dir / f"{cell_id}.json"
         try:
-            return json.loads(path.read_text(encoding="utf-8"))
-        except (FileNotFoundError, json.JSONDecodeError):
+            return _read_json(path, "spool done marker")
+        except FileNotFoundError:
             return None
 
     def all_done(self) -> bool:
@@ -363,10 +421,11 @@ class Spool:
         live = []
         for path in self.workers_dir.glob("*.json"):
             try:
-                if now - path.stat().st_mtime <= self.ttl_seconds:
-                    live.append(path.stem)
+                age = self._heartbeat_age(path.stat().st_mtime, now)
             except FileNotFoundError:
                 continue
+            if age <= self.ttl_seconds:
+                live.append(path.stem)
         return sorted(live)
 
     def has_live_activity(self) -> bool:
@@ -381,8 +440,37 @@ class Spool:
         now = time.time()
         for path in self.leases_dir.glob("*.lease"):
             try:
-                if now - path.stat().st_mtime <= self.ttl_seconds:
-                    return True
+                age = self._heartbeat_age(path.stat().st_mtime, now)
             except FileNotFoundError:
                 continue
+            if age <= self.ttl_seconds:
+                return True
         return False
+
+    # -- hygiene --------------------------------------------------------
+
+    def sweep_done_leases(self) -> list[str]:
+        """Remove leases left behind on already-completed cells.
+
+        A worker SIGKILLed in the window between publishing a cell's
+        done marker and releasing its lease leaves a lease nobody ever
+        reclaims: the cell is no longer pending, so no claimant will
+        rename it aside.  The exclusive done marker makes the debris
+        harmless, but hygiene checks would count it as a stale lease
+        forever.  Sweeping uses the same rename-aside mechanic claims
+        use, so racing sweepers (or a sweeper racing a claim) stay
+        safe; returns the swept cell ids.
+        """
+        removed = []
+        done = self.done_ids()
+        for cell_id in self.leases():
+            if cell_id not in done:
+                continue
+            aside = self.leases_dir / f".swept-{uuid.uuid4().hex}"
+            try:
+                os.rename(self._lease_path(cell_id), aside)
+            except FileNotFoundError:
+                continue                # released/swept concurrently
+            aside.unlink(missing_ok=True)
+            removed.append(cell_id)
+        return sorted(removed)

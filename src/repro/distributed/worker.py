@@ -37,6 +37,7 @@ from pathlib import Path
 from repro.api.events import CampaignFailed, EventBus, JsonlRecorder
 from repro.api.plans import plan_from_dict
 from repro.distributed.spool import LeaseLost, Spool, SpoolCell
+from repro.faults.plane import fire as _fire
 from repro.utils.retry import with_retries
 
 __all__ = ["WorkerAgent"]
@@ -151,6 +152,7 @@ class WorkerAgent:
         """
         from repro.service import CampaignExecutionError
 
+        _fire("worker.execute.crash")
         ledger = self.spool.ledger_path(cell.id, self.worker_id)
         recorder = JsonlRecorder(ledger, fsync=self.fsync)
         stop_beat = threading.Event()
@@ -210,12 +212,18 @@ class WorkerAgent:
     ) -> None:
         while not stop.wait(timeout=self.heartbeat_seconds):
             try:
+                # Attempts bound the retry *count*; the deadline bounds
+                # its *wall-clock* — a slow-failing filesystem (every
+                # utime hanging for seconds) must make this attempt give
+                # up before the lease TTL elapses and a peer reclaims,
+                # not discover the loss afterwards.
                 with_retries(
                     lambda: self._beat(cell_id),
                     retryable=(OSError,),
                     attempts=4,
                     base=min(0.05, self.heartbeat_seconds / 4),
                     rng=self._retry_rng,
+                    deadline_seconds=self.spool.ttl_seconds / 2,
                 )
             except LeaseLost:
                 lost.set()

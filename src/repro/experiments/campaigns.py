@@ -127,6 +127,10 @@ def iter_campaign(
             ):
                 if chaos_sink is not None:
                     chaos_sink(event)
+            # Trace dropouts rewrite the workload itself: the tuner, the
+            # recorded multipliers and the events all see the post-outage
+            # rate, identically on every backend.
+            multiplier = injector.effective_multiplier(index, multiplier)
         process = tuner.tune(deployment, query.rates_at(multiplier))
         if injector is not None:
             injector.end_step(engine)

@@ -1,0 +1,477 @@
+"""The fleet supervisor: seeded worker churn over a spooled plan.
+
+``repro soak`` drives one :class:`FleetSupervisor` episode: a
+:class:`~repro.distributed.coordinator.DistributedSession` coordinator
+(spawning no workers of its own) runs in a background thread while the
+supervisor staffs the spool with N ``repro worker`` subprocesses and
+executes a :class:`ChurnSpec` — a frozen, seeded schedule of
+:class:`KillTrigger` thresholds keyed to the spool's *done-cell count*,
+not wall-clock.  Count-keyed triggers make an episode replayable: the
+same seed produces the same kill schedule whatever the host's speed,
+and every kill is guaranteed to land while the fleet still has work
+(thresholds clamp below the final cell).
+
+Each SIGKILLed worker is respawned under a :class:`RestartPolicy`
+(deterministic capped exponential backoff, a per-slot restart budget),
+and after the episode the supervisor asserts the standing invariants of
+:mod:`repro.faults.invariants` — exactly-once completion, zero stale
+leases, no ``/dev/shm`` leaks, and (optionally) a merged event stream
+bit-identical to an in-process sequential reference run of the same
+plan.  The :class:`SoakReport`'s :meth:`~SoakReport.deterministic_view`
+excludes wall-clock and scheduling noise, so two runs with the same
+seeds must render the identical view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.faults.invariants import (
+    check_spool,
+    compare_event_streams,
+    load_event_log,
+    shm_segments,
+)
+from repro.faults.plan import FaultError
+
+__all__ = [
+    "ChurnSpec",
+    "FleetSupervisor",
+    "KillTrigger",
+    "RestartPolicy",
+    "SoakReport",
+]
+
+
+@dataclass(frozen=True)
+class KillTrigger:
+    """SIGKILL worker ``slot`` once ``after_done`` cells have completed."""
+
+    after_done: int
+    slot: int
+
+    def to_dict(self) -> dict:
+        return {"after_done": self.after_done, "slot": self.slot}
+
+
+def _check_count(value, what: str, minimum: int = 0) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise FaultError(
+            f"churn {what} must be an integer >= {minimum}, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A frozen, seeded worker-churn schedule (dict/JSON round-trip)."""
+
+    kills_per_worker: int = 2
+    min_gap_cells: int = 1
+    max_gap_cells: int = 6
+    warmup_cells: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_count(self.kills_per_worker, "kills_per_worker")
+        _check_count(self.min_gap_cells, "min_gap_cells")
+        _check_count(self.max_gap_cells, "max_gap_cells")
+        _check_count(self.warmup_cells, "warmup_cells")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise FaultError(f"churn seed must be an integer, got {self.seed!r}")
+        if self.max_gap_cells < self.min_gap_cells:
+            raise FaultError(
+                f"churn max_gap_cells ({self.max_gap_cells}) must be >= "
+                f"min_gap_cells ({self.min_gap_cells})"
+            )
+
+    def schedule(self, n_workers: int, n_cells: int) -> tuple:
+        """The episode's kill triggers, sorted by done-count threshold.
+
+        Every slot is killed exactly ``kills_per_worker`` times, in a
+        seeded-shuffled order, at thresholds that advance by seeded gaps
+        from ``warmup_cells`` — and clamp to ``n_cells - 1`` so each
+        kill fires before the final cell completes (a kill scheduled
+        after the episode ends would test nothing).
+        """
+        if n_workers < 1:
+            raise FaultError(f"a fleet needs >= 1 worker, got {n_workers}")
+        victims = [
+            slot
+            for slot in range(n_workers)
+            for _ in range(self.kills_per_worker)
+        ]
+        rng = random.Random(self.seed)
+        rng.shuffle(victims)
+        ceiling = max(n_cells - 1, 0)
+        triggers = []
+        threshold = self.warmup_cells
+        for slot in victims:
+            triggers.append(
+                KillTrigger(after_done=min(threshold, ceiling), slot=slot)
+            )
+            threshold += rng.randint(self.min_gap_cells, self.max_gap_cells)
+        return tuple(triggers)
+
+    def to_dict(self) -> dict:
+        return {
+            "kills_per_worker": self.kills_per_worker,
+            "min_gap_cells": self.min_gap_cells,
+            "max_gap_cells": self.max_gap_cells,
+            "warmup_cells": self.warmup_cells,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChurnSpec":
+        if not isinstance(data, dict):
+            raise FaultError(
+                f"a churn spec must be a mapping, got {type(data).__name__}"
+            )
+        known = {spec.name for spec in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise FaultError(
+                f"churn spec does not understand field(s) "
+                f"{', '.join(map(repr, unknown))} (valid: "
+                f"{', '.join(sorted(known))})"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Deterministic capped backoff for respawning killed workers."""
+
+    max_restarts: int = 16
+    backoff_base_seconds: float = 0.05
+    backoff_cap_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_count(self.max_restarts, "max_restarts")
+        if self.backoff_base_seconds <= 0 or self.backoff_cap_seconds <= 0:
+            raise FaultError("restart backoff seconds must be positive")
+
+    def delay(self, prior_restarts: int) -> float:
+        """Backoff before restart number ``prior_restarts + 1`` (no
+        jitter: the soak report must replay bit-for-bit)."""
+        return min(
+            self.backoff_base_seconds * (2 ** prior_restarts),
+            self.backoff_cap_seconds,
+        )
+
+
+@dataclass
+class SoakReport:
+    """Everything one soak episode observed, plus its verdict."""
+
+    n_cells: int
+    workers: int
+    churn: ChurnSpec
+    schedule: tuple = ()
+    kills: tuple = ()
+    restarts: dict = field(default_factory=dict)
+    unplanned_respawns: int = 0
+    statuses: dict = field(default_factory=dict)
+    invariant_failures: list = field(default_factory=list)
+    #: ``None`` when no sequential reference was run.
+    stream_failures: "list | None" = None
+    shm_leaked: list = field(default_factory=list)
+    swept_leases: int = 0
+    wall_seconds: float = 0.0
+    record_path: str = ""
+    reference_path: "str | None" = None
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.error is None
+            and not self.invariant_failures
+            and not self.stream_failures
+            and not self.shm_leaked
+            and len(self.kills) == len(self.schedule)
+            and all(status == "ok" for status in self.statuses.values())
+        )
+
+    def deterministic_view(self) -> dict:
+        """The replayable subset: identical across same-seed episodes.
+
+        Excludes wall-clock, restart timing, swept-lease counts and
+        paths — everything the host's scheduler can perturb.
+        """
+        return {
+            "n_cells": self.n_cells,
+            "workers": self.workers,
+            "churn": self.churn.to_dict(),
+            "schedule": [trigger.to_dict() for trigger in self.schedule],
+            "kills": [trigger.to_dict() for trigger in self.kills],
+            "statuses": dict(sorted(self.statuses.items())),
+            "invariant_failures": list(self.invariant_failures),
+            "stream_failures": self.stream_failures,
+            "shm_leaked": list(self.shm_leaked),
+            "error": self.error,
+            "ok": self.ok,
+        }
+
+    def to_dict(self) -> dict:
+        data = self.deterministic_view()
+        data.update({
+            "restarts": {str(slot): n for slot, n in sorted(self.restarts.items())},
+            "unplanned_respawns": self.unplanned_respawns,
+            "swept_leases": self.swept_leases,
+            "wall_seconds": self.wall_seconds,
+            "record_path": self.record_path,
+            "reference_path": self.reference_path,
+        })
+        return data
+
+
+class FleetSupervisor:
+    """Run one plan through an N-worker fleet under seeded churn."""
+
+    def __init__(
+        self,
+        plan,
+        *,
+        workers: int = 4,
+        churn: "ChurnSpec | None" = None,
+        restart: "RestartPolicy | None" = None,
+        ttl_seconds: float = 2.0,
+        poll_seconds: float = 0.05,
+        stall_seconds: "float | None" = None,
+        spool_dir: "str | Path | None" = None,
+        fsync: bool = True,
+        fault_plan: "str | Path | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise FaultError(f"a soak fleet needs >= 1 worker, got {workers}")
+        self.plan = plan
+        self.workers = workers
+        self.churn = churn if churn is not None else ChurnSpec()
+        self.restart = restart if restart is not None else RestartPolicy()
+        self.ttl_seconds = ttl_seconds
+        self.poll_seconds = poll_seconds
+        self.stall_seconds = stall_seconds
+        self.spool_dir = spool_dir
+        self.fsync = fsync
+        self.fault_plan = fault_plan
+
+    # -- the episode ----------------------------------------------------
+
+    def run(
+        self,
+        *,
+        record: "str | Path | None" = None,
+        reference: bool = True,
+        progress=None,
+    ) -> SoakReport:
+        """One full soak episode; never raises for in-episode failures —
+        the report carries the verdict (raising would lose it)."""
+        from repro.api.events import EventBus, JsonlRecorder
+        from repro.distributed.coordinator import DistributedSession, plan_cells
+        from repro.distributed.spool import Spool
+
+        say = progress if progress is not None else (lambda message: None)
+        started = time.perf_counter()
+        cells = plan_cells(self.plan)
+        root = Path(self.spool_dir or tempfile.mkdtemp(prefix="repro-soak-"))
+        ephemeral = self.spool_dir is None
+        spool = Spool(root, ttl_seconds=self.ttl_seconds).ensure()
+        report = SoakReport(
+            n_cells=len(cells),
+            workers=self.workers,
+            churn=self.churn,
+            schedule=self.churn.schedule(self.workers, len(cells)),
+            restarts={slot: 0 for slot in range(self.workers)},
+        )
+        shm_before = set(shm_segments())
+
+        record_path = Path(record) if record else root / "soak-distributed.jsonl"
+        record_path.parent.mkdir(parents=True, exist_ok=True)
+        report.record_path = str(record_path)
+        recorder = JsonlRecorder(record_path, fsync=False)
+        session = DistributedSession(
+            spool_dir=root,
+            local_workers=0,
+            ttl_seconds=self.ttl_seconds,
+            poll_seconds=self.poll_seconds,
+            stall_seconds=self.stall_seconds,
+            fsync=self.fsync,
+        )
+        outcome: dict = {}
+
+        def drive() -> None:
+            try:
+                outcome["result"] = session.run(self.plan, bus=EventBus(recorder))
+            except BaseException as error:  # noqa: BLE001 — the report
+                outcome["error"] = error    # carries it; never swallow
+            finally:
+                recorder.close()
+
+        coordinator = threading.Thread(
+            target=drive, name="soak-coordinator", daemon=True
+        )
+        coordinator.start()
+        fleet = [self._spawn(root, slot, respawn=False) for slot in range(self.workers)]
+        say(f"soak: {self.workers} workers on {len(cells)} cells at {root}")
+
+        kills: list = []
+        pending = list(report.schedule)
+        try:
+            while coordinator.is_alive():
+                done = len(spool.done_ids())
+                while pending and done >= pending[0].after_done:
+                    trigger = pending.pop(0)
+                    self._kill(fleet, trigger.slot)
+                    kills.append(trigger)
+                    say(
+                        f"soak: killed worker slot {trigger.slot} after "
+                        f"{trigger.after_done} done cell(s)"
+                    )
+                    self._respawn(root, fleet, trigger.slot, report)
+                if not spool.all_done():
+                    self._respawn_dead(root, fleet, spool, report)
+                coordinator.join(timeout=self.poll_seconds)
+            # The tail of the schedule may not have been observed before
+            # the last cells completed; flush it so ``kills == schedule``
+            # holds in every episode (the report must be replayable).
+            for trigger in pending:
+                self._kill(fleet, trigger.slot)
+                kills.append(trigger)
+        finally:
+            self._drain(fleet)
+        report.kills = tuple(kills)
+
+        error = outcome.get("error")
+        if error is not None:
+            report.error = f"{type(error).__name__}: {error}"
+        report.swept_leases = len(spool.sweep_done_leases())
+        report.statuses = {
+            cell_id: (spool.done_payload(cell_id) or {}).get("status", "missing")
+            for cell_id in spool.cell_ids()
+            if cell_id in spool.done_ids()
+        }
+        report.invariant_failures = check_spool(spool, len(cells))
+        stale = spool.stale_leases()
+        if stale:
+            report.invariant_failures.append(f"stale lease(s): {stale}")
+        report.shm_leaked = sorted(set(shm_segments()) - shm_before)
+
+        if reference and report.error is None:
+            report.stream_failures = self._compare_to_reference(
+                record_path, report, say
+            )
+
+        report.wall_seconds = time.perf_counter() - started
+        if ephemeral and report.ok:
+            import shutil
+
+            shutil.rmtree(root, ignore_errors=True)
+        return report
+
+    # -- the sequential reference ---------------------------------------
+
+    def _compare_to_reference(self, record_path, report, say) -> list:
+        """Re-run the plan in-process on ``sequential``; diff the streams."""
+        from repro.api.events import EventBus, JsonlRecorder
+        from repro.api.session import TuningSession
+
+        say("soak: running the in-process sequential reference")
+        reference_path = record_path.parent / (
+            record_path.stem + "-reference.jsonl"
+        )
+        report.reference_path = str(reference_path)
+        ref_plan = dataclasses.replace(
+            self.plan, backend="sequential", spool_dir=None
+        )
+        recorder = JsonlRecorder(reference_path, fsync=False)
+        try:
+            TuningSession().run(ref_plan, bus=EventBus(recorder))
+        except Exception as error:  # noqa: BLE001 — verdict, not crash
+            return [f"sequential reference failed: {type(error).__name__}: {error}"]
+        finally:
+            recorder.close()
+        return compare_event_streams(
+            load_event_log(reference_path), load_event_log(record_path)
+        )
+
+    # -- the fleet ------------------------------------------------------
+
+    def _spawn(self, root: Path, slot: int, *, respawn: bool):
+        import repro
+
+        env = os.environ.copy()
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+        log = open(
+            root / f"soak-worker-{slot}.log",
+            "a" if respawn else "w",
+            encoding="utf-8",
+        )
+        command = [
+            sys.executable, "-m", "repro.cli", "worker", str(root),
+            "--exit-when-done",
+            "--ttl", str(self.ttl_seconds),
+        ]
+        if not self.fsync:
+            command.append("--no-fsync")
+        if self.fault_plan is not None:
+            command += ["--fault-plan", str(self.fault_plan)]
+        return (
+            subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT, env=env
+            ),
+            log,
+        )
+
+    @staticmethod
+    def _kill(fleet, slot: int) -> None:
+        proc, _ = fleet[slot % len(fleet)]
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    def _respawn(self, root: Path, fleet, slot: int, report: SoakReport) -> None:
+        index = slot % len(fleet)
+        prior = report.restarts.get(index, 0)
+        if prior >= self.restart.max_restarts:
+            return
+        time.sleep(self.restart.delay(prior))
+        _, log = fleet[index]
+        log.close()
+        fleet[index] = self._spawn(root, index, respawn=True)
+        report.restarts[index] = prior + 1
+
+    def _respawn_dead(self, root: Path, fleet, spool, report: SoakReport) -> None:
+        """Respawn workers that died *unplanned* (an injected crash)."""
+        for index, (proc, _) in enumerate(fleet):
+            if proc.poll() is None:
+                continue
+            prior = report.restarts.get(index, 0)
+            if prior >= self.restart.max_restarts:
+                continue
+            self._respawn(root, fleet, index, report)
+            report.unplanned_respawns += 1
+
+    def _drain(self, fleet) -> None:
+        for proc, _ in fleet:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc, _ in fleet:
+            try:
+                proc.wait(timeout=2 * self.ttl_seconds)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        for _, log in fleet:
+            log.close()

@@ -33,6 +33,10 @@ The hot paths:
   serve`` control plane (HTTP submission, queue, fsynced ledgers,
   followed event streams) vs the same jobs inline through one session —
   the pair prices the daemon's dispatch overhead;
+* ``failpoint_fire_*`` — the failpoint plane's ``fire()`` on a spool
+  hot-path site with no plane active (the production fast path) vs an
+  armed never-triggering rule; the pair prices carrying injection
+  sites on every ledger write and spool claim;
 * ``distributed_fleet_*`` — a 100-campaign paced smoke sweep through
   the spool-based distributed executor with one vs two local worker
   agents: the paced engine's telemetry waits overlap across workers, so
@@ -360,6 +364,47 @@ def _bench_fleet_2workers(fixtures: PerfFixtures):
 
 
 # ----------------------------------------------------------------------
+# failpoint plane: fire() on the spool/ledger hot paths
+# ----------------------------------------------------------------------
+
+#: fire() calls per repeat — roughly the order of magnitude a large
+#: soak episode's claim/heartbeat/ledger hot paths see in total.
+FAILPOINT_CALLS = 200_000
+
+
+def _bench_failpoint_inactive(fixtures: PerfFixtures):
+    from repro.faults import deactivate, fire
+
+    # The production steady state: no plane active, every call must be
+    # a near-free early return (these sit on the ledger write path).
+    deactivate()
+    for _ in range(FAILPOINT_CALLS):
+        fire("spool.claim.race-delay")
+    return FAILPOINT_CALLS
+
+
+def _bench_failpoint_active(fixtures: PerfFixtures):
+    from repro.faults import FaultPlan, activate, deactivate, fire
+
+    # A plane armed with a never-triggering rule on the fired site: the
+    # full match path (lock, counter, trigger check) with no effect.
+    activate(FaultPlan(
+        rules=[{
+            "site": "spool.claim.race-delay",
+            "effect": "delay",
+            "hits": [FAILPOINT_CALLS + 1],
+        }],
+        seed=1,
+    ))
+    try:
+        for _ in range(FAILPOINT_CALLS):
+            fire("spool.claim.race-delay")
+    finally:
+        deactivate()
+    return FAILPOINT_CALLS
+
+
+# ----------------------------------------------------------------------
 # shared-cache fan-out: warm sections -> N workers
 # ----------------------------------------------------------------------
 
@@ -556,6 +601,28 @@ BENCHMARKS: tuple[Benchmark, ...] = (
         smoke_repeats=1,
     ),
     Benchmark(
+        name="failpoint_fire_inactive",
+        hot_path="failpoint-plane",
+        description=(
+            f"{FAILPOINT_CALLS} fire() calls with no fault plane active "
+            "(the production fast path)"
+        ),
+        run=_bench_failpoint_inactive,
+        repeats=5,
+        smoke_repeats=3,
+    ),
+    Benchmark(
+        name="failpoint_fire_active",
+        hot_path="failpoint-plane",
+        description=(
+            f"{FAILPOINT_CALLS} fire() calls against an armed, "
+            "never-triggering rule (full match path)"
+        ),
+        run=_bench_failpoint_active,
+        repeats=5,
+        smoke_repeats=3,
+    ),
+    Benchmark(
         name="distributed_fleet_1worker",
         hot_path="distributed-fleet",
         description=(
@@ -606,6 +673,13 @@ RATIO_DEFINITIONS: dict[str, tuple[str, str]] = {
     # worker count as campaigns get longer (spawn cost amortises out).
     "distributed_fleet_speedup": (
         "distributed_fleet_1worker", "distributed_fleet_2workers"
+    ),
+    # slow/fast with the armed plane as the "slow" side: the
+    # multiplicative cost of *carrying* failpoints on the hot paths —
+    # large means the inactive fast path is effectively free, which is
+    # the property that lets fire() sit on every ledger write.
+    "failpoint_overhead": (
+        "failpoint_fire_active", "failpoint_fire_inactive"
     ),
 }
 

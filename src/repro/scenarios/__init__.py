@@ -16,7 +16,14 @@ from repro.scenarios.library import (
     TraceSpec,
     periodic_multipliers,
 )
-from repro.scenarios.chaos import ChaosInjector, ChaosSpec, LatencySpike, OperatorLoss
+from repro.scenarios.chaos import (
+    ChaosInjector,
+    ChaosSpec,
+    LatencySpike,
+    OperatorLoss,
+    TraceDropout,
+    WorkerChurn,
+)
 from repro.scenarios.matrix import MATRIX_SCHEMA, matrix_determinism_view, matrix_report, validate_matrix_report
 
 __all__ = [
@@ -28,7 +35,9 @@ __all__ = [
     "OperatorLoss",
     "ScenarioError",
     "TRACES",
+    "TraceDropout",
     "TraceSpec",
+    "WorkerChurn",
     "matrix_determinism_view",
     "matrix_report",
     "periodic_multipliers",

@@ -16,6 +16,17 @@ have:
   ``seconds`` longer per measurement.  Needs the ``paced`` trait
   (``flink-paced``); the spike stretches wall-clock only, never touching
   the engine RNG, so results stay bit-identical to the unspiked run.
+* :class:`TraceDropout` — at step ``step``, the arriving rate multiplier
+  is scaled by ``factor`` (a partial source outage: the workload itself
+  drops, not the engine).  Needs no engine trait — the dropout rewrites
+  the step's effective multiplier before the tuner sees it, identically
+  on every backend.
+* :class:`WorkerChurn` — *infrastructure* chaos: once ``after_cells``
+  spool cells have completed, the distributed coordinator SIGKILLs and
+  respawns local worker slot ``slot``.  In-process backends ignore it
+  (there is no fleet to churn), and because lease reclaim re-runs
+  interrupted cells bit-identically, results never depend on it — only
+  the machinery under test does.
 
 Injections are surfaced as typed
 :class:`~repro.api.events.ChaosInjected` events through the campaign's
@@ -27,9 +38,16 @@ resumed from) a clean one.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import MISSING, dataclass, field, fields as dataclass_fields
 
-__all__ = ["ChaosInjector", "ChaosSpec", "LatencySpike", "OperatorLoss"]
+__all__ = [
+    "ChaosInjector",
+    "ChaosSpec",
+    "LatencySpike",
+    "OperatorLoss",
+    "TraceDropout",
+    "WorkerChurn",
+]
 
 from repro.scenarios.library import ScenarioError
 
@@ -97,6 +115,61 @@ class LatencySpike:
         return {"step": self.step, "seconds": self.seconds}
 
 
+@dataclass(frozen=True)
+class TraceDropout:
+    """Scale step ``step``'s rate multiplier by ``factor`` (source outage)."""
+
+    step: int
+    factor: float = 0.25
+
+    def __post_init__(self) -> None:
+        _check_step(self.step, "trace_dropout")
+        factor = self.factor
+        if isinstance(factor, int) and not isinstance(factor, bool):
+            factor = float(factor)
+            object.__setattr__(self, "factor", factor)
+        if not isinstance(factor, float) or not (
+            math.isfinite(factor) and 0.0 < factor < 1.0
+        ):
+            raise ScenarioError(
+                f"chaos trace_dropout: factor must be a fraction in (0, 1), "
+                f"got {self.factor!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"step": self.step, "factor": self.factor}
+
+
+@dataclass(frozen=True)
+class WorkerChurn:
+    """Kill/respawn local worker ``slot`` after ``after_cells`` completions."""
+
+    after_cells: int
+    slot: int = 0
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.after_cells, int)
+            or isinstance(self.after_cells, bool)
+            or self.after_cells < 1
+        ):
+            raise ScenarioError(
+                f"chaos worker_churn: after_cells must be a positive cell "
+                f"count, got {self.after_cells!r}"
+            )
+        if not isinstance(self.slot, int) or isinstance(self.slot, bool) or self.slot < 0:
+            raise ScenarioError(
+                f"chaos worker_churn: slot must be a non-negative worker "
+                f"index, got {self.slot!r}"
+            )
+
+    def to_dict(self) -> dict:
+        data: dict = {"after_cells": self.after_cells}
+        if self.slot:
+            data["slot"] = self.slot
+        return data
+
+
 def _entries(value, cls, what: str) -> tuple:
     if isinstance(value, (str, bytes)) or not isinstance(value, (list, tuple)):
         raise ScenarioError(
@@ -115,8 +188,16 @@ def _entries(value, cls, what: str) -> tuple:
                     f"{', '.join(map(repr, unknown))} (valid: "
                     f"{', '.join(sorted(known))})"
                 )
-            if "step" not in item:
-                raise ScenarioError(f"chaos {what}: every entry needs a 'step'")
+            required = [
+                spec.name
+                for spec in dataclass_fields(cls)
+                if spec.default is MISSING and spec.default_factory is MISSING
+            ]
+            missing = [name for name in required if name not in item]
+            if missing:
+                raise ScenarioError(
+                    f"chaos {what}: every entry needs a {missing[0]!r}"
+                )
             entries.append(cls(**item))
         else:
             raise ScenarioError(
@@ -131,6 +212,8 @@ class ChaosSpec:
 
     operator_loss: tuple = field(default=())
     latency_spikes: tuple = field(default=())
+    trace_dropout: tuple = field(default=())
+    worker_churn: tuple = field(default=())
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -143,16 +226,36 @@ class ChaosSpec:
             "latency_spikes",
             _entries(self.latency_spikes, LatencySpike, "latency_spikes"),
         )
+        object.__setattr__(
+            self,
+            "trace_dropout",
+            _entries(self.trace_dropout, TraceDropout, "trace_dropout"),
+        )
+        object.__setattr__(
+            self,
+            "worker_churn",
+            _entries(self.worker_churn, WorkerChurn, "worker_churn"),
+        )
 
     @property
     def is_noop(self) -> bool:
-        return not self.operator_loss and not self.latency_spikes
+        return not (
+            self.operator_loss
+            or self.latency_spikes
+            or self.trace_dropout
+            or self.worker_churn
+        )
 
     @property
     def max_step(self) -> int:
-        """The largest trace step index the schedule references (-1: none)."""
+        """The largest trace step index the schedule references (-1: none).
+
+        Worker churn does not participate: its trigger is a done-cell
+        count, not a trace step, so it can never overrun the trace.
+        """
         steps = [entry.step for entry in self.operator_loss]
         steps += [entry.step for entry in self.latency_spikes]
+        steps += [entry.step for entry in self.trace_dropout]
         return max(steps, default=-1)
 
     def required_traits(self) -> frozenset:
@@ -174,6 +277,10 @@ class ChaosSpec:
             parts.append(f"loss@{loss.step}x{loss.count}{note}")
         for spike in self.latency_spikes:
             parts.append(f"spike@{spike.step}x{spike.seconds:g}")
+        for drop in self.trace_dropout:
+            parts.append(f"drop@{drop.step}x{drop.factor:g}")
+        for churn in self.worker_churn:
+            parts.append(f"churn@{churn.after_cells}w{churn.slot}")
         return "+".join(parts)
 
     def to_dict(self) -> dict:
@@ -182,6 +289,10 @@ class ChaosSpec:
             data["operator_loss"] = [entry.to_dict() for entry in self.operator_loss]
         if self.latency_spikes:
             data["latency_spikes"] = [entry.to_dict() for entry in self.latency_spikes]
+        if self.trace_dropout:
+            data["trace_dropout"] = [entry.to_dict() for entry in self.trace_dropout]
+        if self.worker_churn:
+            data["worker_churn"] = [entry.to_dict() for entry in self.worker_churn]
         return data
 
     @classmethod
@@ -190,16 +301,18 @@ class ChaosSpec:
             raise ScenarioError(
                 f"a chaos spec must be a mapping, got {type(data).__name__}"
             )
-        unknown = sorted(set(data) - {"operator_loss", "latency_spikes"})
+        valid = ("operator_loss", "latency_spikes", "trace_dropout", "worker_churn")
+        unknown = sorted(set(data) - set(valid))
         if unknown:
             raise ScenarioError(
                 f"chaos spec does not understand field(s) "
-                f"{', '.join(map(repr, unknown))} (valid: operator_loss, "
-                "latency_spikes)"
+                f"{', '.join(map(repr, unknown))} (valid: {', '.join(valid)})"
             )
         return cls(
             operator_loss=data.get("operator_loss") or (),
             latency_spikes=data.get("latency_spikes") or (),
+            trace_dropout=data.get("trace_dropout") or (),
+            worker_churn=data.get("worker_churn") or (),
         )
 
 
@@ -279,7 +392,29 @@ class ChaosInjector:
                 effect="latency-spike",
                 seconds=spike.seconds,
             ))
+        for drop in self.spec.trace_dropout:
+            if drop.step != step_index:
+                continue
+            events.append(ChaosInjected(
+                campaign=campaign,
+                step_index=step_index,
+                effect="trace-dropout",
+                factor=drop.factor,
+            ))
         return events
+
+    def effective_multiplier(self, step_index: int, multiplier: float) -> float:
+        """The rate multiplier the tuner should see at ``step_index``.
+
+        Trace dropouts compound (two schedules hitting one step multiply)
+        and rewrite the workload *before* tuning — so the recommendation,
+        the recorded ``result.multipliers`` and the cell's events all
+        agree on what actually arrived, on every backend.
+        """
+        for drop in self.spec.trace_dropout:
+            if drop.step == step_index:
+                multiplier *= drop.factor
+        return multiplier
 
     def end_step(self, engine) -> None:
         """Restore any per-step effect (latency spikes end with the step)."""

@@ -63,6 +63,8 @@ def with_retries(
     rng: random.Random | None = None,
     sleep: Callable[[float], None] = time.sleep,
     on_retry: Callable[[BaseException, int, float], None] | None = None,
+    deadline_seconds: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> T:
     """Run ``call``, retrying ``retryable`` exceptions with backoff.
 
@@ -71,9 +73,22 @@ def with_retries(
     *unreachability* is transient).  After ``attempts`` total tries the
     last exception propagates unchanged.  ``on_retry(error, attempt,
     delay)`` fires before each sleep, for logging.
+
+    ``deadline_seconds`` additionally caps *total* time: when the next
+    backoff sleep would end past ``clock() + deadline_seconds`` (measured
+    from entry), the current exception propagates instead of sleeping.
+    Attempt counts alone cannot bound wall-clock — a call that itself
+    takes seconds to fail (a hung NFS mount) would outlive any budget the
+    attempt arithmetic promised — and callers like the lease-heartbeat
+    loop must give up *before* their lease TTL elapses, not after.
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if deadline_seconds is not None and deadline_seconds <= 0:
+        raise ValueError(
+            f"deadline_seconds must be positive, got {deadline_seconds}"
+        )
+    deadline = None if deadline_seconds is None else clock() + deadline_seconds
     delays = backoff_delays(
         base=base, factor=factor, max_delay=max_delay, jitter=jitter, rng=rng
     )
@@ -84,6 +99,8 @@ def with_retries(
             if attempt == attempts:
                 raise
             delay = next(delays)
+            if deadline is not None and clock() + delay > deadline:
+                raise
             if on_retry is not None:
                 on_retry(error, attempt, delay)
             sleep(delay)

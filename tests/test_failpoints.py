@@ -1,0 +1,316 @@
+"""Tests for the failpoint plane (``repro.faults`` plan + plane + sites).
+
+Covers the frozen :class:`FaultPlan` config surface (validation,
+dict/JSON/TOML round-trips, labels), the process-global
+:class:`FaultPlane` trigger semantics (hit ordinals, ``every`` strides,
+seeded probability, exhaustion), the effect dispatch of ``fire()``
+(delay / error / crash-through-``hard_exit``), environment-variable
+activation, and the sites compiled into the ledger writer, the spool
+and the daemon client.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+
+import pytest
+
+from repro.api.events import CampaignStarted, JsonlRecorder
+from repro.distributed import Spool
+from repro.faults import (
+    ENV_FAULT_PLAN,
+    FAULT_SITES,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    activate,
+    deactivate,
+    fire,
+    load_fault_plan,
+    trip,
+)
+from repro.faults import plane as plane_module
+
+
+@pytest.fixture(autouse=True)
+def clean_plane():
+    """Every test starts and ends with no fault plane active."""
+    deactivate()
+    yield
+    deactivate()
+
+
+def rule(**overrides) -> FaultRule:
+    settings = dict(site="worker.execute.crash", effect="error", hits=(1,))
+    settings.update(overrides)
+    return FaultRule(**settings)
+
+
+class TestFaultRule:
+    def test_unknown_site_is_rejected_eagerly(self):
+        with pytest.raises(FaultError, match="unknown failpoint site"):
+            rule(site="no.such.site")
+
+    def test_exactly_one_trigger_is_required(self):
+        with pytest.raises(FaultError, match="exactly one trigger"):
+            FaultRule(site="worker.execute.crash", effect="error")
+        with pytest.raises(FaultError, match="exactly one trigger"):
+            rule(every=2)
+
+    def test_trigger_validation(self):
+        with pytest.raises(FaultError, match="hits entry"):
+            rule(hits=(0,))
+        with pytest.raises(FaultError, match="probability"):
+            rule(hits=(), probability=1.5)
+        with pytest.raises(FaultError, match="effect"):
+            rule(effect="meltdown")
+        with pytest.raises(FaultError, match="error"):
+            rule(error="KeyboardInterrupt")
+        with pytest.raises(FaultError, match="exit_code"):
+            rule(effect="crash", exit_code=0)
+
+    def test_round_trip_omits_defaults(self):
+        original = rule(hits=(2, 5), error="TimeoutError", max_triggers=1)
+        data = original.to_dict()
+        assert "seconds" not in data and "exit_code" not in data
+        assert FaultRule.from_dict(data) == original
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultError, match="understand"):
+            FaultRule.from_dict({"site": "worker.execute.crash", "bogus": 1})
+
+    def test_trigger_labels(self):
+        assert rule(hits=(1, 3)).trigger_label() == "h1,3"
+        assert rule(hits=(), every=2).trigger_label() == "e2"
+        assert rule(hits=(), probability=0.5).trigger_label() == "p0.5"
+
+
+class TestFaultPlan:
+    def test_round_trip_json_and_toml(self, tmp_path):
+        plan = FaultPlan(
+            rules=[
+                {"site": "spool.claim.race-delay", "effect": "delay",
+                 "every": 3, "seconds": 0.01},
+                {"site": "ledger.write.torn-tail", "effect": "torn",
+                 "hits": [2], "exit_code": 41},
+            ],
+            seed=7,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+        json_path = tmp_path / "plan.json"
+        json_path.write_text(json.dumps(plan.to_dict()), encoding="utf-8")
+        assert load_fault_plan(json_path) == plan
+
+        toml_path = tmp_path / "plan.toml"
+        toml_path.write_text(
+            'seed = 7\n'
+            '[[rules]]\n'
+            'site = "spool.claim.race-delay"\neffect = "delay"\n'
+            'every = 3\nseconds = 0.01\n'
+            '[[rules]]\n'
+            'site = "ledger.write.torn-tail"\neffect = "torn"\n'
+            'hits = [2]\nexit_code = 41\n',
+            encoding="utf-8",
+        )
+        assert load_fault_plan(toml_path) == plan
+
+    def test_load_names_a_missing_or_corrupt_file(self, tmp_path):
+        with pytest.raises(FaultError, match="not found"):
+            load_fault_plan(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(FaultError, match="bad.json"):
+            load_fault_plan(bad)
+
+    def test_label_is_compact_and_deterministic(self):
+        assert FaultPlan().label() == "none"
+        plan = FaultPlan(
+            rules=[{"site": "worker.execute.crash", "effect": "crash",
+                    "hits": [2]}],
+            seed=3,
+        )
+        assert plan.label() == "s3:worker.execute.crash!crash@h2"
+
+    def test_every_site_is_documented(self):
+        for site, description in FAULT_SITES.items():
+            assert description, f"site {site} lacks a description"
+
+
+class TestFaultPlane:
+    def test_hits_trigger_on_exact_ordinals(self):
+        activate(FaultPlan(rules=[rule(hits=(2, 4))]))
+        fired = []
+        for _ in range(5):
+            fired.append(trip("worker.execute.crash") is not None)
+        assert fired == [False, True, False, True, False]
+
+    def test_every_stride_and_exhaustion(self):
+        activate(FaultPlan(
+            rules=[rule(hits=(), every=2, max_triggers=2)]
+        ))
+        fired = [
+            trip("worker.execute.crash") is not None for _ in range(8)
+        ]
+        # Fires on hits 2 and 4, then the budget is spent.
+        assert fired == [False, True, False, True, False, False, False, False]
+
+    def test_probability_is_seeded_and_replayable(self):
+        def pattern():
+            deactivate()
+            activate(FaultPlan(
+                rules=[rule(hits=(), probability=0.5)], seed=17
+            ))
+            return [
+                trip("worker.execute.crash") is not None for _ in range(32)
+            ]
+
+        first, second = pattern(), pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_unknown_site_raises_under_an_active_plane(self):
+        activate(FaultPlan())
+        with pytest.raises(FaultError, match="unknown failpoint site"):
+            fire("definitely.not.a.site")
+
+    def test_fire_is_a_silent_noop_without_a_plane(self):
+        # No plane, no site validation: the fast path must stay a dict
+        # lookup and a None check.
+        fire("worker.execute.crash")
+
+    def test_error_effect_raises_the_named_error(self):
+        activate(FaultPlan(rules=[
+            rule(hits=(1,), error="TimeoutError"),
+            rule(site="daemon.client.conn-drop", hits=(1,), error="URLError"),
+        ]))
+        with pytest.raises(TimeoutError):
+            fire("worker.execute.crash")
+        with pytest.raises(urllib.error.URLError):
+            fire("daemon.client.conn-drop")
+
+    def test_delay_effect_sleeps(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(plane_module.time, "sleep", slept.append)
+        activate(FaultPlan(rules=[
+            rule(effect="delay", hits=(1,), seconds=0.25)
+        ]))
+        fire("worker.execute.crash")
+        assert slept == [0.25]
+
+    def test_crash_effect_routes_through_hard_exit(self, monkeypatch):
+        codes = []
+        monkeypatch.setattr(plane_module, "hard_exit", codes.append)
+        activate(FaultPlan(rules=[
+            rule(effect="crash", hits=(1,), exit_code=41)
+        ]))
+        fire("worker.execute.crash")
+        assert codes == [41]
+
+    def test_snapshot_reports_hits_and_firings(self):
+        activate(FaultPlan(rules=[rule(hits=(2,))]))
+        for _ in range(3):
+            trip("worker.execute.crash")
+        snap = plane_module.active_plane().snapshot()
+        assert snap["hits"]["worker.execute.crash"] == 3
+        assert snap["fired"]["worker.execute.crash"] == 1
+
+    def test_env_var_activates_lazily(self, tmp_path, monkeypatch):
+        plan_path = tmp_path / "env-plan.json"
+        plan_path.write_text(json.dumps(FaultPlan(
+            rules=[rule(hits=(1,), error="OSError")]
+        ).to_dict()), encoding="utf-8")
+        monkeypatch.setenv(ENV_FAULT_PLAN, str(plan_path))
+        plane_module._reset_for_env()
+        with pytest.raises(OSError):
+            fire("worker.execute.crash")
+        # A second fire does not re-trigger (hits=[1] is spent).
+        fire("worker.execute.crash")
+
+
+class TestWiredSites:
+    def test_torn_tail_truncates_the_ledger_and_dies(self, tmp_path, monkeypatch):
+        import repro.api.events as events_module
+
+        class Died(BaseException):
+            def __init__(self, code):
+                self.code = code
+
+        def fake_exit(code):
+            raise Died(code)
+
+        # hard_exit never returns in production; raising here models the
+        # process vanishing mid-write without killing the test runner.
+        monkeypatch.setattr(events_module, "hard_exit", fake_exit)
+        activate(FaultPlan(rules=[FaultRule(
+            site="ledger.write.torn-tail", effect="torn", hits=(2,),
+            exit_code=43,
+        )]))
+        ledger = tmp_path / "ledger.jsonl"
+        recorder = JsonlRecorder(ledger, fsync=False)
+        event = CampaignStarted(campaign="q1", index=0, backend="t", n_steps=1)
+        recorder(event)          # hit 1: clean line
+        with pytest.raises(Died) as death:
+            recorder(event)      # hit 2: half a line, then death
+        assert death.value.code == 43
+        recorder.close()
+        lines = ledger.read_text(encoding="utf-8").splitlines()
+        full_line = json.dumps(event.to_dict(), sort_keys=True)
+        assert lines[0] == full_line
+        # The torn tail is a strict prefix of a real line — exactly what
+        # a crash mid-write leaves behind.
+        assert lines[-1] != full_line and full_line.startswith(lines[-1])
+
+    def test_spool_heartbeat_stall_is_injectable(self, tmp_path):
+        from tests.test_distributed import make_cells
+
+        spool = Spool(tmp_path / "spool")
+        (cell,) = make_cells(1)
+        spool.seed([cell])
+        assert spool.claim(cell.id, "w1")
+        activate(FaultPlan(rules=[FaultRule(
+            site="spool.heartbeat.stall", effect="error", hits=(1,),
+        )]))
+        with pytest.raises(OSError):
+            spool.heartbeat(cell.id, "w1")
+        spool.heartbeat(cell.id, "w1")     # the stall was transient
+
+    def test_daemon_client_conn_drop_is_retried(self, monkeypatch):
+        import random
+
+        from repro.daemon.client import DaemonClient
+
+        class FakeResponse:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def read(self):
+                return b'{"pong": true}'
+
+        calls = []
+
+        def fake_urlopen(request, timeout=None):
+            calls.append(request.full_url)
+            return FakeResponse()
+
+        monkeypatch.setattr(
+            "urllib.request.urlopen", fake_urlopen
+        )
+        activate(FaultPlan(rules=[FaultRule(
+            site="daemon.client.conn-drop", effect="error", hits=(1,),
+            error="URLError",
+        )]))
+        client = DaemonClient(
+            "http://127.0.0.1:9", retries=3, retry_rng=random.Random(1),
+        )
+        monkeypatch.setattr(
+            "repro.utils.retry.time.sleep", lambda _: None
+        )
+        assert client._request("GET", "/ping") == {"pong": True}
+        # The injected drop consumed attempt 1; the retry reached the
+        # (faked) socket exactly once.
+        assert len(calls) == 1
